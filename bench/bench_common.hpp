@@ -1,0 +1,57 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary accepts:
+//   --quick        reduce iteration counts ~10x (CI smoke)
+//   key=value      MachineConfig-independent overrides (iters=..., runs=...)
+// and prints a FigureReport (paper series next to measured) plus a CSV under
+// results/.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "bgp/config.hpp"
+#include "proto/forwarder.hpp"
+#include "wl/stream.hpp"
+
+namespace iofwd::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  int iterations = 1000;  // the paper's per-run iteration count
+  int runs = 1;           // deterministic sim: one run is representative
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        a.quick = true;
+      } else if (std::strncmp(argv[i], "iters=", 6) == 0) {
+        a.iterations = std::atoi(argv[i] + 6);
+      } else if (std::strncmp(argv[i], "runs=", 5) == 0) {
+        a.runs = std::atoi(argv[i] + 5);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      }
+    }
+    if (a.quick) a.iterations = std::max(20, a.iterations / 10);
+    return a;
+  }
+
+  [[nodiscard]] int iters(int dflt) const {
+    return iterations != 1000 ? iterations : (quick ? std::max(20, dflt / 10) : dflt);
+  }
+};
+
+inline const proto::Mechanism kMechanisms[] = {
+    proto::Mechanism::ciod, proto::Mechanism::zoid, proto::Mechanism::zoid_sched,
+    proto::Mechanism::zoid_sched_async};
+
+inline std::string mib(std::uint64_t bytes) {
+  if (bytes >= MiB) return std::to_string(bytes / MiB) + "MiB";
+  return std::to_string(bytes / KiB) + "KiB";
+}
+
+}  // namespace iofwd::bench

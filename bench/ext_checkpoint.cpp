@@ -1,0 +1,40 @@
+// Extension experiment: compute/checkpoint overlap.
+//
+// The paper's motivation (Sec. I): faster forwarding "accelerate[s] the
+// time to solution or [lets researchers] apply more complex models during
+// the same time frame". A bulk-synchronous application on 64 CNs (barrier
+// every cycle, as real codes have) alternates 400 ms of computation with a
+// 4 MiB-per-CN checkpoint; the table shows how much of the checkpoint each
+// mechanism hides behind computation.
+#include "bench_common.hpp"
+#include "wl/checkpoint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iofwd;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto cfg = bgp::MachineConfig::intrepid();
+
+  wl::CheckpointParams p;
+  p.cycles = args.iters(50);
+
+  analysis::FigureReport rep("ext_checkpoint",
+                             "Compute/checkpoint cycles: I/O overhead over pure compute",
+                             "mechanism", "see series");
+  for (auto m : bench::kMechanisms) {
+    const auto r = wl::run_checkpoint(m, cfg, {}, p);
+    const auto x = proto::to_string(m);
+    rep.add(x, "total time s", r.total_time_s);
+    rep.add(x, "io overhead %", r.io_overhead_pct);
+    rep.add(x, "checkpoint MiB/s", r.aggregate_mib_s);
+  }
+  analysis::emit(rep);
+
+  const double sync_ovh = *rep.get("ZOID", "io overhead %");
+  const double async_ovh = *rep.get("ZOID+sched+async", "io overhead %");
+  std::printf(
+      "asynchronous staging removes %.0f%% of ZOID's checkpoint stall: the burst is\n"
+      "absorbed into BML buffers and drains to storage during the next compute phase.\n"
+      "What remains is the CN->ION staging copy over the collective network (Sec. IV).\n",
+      100.0 * (1.0 - async_ovh / sync_ovh));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Extension experiment: two-phase collective I/O vs the forwarding layer.
+//
+// 64 CNs write a block-cyclic shared file of 64 KiB pieces. Independent
+// I/O forwards each small piece (paying the two-step control exchange per
+// piece, Sec. V-A2); collective I/O redistributes over the torus first and
+// forwards few large writes from 8 aggregators.
+//
+// Question: how much of collective buffering's benefit is really a
+// workaround for a slow forwarding layer? Answer below: the better the
+// forwarding mechanism, the smaller the collective-I/O win.
+#include "bench_common.hpp"
+#include "wl/collective.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iofwd;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto cfg = bgp::MachineConfig::intrepid();
+
+  wl::CollectiveParams p;
+  p.pieces_per_cn = args.iters(64);
+
+  analysis::FigureReport rep("ext_collective",
+                             "Two-phase collective I/O vs forwarding mechanism (64 KiB pieces)",
+                             "mechanism");
+  for (auto m : bench::kMechanisms) {
+    for (auto mode : {wl::IoMode::independent, wl::IoMode::collective}) {
+      const auto r = wl::run_collective(m, mode, cfg, {}, p);
+      rep.add(proto::to_string(m), wl::to_string(mode), r.throughput_mib_s);
+    }
+  }
+  analysis::emit(rep);
+
+  for (auto m : bench::kMechanisms) {
+    const double ind = *rep.get(proto::to_string(m), "independent");
+    const double col = *rep.get(proto::to_string(m), "collective");
+    std::printf("%-18s collective vs independent: %+.0f%%\n", proto::to_string(m).c_str(),
+                100.0 * (col / ind - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 5: nuttcp-like memory-to-memory streaming from an I/O node to a
+// data-analysis node over the external 10 GbE network, varying the number
+// of sender threads; plus the DA-to-DA single-thread reference.
+//
+// Paper numbers: 1 thread 307 MiB/s (CPU-bound on the 850 MHz ION core),
+// 4 threads 791 MiB/s (best), 8 threads lower (contention on 4 cores);
+// DA->DA sustains 1110 MiB/s with one thread.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bgp/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace iofwd;
+
+// One nuttcp stream: protocol CPU is serialized on the sender thread while
+// the NIC drains previously prepared data concurrently (TCP keeps the wire
+// busy as long as the socket buffer is fed).
+sim::Proc<void> wire_leg(bgp::Machine& m, sim::Link& src_nic, std::uint64_t msg,
+                         std::uint64_t& delivered, sim::SimTime& last) {
+  auto& da = m.da(0);
+  co_await sim::when_all(m.engine(), src_nic.transfer(msg), da.nic().transfer(msg));
+  delivered += msg;
+  last = m.engine().now();
+}
+
+sim::Proc<void> sender(bgp::Machine& m, sim::CpuPool& cpu, sim::Link& src_nic, double cost_ns_b,
+                       std::uint64_t msg, int iters, std::uint64_t& delivered,
+                       sim::SimTime& last) {
+  sim::WaitGroup wires(m.engine());
+  for (int i = 0; i < iters; ++i) {
+    co_await cpu.consume(static_cast<double>(msg) * cost_ns_b);
+    wires.add(1);
+    m.engine().spawn(
+        sim::detail::run_into_group(wire_leg(m, src_nic, msg, delivered, last), wires));
+  }
+  co_await wires.wait();
+}
+
+double run_case(bool from_ion, int threads, int iters) {
+  sim::Engine eng;
+  auto cfg = bgp::MachineConfig::intrepid();
+  cfg.num_da_nodes = 2;
+  bgp::Machine m(eng, cfg);
+
+  // Sender side: the ION's slow cores, or a second DA node's fast ones.
+  sim::CpuPool& cpu = from_ion ? m.pset(0).ion().cpu() : m.da(1).cpu();
+  sim::Link& nic = from_ion ? m.pset(0).ion().nic() : m.da(1).nic();
+  const double cost = from_ion ? cfg.ion_tcp_send_cost_ns_b : cfg.da_tcp_cost_ns_b;
+
+  std::uint64_t delivered = 0;
+  sim::SimTime last = 0;
+  for (int t = 0; t < threads; ++t) {
+    eng.spawn(sender(m, cpu, nic, cost, 1_MiB, iters, delivered, last));
+  }
+  eng.run();
+  return static_cast<double>(delivered) / (1024.0 * 1024.0) / sim::to_seconds(last);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int iters = args.iters(500);
+
+  analysis::FigureReport rep("fig05", "ION -> DA streaming over 10 GbE (nuttcp-like)",
+                             "threads");
+  for (int t : {1, 2, 4, 8}) {
+    rep.add(std::to_string(t), "ION->DA", run_case(/*from_ion=*/true, t, iters));
+  }
+  rep.add("1", "DA->DA", run_case(/*from_ion=*/false, 1, iters));
+
+  rep.add_expected("1", "ION->DA", 307);
+  rep.add_expected("4", "ION->DA", 791);
+  rep.add_expected("1", "DA->DA", 1110);
+
+  analysis::emit(rep);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 6: end-to-end I/O forwarding between compute nodes and an analysis
+// node — 1 MiB transfers, CIOD vs ZOID vs the maximum-achievable line.
+//
+// Paper: both sustain at most ~420 MiB/s, only 66% of the ~650 MiB/s bound
+// (min of collective and external sustained rates), and degrade as CNs grow.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iofwd;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto cfg = bgp::MachineConfig::intrepid();
+
+  analysis::FigureReport rep("fig06", "End-to-end CN -> DA forwarding (1 MiB)", "CNs");
+  const double bound = cfg.end_to_end_bound_mib_s();
+
+  for (int ncn : {1, 2, 4, 8, 16, 32, 64}) {
+    wl::StreamParams p;
+    p.cns_per_pset = ncn;
+    p.iterations = args.iters(1000);
+    const auto x = std::to_string(ncn);
+    rep.add(x, "CIOD", wl::max_of_runs(proto::Mechanism::ciod, cfg, {}, p, args.runs));
+    rep.add(x, "ZOID", wl::max_of_runs(proto::Mechanism::zoid, cfg, {}, p, args.runs));
+    rep.add(x, "max-achievable", bound);
+  }
+  rep.add_expected("8", "CIOD", 420);
+  rep.add_expected("8", "ZOID", 420);
+  rep.add_expected("8", "max-achievable", 650);
+
+  analysis::emit(rep);
+
+  const double peak = *rep.get("4", "ZOID");
+  std::printf("ZOID peak efficiency vs bound: %.0f%% (paper: ~66%%)\n", 100.0 * peak / bound);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 11: impact of the worker-pool size on I/O forwarding with both
+// scheduling and asynchronous staging (1 MiB messages).
+//
+// Paper: 1 thread cannot exceed ~300 MiB/s (one 850 MHz core's TCP limit),
+// 2 and 4 threads improve, 8 threads regress versus 4 (contention on the
+// 4 cores) — 4 workers is the sweet spot.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iofwd;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto cfg = bgp::MachineConfig::intrepid();
+
+  analysis::FigureReport rep("fig11", "Worker-pool size vs throughput (sched+async, 1 MiB)",
+                             "workers");
+  wl::StreamParams p;
+  p.cns_per_pset = 64;
+  p.iterations = args.iters(1000);
+
+  for (int w : {1, 2, 4, 8, 16}) {
+    proto::ForwarderConfig fc;
+    fc.workers = w;
+    rep.add(std::to_string(w), "ZOID+sched+async",
+            wl::max_of_runs(proto::Mechanism::zoid_sched_async, cfg, fc, p, args.runs));
+  }
+  rep.add_expected("1", "ZOID+sched+async", 300);
+  rep.add_expected("4", "ZOID+sched+async", 618);
+
+  analysis::emit(rep);
+
+  const double w4 = *rep.get("4", "ZOID+sched+async");
+  const double w8 = *rep.get("8", "ZOID+sched+async");
+  std::printf("8 workers vs 4: %+.1f%% (paper: negative — 4 is the sweet spot)\n",
+              100 * (w8 / w4 - 1));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 12: weak scaling of memory-to-memory forwarding from 256 to 1024
+// compute nodes (4/8/16 IONs), streaming to 20 DA-node sinks with the MxN
+// connection distribution.
+//
+// Paper: async staging + scheduling improves over CIOD by 53/43/47% and
+// over ZOID by 33/25/34% at 256/512/1024 nodes; absolute throughput grows
+// with node count because every added pset brings its own ION and tree.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iofwd;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  analysis::FigureReport rep("fig12", "Weak scaling CN -> 20 DA sinks (1 MiB, MxN)",
+                             "nodes");
+  proto::ForwarderConfig fc;
+  fc.workers = 4;
+
+  for (int nodes : {256, 512, 1024}) {
+    auto cfg = bgp::MachineConfig::intrepid();
+    cfg.num_psets = nodes / cfg.cns_per_pset;
+    cfg.num_da_nodes = 20;
+    wl::StreamParams p;
+    p.cns_per_pset = cfg.cns_per_pset;
+    p.iterations = args.iters(300);
+    p.distribute_das = true;
+    for (auto m : {proto::Mechanism::ciod, proto::Mechanism::zoid,
+                   proto::Mechanism::zoid_sched_async}) {
+      rep.add(std::to_string(nodes), proto::to_string(m),
+              wl::max_of_runs(m, cfg, fc, p, args.runs));
+    }
+  }
+  // Paper anchors (improvement percentages applied to one ION's ladder,
+  // scaled by ION count): async ~ 618 MiB/s per pset.
+  rep.add_expected("256", "ZOID+sched+async", 618 * 4);
+  rep.add_expected("512", "ZOID+sched+async", 618 * 8);
+  rep.add_expected("1024", "ZOID+sched+async", 618 * 16);
+
+  analysis::emit(rep);
+
+  for (int nodes : {256, 512, 1024}) {
+    const auto x = std::to_string(nodes);
+    const double ciod = *rep.get(x, "CIOD");
+    const double zoid = *rep.get(x, "ZOID");
+    const double async = *rep.get(x, "ZOID+sched+async");
+    std::printf("%4d nodes: async vs CIOD %+.0f%%, vs ZOID %+.0f%% (paper: +53/43/47%% and +33/25/34%%)\n",
+                nodes, 100 * (async / ciod - 1), 100 * (async / zoid - 1));
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// ion_daemon: run the I/O forwarding server as a standalone daemon on a
+// UNIX-domain socket — the deployment shape of CIOD/ZOID on a real I/O node.
+//
+//   $ ./ion_daemon /tmp/iofwd.sock [exec=async|queue|thread] [workers=4]
+//                  [root=/tmp/iofwd_data] [bml_mib=256]
+//                  [aggregate_kib=0] [downsample=0] [rle=0]
+//   $ ./ion_daemon tcp:9090 ...          # listen on TCP port instead
+//
+// aggregate_kib=N   coalesce sequential writes into N-KiB backend writes
+// downsample=K      keep every K-th 8-byte element (in-situ data reduction)
+// rle=1             zero-run-length-encode payloads before storage
+//
+// Any process may then connect with rt::SocketTransport::connect_unix and
+// drive it through rt::Client (see examples/quickstart.cpp for the calls).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rt/aggregator.hpp"
+#include "rt/server.hpp"
+
+using namespace iofwd;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+std::string arg(int argc, char** argv, const char* key, const std::string& dflt) {
+  const std::size_t klen = std::strlen(key);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, klen) == 0 && argv[i][klen] == '=') {
+      return argv[i] + klen + 1;
+    }
+  }
+  return dflt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <socket-path> [exec=async|queue|thread] [workers=N] "
+                 "[root=DIR] [bml_mib=N]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string sock_path = argv[1];
+  const std::string exec = arg(argc, argv, "exec", "async");
+  const std::string root = arg(argc, argv, "root", "/tmp/iofwd_data");
+
+  rt::ServerConfig cfg;
+  cfg.workers = std::atoi(arg(argc, argv, "workers", "4").c_str());
+  cfg.bml_bytes = static_cast<std::uint64_t>(std::atoi(arg(argc, argv, "bml_mib", "256").c_str()))
+                  << 20;
+  if (exec == "thread") {
+    cfg.exec = rt::ExecModel::thread_per_client;
+  } else if (exec == "queue") {
+    cfg.exec = rt::ExecModel::work_queue;
+  } else {
+    cfg.exec = rt::ExecModel::work_queue_async;
+  }
+
+  std::unique_ptr<rt::Listener> listener;
+  if (sock_path.rfind("tcp:", 0) == 0) {
+    auto port = static_cast<std::uint16_t>(std::atoi(sock_path.c_str() + 4));
+    auto l = rt::TcpListener::bind(port, "0.0.0.0");
+    if (!l.is_ok()) {
+      std::fprintf(stderr, "bind %s: %s\n", sock_path.c_str(),
+                   l.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("listening on tcp port %u\n", l.value()->port());
+    listener = std::move(l).value();
+  } else {
+    auto l = rt::UnixListener::bind(sock_path);
+    if (!l.is_ok()) {
+      std::fprintf(stderr, "bind %s: %s\n", sock_path.c_str(),
+                   l.status().to_string().c_str());
+      return 1;
+    }
+    listener = std::move(l).value();
+  }
+
+  std::unique_ptr<rt::IoBackend> backend = std::make_unique<rt::FileBackend>(root);
+  const int agg_kib = std::atoi(arg(argc, argv, "aggregate_kib", "0").c_str());
+  if (agg_kib > 0) {
+    backend = std::make_unique<rt::AggregatingBackend>(std::move(backend),
+                                                       static_cast<std::uint64_t>(agg_kib) << 10);
+  }
+  rt::IonServer server(std::move(backend), cfg);
+
+  rt::FilterChain filters;
+  const int stride = std::atoi(arg(argc, argv, "downsample", "0").c_str());
+  if (stride > 1) filters.add(std::make_shared<rt::DownsampleFilter>(stride));
+  if (arg(argc, argv, "rle", "0") == "1") filters.add(std::make_shared<rt::ZeroRleFilter>());
+  if (!filters.empty()) server.set_filter_chain(std::move(filters));
+
+  server.serve_listener(std::move(listener));
+  std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s)\n", sock_path.c_str(),
+              rt::to_string(cfg.exec), cfg.workers, root.c_str());
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    ::pause();
+  }
+
+  const auto s = server.stats();
+  std::printf("\nshutting down: %llu ops, %.1f MiB in, %.1f MiB out, %llu deferred errors\n",
+              static_cast<unsigned long long>(s.ops),
+              static_cast<double>(s.bytes_in) / (1 << 20),
+              static_cast<double>(s.bytes_out) / (1 << 20),
+              static_cast<unsigned long long>(s.deferred_errors));
+  server.stop();
+  return 0;
+}

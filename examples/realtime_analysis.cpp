@@ -1,0 +1,52 @@
+// Real-time analysis scenario (the paper's motivating use case, Sec. I):
+// a simulation on many compute nodes streams snapshots to a data-analysis
+// cluster for concurrent visualization. Data travels the same forwarding
+// path as file I/O, so forwarding performance decides how often snapshots
+// can be shipped.
+//
+// This example runs the scenario on the simulated Intrepid machine: two
+// psets (128 CNs) streaming 1 MiB regions to 4 Eureka analysis nodes with
+// the MxN distribution, under each forwarding mechanism, and reports how
+// many snapshots per second the analysis side receives.
+//
+//   $ ./realtime_analysis
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "wl/stream.hpp"
+
+using namespace iofwd;
+
+int main() {
+  auto cfg = bgp::MachineConfig::intrepid();
+  cfg.num_psets = 2;      // 128 compute nodes
+  cfg.num_da_nodes = 4;   // analysis sinks
+
+  // Each snapshot: every CN ships a 1 MiB sub-domain (a 128 MiB global
+  // field, e.g. a 4096^2 slice of doubles per snapshot).
+  wl::StreamParams p;
+  p.cns_per_pset = cfg.cns_per_pset;
+  p.message_bytes = 1_MiB;
+  p.iterations = 100;  // 100 snapshots
+  p.distribute_das = true;
+
+  const double snapshot_mib =
+      static_cast<double>(cfg.total_cns()) * static_cast<double>(p.message_bytes) / (1 << 20);
+
+  std::printf("Streaming %d snapshots of %.0f MiB from %d CNs to %d analysis nodes...\n\n",
+              p.iterations, snapshot_mib, cfg.total_cns(), cfg.num_da_nodes);
+
+  Table t({"mechanism", "aggregate MiB/s", "snapshots/s", "time for 100 snapshots"});
+  for (auto m : {proto::Mechanism::ciod, proto::Mechanism::zoid, proto::Mechanism::zoid_sched,
+                 proto::Mechanism::zoid_sched_async}) {
+    const auto r = wl::run_stream(m, cfg, {}, p);
+    const double snaps_per_s = r.throughput_mib_s / snapshot_mib;
+    t.add_row({proto::to_string(m), Table::num(r.throughput_mib_s),
+               Table::num(snaps_per_s, 2),
+               Table::num(static_cast<double>(p.iterations) / snaps_per_s, 1) + " s"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("With I/O scheduling + asynchronous staging the same simulation can ship\n"
+              "snapshots ~1.5x more often — or spend the reclaimed time computing.\n");
+  return 0;
+}

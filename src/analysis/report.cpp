@@ -1,0 +1,122 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/table.hpp"
+
+namespace iofwd::analysis {
+
+FigureReport::FigureReport(std::string fig_id, std::string title, std::string x_name,
+                           std::string value_unit)
+    : fig_id_(std::move(fig_id)),
+      title_(std::move(title)),
+      x_name_(std::move(x_name)),
+      unit_(std::move(value_unit)) {}
+
+FigureReport::Cell& FigureReport::cell(const std::string& x, const std::string& series) {
+  if (std::find(xs_.begin(), xs_.end(), x) == xs_.end()) xs_.push_back(x);
+  if (std::find(series_.begin(), series_.end(), series) == series_.end()) {
+    series_.push_back(series);
+  }
+  for (auto& c : cells_) {
+    if (c.x == x && c.series == series) return c;
+  }
+  cells_.push_back(Cell{x, series, std::nullopt, std::nullopt});
+  return cells_.back();
+}
+
+const FigureReport::Cell* FigureReport::find(const std::string& x,
+                                             const std::string& series) const {
+  for (const auto& c : cells_) {
+    if (c.x == x && c.series == series) return &c;
+  }
+  return nullptr;
+}
+
+void FigureReport::add(const std::string& x, const std::string& series, double value) {
+  cell(x, series).measured = value;
+}
+
+void FigureReport::add_expected(const std::string& x, const std::string& series, double value) {
+  cell(x, series).expected = value;
+}
+
+std::optional<double> FigureReport::get(const std::string& x, const std::string& series) const {
+  const Cell* c = find(x, series);
+  return c != nullptr ? c->measured : std::nullopt;
+}
+
+std::string FigureReport::render() const {
+  std::string out = "== " + fig_id_ + ": " + title_ + " [" + unit_ + "] ==\n";
+
+  bool any_expected = false;
+  for (const auto& c : cells_) any_expected |= c.expected.has_value();
+
+  std::vector<std::string> headers{x_name_};
+  for (const auto& s : series_) {
+    headers.push_back(s);
+    if (any_expected) headers.push_back("paper:" + s);
+  }
+  Table t(headers);
+  for (const auto& x : xs_) {
+    std::vector<std::string> row{x};
+    for (const auto& s : series_) {
+      const Cell* c = find(x, s);
+      row.push_back(c != nullptr && c->measured ? Table::num(*c->measured) : "-");
+      if (any_expected) {
+        row.push_back(c != nullptr && c->expected ? Table::num(*c->expected) : "-");
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  out += t.render();
+
+  GroupedChart chart("measured series", series_);
+  for (const auto& x : xs_) {
+    std::vector<double> vals;
+    for (const auto& s : series_) {
+      const Cell* c = find(x, s);
+      vals.push_back(c != nullptr && c->measured ? *c->measured : 0.0);
+    }
+    chart.add_group(x_name_ + "=" + x, std::move(vals));
+  }
+  out += chart.render();
+  return out;
+}
+
+Status FigureReport::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status(Errc::io_error, "cannot open " + path);
+  f << x_name_ << ",series,measured_" << unit_ << ",paper_" << unit_ << "\n";
+  for (const auto& x : xs_) {
+    for (const auto& s : series_) {
+      const Cell* c = find(x, s);
+      if (c == nullptr) continue;
+      f << x << "," << s << ",";
+      if (c->measured) f << *c->measured;
+      f << ",";
+      if (c->expected) f << *c->expected;
+      f << "\n";
+    }
+  }
+  return f.good() ? Status::ok() : Status(Errc::io_error, "short write to " + path);
+}
+
+std::string emit(const FigureReport& report) {
+  std::string rendered = report.render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + report.id() + ".csv";
+  if (Status st = report.write_csv(path); !st.is_ok()) {
+    std::fprintf(stderr, "warning: %s\n", st.to_string().c_str());
+  } else {
+    std::printf("[csv] %s\n\n", path.c_str());
+  }
+  return path;
+}
+
+}  // namespace iofwd::analysis

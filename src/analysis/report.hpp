@@ -1,0 +1,58 @@
+// Figure reports: the harness every bench binary uses to print a paper
+// figure next to the measured reproduction, and to persist the data as CSV.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::analysis {
+
+// A grid of (x-category, series) -> value, preserving insertion order, with
+// optional paper-expected values per cell for side-by-side comparison.
+class FigureReport {
+ public:
+  FigureReport(std::string fig_id, std::string title, std::string x_name,
+               std::string value_unit = "MiB/s");
+
+  void add(const std::string& x, const std::string& series, double value);
+  void add_expected(const std::string& x, const std::string& series, double value);
+
+  [[nodiscard]] std::optional<double> get(const std::string& x, const std::string& series) const;
+
+  // Table of measured values (one row per x, one column per series), with
+  // "paper:<series>" columns interleaved where expectations were provided,
+  // plus an ASCII chart of the measured series.
+  [[nodiscard]] std::string render() const;
+
+  // CSV: x,series,measured,expected
+  [[nodiscard]] Status write_csv(const std::string& path) const;
+
+  [[nodiscard]] const std::string& id() const { return fig_id_; }
+
+ private:
+  struct Cell {
+    std::string x;
+    std::string series;
+    std::optional<double> measured;
+    std::optional<double> expected;
+  };
+  Cell& cell(const std::string& x, const std::string& series);
+  [[nodiscard]] const Cell* find(const std::string& x, const std::string& series) const;
+
+  std::string fig_id_;
+  std::string title_;
+  std::string x_name_;
+  std::string unit_;
+  std::vector<std::string> xs_;      // insertion order
+  std::vector<std::string> series_;  // insertion order
+  std::vector<Cell> cells_;
+};
+
+// Convenience used by every bench main(): render to stdout and drop the CSV
+// under results/ (created on demand). Returns the CSV path.
+std::string emit(const FigureReport& report);
+
+}  // namespace iofwd::analysis

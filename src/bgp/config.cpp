@@ -1,0 +1,64 @@
+#include "bgp/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iofwd::bgp {
+
+namespace {
+// Mirrors CpuPool::effective_cores for config-level predictions.
+double effective_cores(int runnable, int cores, double share_penalty, double switch_penalty,
+                       double switch_saturation) {
+  if (runnable <= 0) return 0;
+  const int on_core = std::min(runnable, cores);
+  double cap = static_cast<double>(on_core) /
+               (1.0 + share_penalty * static_cast<double>(on_core - 1));
+  if (runnable > cores) {
+    const double excess = static_cast<double>(runnable - cores);
+    const double sat = switch_saturation > 0 ? excess / switch_saturation : 0.0;
+    cap /= 1.0 + switch_penalty * excess / (1.0 + sat);
+  }
+  return cap;
+}
+}  // namespace
+
+double MachineConfig::external_peak_mib_s(int threads) const {
+  const double cores = effective_cores(threads, ion_cores, ion_share_penalty,
+                                       ion_switch_penalty_thread, ion_switch_saturation);
+  const double cpu_rate_mib_s = cores / ion_tcp_send_cost_ns_b * 1e9 / static_cast<double>(MiB);
+  return std::min(eth_mib_s, cpu_rate_mib_s);
+}
+
+double MachineConfig::end_to_end_bound_mib_s() const {
+  // The paper's Fig. 6 "maximum" line: min of the sustained collective
+  // throughput (93% of effective peak, Sec. III-A) and the sustained
+  // external throughput at the best thread count (Fig. 5).
+  const double tree_sustained = 0.93 * tree_effective_peak_mib_s();
+  double ext_best = 0;
+  for (int t = 1; t <= ion_cores * 2; ++t) ext_best = std::max(ext_best, external_peak_mib_s(t));
+  return std::min(tree_sustained, ext_best);
+}
+
+bool MachineConfig::validate(std::string* why) const {
+  auto fail = [&](const char* msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (num_psets < 1) return fail("num_psets must be >= 1");
+  if (cns_per_pset < 1) return fail("cns_per_pset must be >= 1");
+  if (num_da_nodes < 1) return fail("num_da_nodes must be >= 1");
+  if (num_fsns < 1) return fail("num_fsns must be >= 1");
+  if (ion_cores < 1) return fail("ion_cores must be >= 1");
+  if (tree_raw_mb_s <= 0) return fail("tree_raw_mb_s must be positive");
+  if (eth_mib_s <= 0) return fail("eth_mib_s must be positive");
+  if (ion_tcp_send_cost_ns_b <= 0) return fail("ion_tcp_send_cost_ns_b must be positive");
+  if (ion_tree_recv_cost_ns_b < 0) return fail("ion_tree_recv_cost_ns_b must be >= 0");
+  if (ion_share_penalty < 0 || ion_switch_penalty_thread < 0 || ion_switch_penalty_process < 0) {
+    return fail("penalties must be >= 0");
+  }
+  if (control_steps < 1) return fail("control_steps must be >= 1");
+  if (ion_memory_bytes == 0) return fail("ion_memory_bytes must be positive");
+  return true;
+}
+
+}  // namespace iofwd::bgp

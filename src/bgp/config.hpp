@@ -1,0 +1,139 @@
+// Machine model configuration.
+//
+// Defaults describe Intrepid, the 40-rack BG/P at the Argonne Leadership
+// Computing Facility, as published in the paper (Sec. II) plus a small set
+// of calibration constants derived from the paper's own measurements
+// (Sec. III). Every derived constant notes the measurement it comes from;
+// EXPERIMENTS.md discusses the calibration in detail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/units.hpp"
+#include "sim/time.hpp"
+
+namespace iofwd::bgp {
+
+struct MachineConfig {
+  // ---- Topology (paper Sec. II-A) -----------------------------------------
+  int num_psets = 1;       // 1 pset = 64 CNs + 1 ION
+  int cns_per_pset = 64;
+  int num_da_nodes = 1;    // Eureka analysis nodes participating
+  int num_fsns = 128;      // file server nodes behind GPFS
+
+  // ---- Collective (tree) network (Sec. III-A) -----------------------------
+  // Raw 850 MB/s (decimal); 16 B forwarding + 10 B hardware header per 256 B
+  // payload gives the paper's ~731 MiB/s effective peak.
+  double tree_raw_mb_s = 850.0;
+  double tree_header_bytes = 26.0;
+  double tree_payload_unit_bytes = 256.0;
+  sim::SimTime tree_latency_ns = 3500;  // one-way CN->ION message latency
+  // Tree packet-arbitration contention: aggregate link capacity degrades
+  // once more than `free` CNs stream concurrently (Fig. 4 degrades beyond
+  // 32 CNs; at 64 concurrent senders the sustained rate is ~650 MiB/s, the
+  // bound Fig. 9's 95% refers to).
+  double tree_contention_per_flow = 0.0035;
+  int tree_contention_free_flows = 32;
+
+  // ---- Torus network (Sec. II-A: 3-D torus for CN point-to-point) ---------
+  // Used by the two-phase collective-I/O extension: per-node injection
+  // bandwidth (6 links x 425 MB/s on BG/P, of which a redistribution uses a
+  // fraction) and an aggregate per-pset exchange capacity.
+  double torus_node_mib_s = 1200.0;
+  double torus_aggregate_mib_s = 16000.0;
+  sim::SimTime torus_latency_ns = 2000;
+
+  // ---- I/O node (Sec. II-A, III-B) ----------------------------------------
+  int ion_cores = 4;  // 850 MHz PPC450
+  std::uint64_t ion_memory_bytes = 2ull * 1024 * 1024 * 1024;
+  // Cache/memory-bus contention between co-running ION tasks. Calibrated so
+  // that 4 concurrent TCP senders reach the measured 791 MiB/s instead of a
+  // linear 4 x 307 = 1228: 4/(1+3*g) * 307 = 791  =>  g ~ 0.184.
+  double ion_share_penalty = 0.184;
+  // Scheduling overhead per runnable task beyond the core count. Thread
+  // switches (ZOID) are cheap; CIOD's process switches cost noticeably more
+  // -- the paper attributes ZOID's ~2% edge to exactly this (Sec. III-A).
+  double ion_switch_penalty_thread = 0.005;
+  double ion_switch_penalty_process = 0.009;
+  double ion_switch_saturation = 32.0;
+  // Per-byte CPU costs on the ION (ns per byte of payload):
+  // a single ION core sustains 307 MiB/s of TCP send (Fig. 5) =>
+  // 1e9 / (307 * 2^20) ~ 3.106 ns/B.
+  double ion_tcp_send_cost_ns_b = 3.106;
+  // Collective-network reception + copy into the forwarder's buffer. Cheaper
+  // than TCP (hardware-assisted tree reception); calibrated so one pset
+  // sustains the measured ~680 MiB/s at 4-8 CNs (Fig. 4).
+  double ion_tree_recv_cost_ns_b = 0.80;
+  // Tree-reception congestion: with many CNs streaming at once the per-byte
+  // reception cost inflates (interrupt dispatch and cache thrash across many
+  // receiver threads). This is what makes Fig. 4 peak at 4-8 CNs and
+  // degrade beyond 32: cost *= 1 + k * max(0, active_flows - free).
+  double tree_recv_congestion_per_flow = 0.015;
+  int tree_recv_congestion_free = 16;
+  // One extra memcpy on the CIOD path (collective buffer -> shared memory
+  // region -> I/O proxy process; Sec. II-B1).
+  double ion_memcpy_cost_ns_b = 0.50;
+  // CN-side packetization/injection cost: the compute node's single 850 MHz
+  // core must ship the payload into the tree in 256 B packets, which caps
+  // what one CN can inject — the reason Fig. 4 starts low at 1 CN.
+  double cn_inject_cost_ns_b = 2.20;
+  // The synchronous forwarders stream a request through fixed-size internal
+  // buffers, so reception of chunk i+1 overlaps delivery of chunk i within
+  // one operation (cut-through). CIOD's I/O proxies use 256 KiB buffers.
+  std::uint64_t forward_chunk_bytes = 256ull * 1024;
+  // Fixed per-operation CPU costs:
+  sim::SimTime ion_wake_thread_ns = 4000;    // unblock+dispatch a ZOID thread
+  sim::SimTime ion_wake_process_ns = 12000;  // unblock+dispatch a CIOD proxy
+  sim::SimTime ion_syscall_ns = 1800;        // issuing the actual I/O syscall
+  sim::SimTime ion_poll_pass_ns = 2500;      // one poll() pass in a worker's event loop
+  sim::SimTime ion_enqueue_ns = 600;         // work-queue push/pop + bookkeeping
+
+  // ---- External 10 GbE network (Sec. III-B) -------------------------------
+  double eth_mib_s = 1190.0;          // 10 Gbps
+  sim::SimTime eth_latency_ns = 30000;  // ION->switch->DA one-way
+
+  // ---- Data-analysis nodes (Eureka; Sec. II-A) ----------------------------
+  int da_cores = 8;  // dual quad-core 2 GHz Xeon
+  // One DA thread sustains 1110 MiB/s (Fig. 5) => ~0.859 ns/B.
+  double da_tcp_cost_ns_b = 0.859;
+  double da_share_penalty = 0.02;
+  double da_switch_penalty = 0.01;
+
+  // ---- Storage (Sec. II-A; Lang et al. for aggregate numbers) -------------
+  // 128 FSNs over IB to 16 DDN 9900 couplets. Per-ION view: what matters for
+  // the MADbench2 experiment is that storage outruns the forwarding layer.
+  double fsn_mib_s_each = 350.0;
+  double storage_aggregate_mib_s = 45000.0;
+  sim::SimTime storage_latency_ns = 150000;  // GPFS client + server round trip
+
+  // ---- Forwarding protocol framing (Sec. III-A, V-A2) ---------------------
+  std::uint64_t control_msg_bytes = 256;  // request/ack message size
+  // CIOD/ZOID use a two-step exchange: function parameters first, then the
+  // payload. This is the small-message gating factor the paper points out.
+  int control_steps = 2;
+
+  // The Intrepid defaults above.
+  static MachineConfig intrepid() { return {}; }
+
+  // Derived: effective tree peak (payload MiB/s) after header overhead.
+  [[nodiscard]] double tree_effective_peak_mib_s() const {
+    const double raw_mib_s = tree_raw_mb_s * 1e6 / static_cast<double>(MiB);
+    return raw_mib_s / (1.0 + tree_header_bytes / tree_payload_unit_bytes);
+  }
+
+  // Derived: the end-to-end bound the paper compares against (Sec. III-C):
+  // min(sustained tree ~680, sustained external ~791) ~= 650 MiB/s.
+  [[nodiscard]] double end_to_end_bound_mib_s() const;
+
+  // Peak external throughput with n concurrent ION sender threads (Fig. 5
+  // reproduction): min(NIC, effective_cores(n)/tcp_cost).
+  [[nodiscard]] double external_peak_mib_s(int threads) const;
+
+  [[nodiscard]] int total_cns() const { return num_psets * cns_per_pset; }
+
+  // Validation: returns false (and a reason) on nonsensical configs.
+  [[nodiscard]] bool validate(std::string* why = nullptr) const;
+};
+
+}  // namespace iofwd::bgp

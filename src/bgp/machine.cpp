@@ -1,0 +1,111 @@
+#include "bgp/machine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace iofwd::bgp {
+
+namespace {
+
+sim::LinkSpec tree_spec(const MachineConfig& cfg) {
+  sim::LinkSpec s;
+  s.bandwidth_mib_s = cfg.tree_raw_mb_s * 1e6 / static_cast<double>(MiB);
+  s.header_bytes_per_unit = cfg.tree_header_bytes;
+  s.payload_unit_bytes = cfg.tree_payload_unit_bytes;
+  s.latency_ns = cfg.tree_latency_ns;
+  s.contention_per_flow = cfg.tree_contention_per_flow;
+  s.contention_free_flows = cfg.tree_contention_free_flows;
+  return s;
+}
+
+sim::LinkSpec eth_spec(const MachineConfig& cfg) {
+  sim::LinkSpec s;
+  s.bandwidth_mib_s = cfg.eth_mib_s;
+  s.header_bytes_per_unit = 0;  // negligible at 1 MiB frames vs the CPU cost
+  s.latency_ns = cfg.eth_latency_ns;
+  return s;
+}
+
+}  // namespace
+
+IonNode::IonNode(sim::Engine& eng, const MachineConfig& cfg, int id)
+    : id_(id),
+      cpu_(eng,
+           sim::CpuSpec{.cores = cfg.ion_cores,
+                        .share_penalty = cfg.ion_share_penalty,
+                        .switch_penalty = cfg.ion_switch_penalty_thread,
+                        .switch_saturation = cfg.ion_switch_saturation},
+           "ion" + std::to_string(id) + ".cpu"),
+      nic_(eng, eth_spec(cfg), "ion" + std::to_string(id) + ".nic"),
+      memory_(eng, static_cast<std::int64_t>(cfg.ion_memory_bytes)) {}
+
+namespace {
+sim::LinkSpec torus_spec(const MachineConfig& cfg) {
+  sim::LinkSpec s;
+  s.bandwidth_mib_s = cfg.torus_aggregate_mib_s;
+  s.per_flow_cap_mib_s = cfg.torus_node_mib_s;
+  s.latency_ns = cfg.torus_latency_ns;
+  return s;
+}
+}  // namespace
+
+Pset::Pset(sim::Engine& eng, const MachineConfig& cfg, int id)
+    : id_(id),
+      num_cns_(cfg.cns_per_pset),
+      tree_(eng, tree_spec(cfg), "pset" + std::to_string(id) + ".tree"),
+      torus_(eng, torus_spec(cfg), "pset" + std::to_string(id) + ".torus"),
+      ion_(eng, cfg, id) {}
+
+DaNode::DaNode(sim::Engine& eng, const MachineConfig& cfg, int id)
+    : id_(id),
+      cpu_(eng,
+           sim::CpuSpec{.cores = cfg.da_cores,
+                        .share_penalty = cfg.da_share_penalty,
+                        .switch_penalty = cfg.da_switch_penalty},
+           "da" + std::to_string(id) + ".cpu"),
+      nic_(eng, eth_spec(cfg), "da" + std::to_string(id) + ".nic") {}
+
+Storage::Storage(sim::Engine& eng, const MachineConfig& cfg)
+    : eng_(eng),
+      latency_ns_(cfg.storage_latency_ns),
+      aggregate_(
+          eng,
+          [rate = mib_per_s_to_bytes_per_ns(cfg.storage_aggregate_mib_s)](int) { return rate; },
+          "storage.aggregate") {
+  fsn_links_.reserve(static_cast<std::size_t>(cfg.num_fsns));
+  sim::LinkSpec fsn;
+  fsn.bandwidth_mib_s = cfg.fsn_mib_s_each;
+  for (int i = 0; i < cfg.num_fsns; ++i) {
+    fsn_links_.push_back(std::make_unique<sim::Link>(eng, fsn, "fsn" + std::to_string(i)));
+  }
+}
+
+sim::Proc<void> Storage::serve(int fsn, std::uint64_t bytes) {
+  assert(fsn >= 0 && fsn < num_fsns());
+  if (latency_ns_ > 0) co_await sim::Delay{eng_, latency_ns_};
+  // The FSN's ingest link and the backing array capacity progress together.
+  co_await sim::when_all(eng_, fsn_links_[static_cast<std::size_t>(fsn)]->transfer(bytes),
+                         consume_aggregate(bytes));
+}
+
+sim::Proc<void> Storage::consume_aggregate(std::uint64_t bytes) {
+  co_await aggregate_.consume(static_cast<double>(bytes));
+}
+
+Machine::Machine(sim::Engine& eng, MachineConfig cfg) : eng_(eng), cfg_(cfg) {
+  std::string why;
+  if (!cfg_.validate(&why)) {
+    throw std::invalid_argument("bad MachineConfig: " + why);
+  }
+  psets_.reserve(static_cast<std::size_t>(cfg_.num_psets));
+  for (int i = 0; i < cfg_.num_psets; ++i) {
+    psets_.push_back(std::make_unique<Pset>(eng, cfg_, i));
+  }
+  das_.reserve(static_cast<std::size_t>(cfg_.num_da_nodes));
+  for (int i = 0; i < cfg_.num_da_nodes; ++i) {
+    das_.push_back(std::make_unique<DaNode>(eng, cfg_, i));
+  }
+  storage_ = std::make_unique<Storage>(eng, cfg_);
+}
+
+}  // namespace iofwd::bgp

@@ -1,0 +1,131 @@
+// The simulated machine: psets of compute nodes with their tree links, I/O
+// nodes, the external 10 GbE network, data-analysis nodes, and storage.
+//
+// The Machine owns every shared resource; forwarder implementations (proto/)
+// compose awaitables on these resources to model their data paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::bgp {
+
+// One I/O node: 4 slow cores, 2 GB of memory, a 10 GbE NIC.
+// Two CPU pools would be wrong (it is one physical CPU), so the pool's
+// switch penalty is the *thread* one; CIOD's dearer process switches are
+// modeled as an additional per-wake CPU charge (see proto/ciod.cpp).
+class IonNode {
+ public:
+  IonNode(sim::Engine& eng, const MachineConfig& cfg, int id);
+
+  sim::CpuPool& cpu() { return cpu_; }
+  sim::Link& nic() { return nic_; }
+  sim::SimSemaphore& memory() { return memory_; }
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  int id_;
+  sim::CpuPool cpu_;
+  sim::Link nic_;
+  sim::SimSemaphore memory_;  // bytes of buffer memory
+};
+
+// One pset: the shared collective (tree) link feeding its ION, plus the
+// slice of the 3-D torus its CNs use for point-to-point redistribution
+// (two-phase collective I/O).
+class Pset {
+ public:
+  Pset(sim::Engine& eng, const MachineConfig& cfg, int id);
+
+  sim::Link& tree() { return tree_; }
+  sim::Link& torus() { return torus_; }
+  IonNode& ion() { return ion_; }
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int num_cns() const { return num_cns_; }
+
+ private:
+  int id_;
+  int num_cns_;
+  sim::Link tree_;
+  sim::Link torus_;
+  IonNode ion_;
+};
+
+// One data-analysis (Eureka) node: fast cores + its own 10 GbE NIC.
+class DaNode {
+ public:
+  DaNode(sim::Engine& eng, const MachineConfig& cfg, int id);
+
+  sim::CpuPool& cpu() { return cpu_; }
+  sim::Link& nic() { return nic_; }
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  int id_;
+  sim::CpuPool cpu_;
+  sim::Link nic_;
+};
+
+// The clusterwide file system: per-FSN ingest links in front of an
+// aggregate service capacity (DDN arrays). Files are striped round-robin
+// across FSNs by the caller picking fsn_for(block).
+class Storage {
+ public:
+  Storage(sim::Engine& eng, const MachineConfig& cfg);
+
+  // Serve `bytes` of file I/O through FSN `fsn` (both directions modeled
+  // symmetrically — the paper's MADbench2 pattern is successive large
+  // contiguous writes and reads).
+  sim::Proc<void> serve(int fsn, std::uint64_t bytes);
+
+  [[nodiscard]] int num_fsns() const { return static_cast<int>(fsn_links_.size()); }
+  [[nodiscard]] int fsn_for(std::uint64_t block_index) const {
+    return static_cast<int>(block_index % fsn_links_.size());
+  }
+
+ private:
+  sim::Proc<void> consume_aggregate(std::uint64_t bytes);
+
+  sim::Engine& eng_;
+  sim::SimTime latency_ns_;
+  std::vector<std::unique_ptr<sim::Link>> fsn_links_;
+  sim::FluidResource aggregate_;
+};
+
+// The whole machine. Construction wires everything; the engine must outlive
+// the Machine.
+class Machine {
+ public:
+  Machine(sim::Engine& eng, MachineConfig cfg);
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return eng_; }
+
+  Pset& pset(int i) { return *psets_.at(static_cast<std::size_t>(i)); }
+  DaNode& da(int i) { return *das_.at(static_cast<std::size_t>(i)); }
+  Storage& storage() { return *storage_; }
+  [[nodiscard]] int num_psets() const { return static_cast<int>(psets_.size()); }
+  [[nodiscard]] int num_das() const { return static_cast<int>(das_.size()); }
+
+  // The MxN sink distribution used by the weak-scaling experiment (Sec.
+  // V-A4): connections from compute nodes are spread across DA nodes.
+  DaNode& da_for_cn(int pset_id, int cn_id) {
+    const int global = pset_id * cfg_.cns_per_pset + cn_id;
+    return *das_[static_cast<std::size_t>(global) % das_.size()];
+  }
+
+ private:
+  sim::Engine& eng_;
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<Pset>> psets_;
+  std::vector<std::unique_ptr<DaNode>> das_;
+  std::unique_ptr<Storage> storage_;
+};
+
+}  // namespace iofwd::bgp

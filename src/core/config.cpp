@@ -1,0 +1,72 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace iofwd {
+
+void Config::set_double(const std::string& key, double v) {
+  std::ostringstream os;
+  os << v;
+  kv_[key] = os.str();
+}
+
+std::optional<std::string> Config::env_lookup(const std::string& key) {
+  std::string env = "IOFWD_";
+  for (char c : key) {
+    env += (c == '.') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (const char* v = std::getenv(env.c_str())) return std::string(v);
+  return std::nullopt;
+}
+
+std::string Config::get(const std::string& key, const std::string& def) const {
+  if (auto env = env_lookup(key)) return *env;
+  if (auto it = kv_.find(key); it != kv_.end()) return it->second;
+  return def;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  const std::string s = get(key);
+  if (s.empty()) return def;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end == s.c_str()) return def;
+  return v;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const std::string s = get(key);
+  if (s.empty()) return def;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end == s.c_str()) return def;
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  std::string s = get(key);
+  if (s.empty()) return def;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return def;
+}
+
+bool Config::contains(const std::string& key) const {
+  return env_lookup(key).has_value() || kv_.contains(key);
+}
+
+bool Config::parse_override(const std::string& kv) {
+  const auto eq = kv.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  set(kv.substr(0, eq), kv.substr(eq + 1));
+  return true;
+}
+
+}  // namespace iofwd

@@ -1,0 +1,41 @@
+// Key-value configuration with environment-variable overrides.
+//
+// The paper controls the worker-pool size and the BML memory budget through
+// environment variables at job-submission time (Sec. IV); we mirror that:
+// any config key "foo.bar" can be overridden by the environment variable
+// IOFWD_FOO_BAR.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace iofwd {
+
+class Config {
+ public:
+  Config() = default;
+
+  void set(const std::string& key, std::string value) { kv_[key] = std::move(value); }
+  void set_int(const std::string& key, std::int64_t v) { kv_[key] = std::to_string(v); }
+  void set_double(const std::string& key, double v);
+
+  // Lookup order: environment (IOFWD_<KEY> with '.'->'_', uppercased),
+  // then explicit entries, then the supplied default.
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  // Parses "k=v" command-line style overrides; returns false on bad syntax.
+  bool parse_override(const std::string& kv);
+
+ private:
+  static std::optional<std::string> env_lookup(const std::string& key);
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace iofwd

@@ -1,0 +1,36 @@
+#include "core/log.hpp"
+
+#include <string>
+
+namespace iofwd {
+namespace {
+constexpr std::string_view level_tag(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Log::write(LogLevel lvl, const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  instance().emit(lvl, buf);
+}
+
+void Log::emit(LogLevel lvl, std::string_view body) {
+  std::scoped_lock lock(mu_);
+  std::fprintf(stderr, "[iofwd %.*s] %.*s\n", static_cast<int>(level_tag(lvl).size()),
+               level_tag(lvl).data(), static_cast<int>(body.size()), body.data());
+}
+
+}  // namespace iofwd

@@ -1,0 +1,45 @@
+// Minimal leveled logger (printf-style; gcc 12 lacks <format>).
+//
+// Both the simulator and the real runtime log through this sink.  The level
+// is process-global and read once per call; logging from concurrent runtime
+// threads is serialized by an internal mutex so lines never interleave.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+
+namespace iofwd {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+class Log {
+ public:
+  static void set_level(LogLevel lvl) { instance().level_ = lvl; }
+  static LogLevel level() { return instance().level_; }
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) >= static_cast<int>(instance().level_);
+  }
+
+  [[gnu::format(printf, 2, 3)]]
+  static void write(LogLevel lvl, const char* fmt, ...);
+
+ private:
+  static Log& instance() {
+    static Log log;
+    return log;
+  }
+  void emit(LogLevel lvl, std::string_view body);
+
+  LogLevel level_ = LogLevel::warn;
+  std::mutex mu_;
+};
+
+#define IOFWD_LOG_TRACE(...) ::iofwd::Log::write(::iofwd::LogLevel::trace, __VA_ARGS__)
+#define IOFWD_LOG_DEBUG(...) ::iofwd::Log::write(::iofwd::LogLevel::debug, __VA_ARGS__)
+#define IOFWD_LOG_INFO(...) ::iofwd::Log::write(::iofwd::LogLevel::info, __VA_ARGS__)
+#define IOFWD_LOG_WARN(...) ::iofwd::Log::write(::iofwd::LogLevel::warn, __VA_ARGS__)
+#define IOFWD_LOG_ERROR(...) ::iofwd::Log::write(::iofwd::LogLevel::error, __VA_ARGS__)
+
+}  // namespace iofwd

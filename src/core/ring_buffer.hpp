@@ -1,0 +1,66 @@
+// Fixed-capacity ring buffer.
+//
+// Used by the runtime's per-worker task queues and by the simulator's
+// channels when bounded. Not thread-safe by itself; the runtime wraps it in
+// a mutex+condvar (see rt/task_queue.hpp).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace iofwd {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0 && "RingBuffer capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool full() const { return count_ == buf_.size(); }
+
+  // Returns false when full.
+  bool push(T v) {
+    if (full()) return false;
+    buf_[tail_] = std::move(v);
+    tail_ = advance(tail_);
+    ++count_;
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T v = std::move(buf_[head_]);
+    head_ = advance(head_);
+    --count_;
+    return v;
+  }
+
+  // Peek at the oldest element. Precondition: !empty().
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t advance(std::size_t i) const {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace iofwd

@@ -1,0 +1,91 @@
+// Streaming statistics and series helpers used by the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace iofwd {
+
+// Welford's online mean/variance plus min/max. O(1) space.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) + o.mean_ * static_cast<double>(o.n_)) / total;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact percentile over a stored sample (nearest-rank). The paper reports
+// "maximum of five runs" everywhere; percentiles are used by the extra
+// ablation benches.
+class Sample {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+
+  [[nodiscard]] double percentile(double p) {
+    if (xs_.empty()) return 0.0;
+    sort_once();
+    const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+  }
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double max() {
+    if (xs_.empty()) return 0.0;
+    sort_once();
+    return xs_.back();
+  }
+  [[nodiscard]] double min() {
+    if (xs_.empty()) return 0.0;
+    sort_once();
+    return xs_.front();
+  }
+
+ private:
+  void sort_once() {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> xs_;
+  bool sorted_ = false;
+};
+
+}  // namespace iofwd

@@ -1,0 +1,34 @@
+#include "core/status.hpp"
+
+namespace iofwd {
+
+std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::bad_descriptor: return "bad_descriptor";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::no_memory: return "no_memory";
+    case Errc::io_error: return "io_error";
+    case Errc::not_connected: return "not_connected";
+    case Errc::would_block: return "would_block";
+    case Errc::message_too_large: return "message_too_large";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::shutdown: return "shutdown";
+    case Errc::timed_out: return "timed_out";
+    case Errc::deferred_io_error: return "deferred_io_error";
+    case Errc::unsupported: return "unsupported";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s{errc_name(code_)};
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace iofwd

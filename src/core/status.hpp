@@ -1,0 +1,89 @@
+// Error model for iofwd++.
+//
+// The forwarding layer ships POSIX-like calls across machines, so errors are
+// represented as portable error codes (a subset of errno) plus a message.
+// `Result<T>` is a lightweight expected-like carrier used on every fallible
+// public API.  The async-staging path additionally *defers* errors: a failed
+// asynchronous write is recorded in the descriptor database and surfaced on
+// the next operation on that descriptor (paper Sec. IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace iofwd {
+
+enum class Errc : std::int32_t {
+  ok = 0,
+  bad_descriptor,    // EBADF: unknown or closed descriptor
+  invalid_argument,  // EINVAL
+  no_memory,         // ENOMEM: BML pool exhausted and blocking disabled
+  io_error,          // EIO: backend I/O failure
+  not_connected,     // ENOTCONN: socket peer gone
+  would_block,       // EWOULDBLOCK
+  message_too_large, // EMSGSIZE: exceeds transport frame limit
+  protocol_error,    // wire-format violation
+  shutdown,          // server shutting down
+  timed_out,         // ETIMEDOUT
+  deferred_io_error, // an earlier async operation on this descriptor failed
+  unsupported,       // ENOSYS
+  internal,          // invariant violation (bug)
+};
+
+std::string_view errc_name(Errc e);
+
+// A status: an error code plus an optional human-readable message.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Errc::ok; }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] Errc code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+// Minimal expected<T, Status>. We deliberately avoid exceptions on I/O paths
+// (they are expected outcomes, not exceptional ones) per the Core Guidelines'
+// advice to reserve exceptions for genuinely exceptional conditions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string msg) : v_(Status(code, std::move(msg))) {}
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+  [[nodiscard]] Errc code() const { return is_ok() ? Errc::ok : std::get<Status>(v_).code(); }
+
+  // value_or for cheap defaulting in tests and examples.
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace iofwd

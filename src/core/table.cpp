@@ -1,0 +1,110 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace iofwd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = hline();
+  out += render_row(headers_);
+  out += hline();
+  for (const auto& row : rows_) out += render_row(row);
+  out += hline();
+  return out;
+}
+
+void BarChart::add(std::string label, double value) {
+  bars_.emplace_back(std::move(label), value);
+}
+
+std::string BarChart::render() const {
+  double vmax = 0;
+  std::size_t lmax = 0;
+  for (const auto& [label, v] : bars_) {
+    vmax = std::max(vmax, v);
+    lmax = std::max(lmax, label.size());
+  }
+  std::ostringstream os;
+  os << title_ << "\n";
+  for (const auto& [label, v] : bars_) {
+    const int n = vmax > 0 ? static_cast<int>(std::lround(v / vmax * width_)) : 0;
+    os << "  " << label << std::string(lmax - label.size(), ' ') << " |"
+       << std::string(static_cast<std::size_t>(n), '#') << " " << Table::num(v) << "\n";
+  }
+  return os.str();
+}
+
+GroupedChart::GroupedChart(std::string title, std::vector<std::string> series_names, int width)
+    : title_(std::move(title)), series_(std::move(series_names)), width_(width) {}
+
+void GroupedChart::add_group(std::string x_label, std::vector<double> values) {
+  values.resize(series_.size());
+  groups_.emplace_back(std::move(x_label), std::move(values));
+}
+
+std::string GroupedChart::render() const {
+  double vmax = 0;
+  std::size_t lmax = 0;
+  for (const auto& s : series_) lmax = std::max(lmax, s.size());
+  for (const auto& [x, vals] : groups_) {
+    for (double v : vals) vmax = std::max(vmax, v);
+  }
+  std::ostringstream os;
+  os << title_ << "\n";
+  for (const auto& [x, vals] : groups_) {
+    os << x << "\n";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const double v = vals[i];
+      const int n = vmax > 0 ? static_cast<int>(std::lround(v / vmax * width_)) : 0;
+      os << "  " << series_[i] << std::string(lmax - series_[i].size(), ' ') << " |"
+         << std::string(static_cast<std::size_t>(n), '#') << " " << Table::num(v) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace iofwd

@@ -1,0 +1,58 @@
+// ASCII table and chart rendering for the benchmark harness.
+//
+// Every bench binary prints the paper's series next to the measured series in
+// a fixed-width table, plus an optional unicode bar chart so the *shape* of a
+// figure is visible in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iofwd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision, "-" for NaN.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double v, int precision = 0);  // e.g. "95%"
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal bar chart: one bar per (label, value). Bars scale to max value.
+class BarChart {
+ public:
+  explicit BarChart(std::string title, int width = 50) : title_(std::move(title)), width_(width) {}
+  void add(std::string label, double value);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  int width_;
+  std::vector<std::pair<std::string, double>> bars_;
+};
+
+// Grouped series chart: x-categories on rows, one bar per series per row.
+// This mirrors the grouped-bar figures in the paper (Figs. 9-13).
+class GroupedChart {
+ public:
+  GroupedChart(std::string title, std::vector<std::string> series_names, int width = 44);
+  void add_group(std::string x_label, std::vector<double> values);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> series_;
+  int width_;
+  std::vector<std::pair<std::string, std::vector<double>>> groups_;
+};
+
+}  // namespace iofwd

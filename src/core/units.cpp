@@ -1,0 +1,40 @@
+#include "core/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace iofwd {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 4> suffix = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t s = 0;
+  while (v >= 1024.0 && s + 1 < suffix.size()) {
+    v /= 1024.0;
+    ++s;
+  }
+  char buf[48];
+  if (v == static_cast<std::uint64_t>(v)) {
+    std::snprintf(buf, sizeof buf, "%llu %s", static_cast<unsigned long long>(v), suffix[s]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, suffix[s]);
+  }
+  return buf;
+}
+
+std::string format_duration_ns(std::int64_t ns) {
+  char buf[48];
+  const double v = static_cast<double>(ns);
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns));
+  } else if (ns < 1000000) {
+    std::snprintf(buf, sizeof buf, "%.2f us", v / 1e3);
+  } else if (ns < 1000000000) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace iofwd

@@ -1,0 +1,56 @@
+// Units and literals used throughout iofwd++.
+//
+// Conventions (matching the paper, Sec. III-A footnote 1):
+//   * "MiB" is 1024*1024 bytes; the paper's "MB" in rate contexts means MiB.
+//   * Simulated time is kept in integer nanoseconds (see sim/time.hpp).
+//   * Rates are double MiB/s at API boundaries, bytes/ns internally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace iofwd {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * 1024ull;
+inline constexpr std::uint64_t GiB = 1024ull * 1024ull * 1024ull;
+
+// Integer-literal helpers: 4_KiB, 2_MiB, 1_GiB.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * GiB; }
+
+// Nanosecond literals for simulated durations: 5_us, 3_ms, 2_s.
+constexpr std::int64_t operator""_ns(unsigned long long v) { return static_cast<std::int64_t>(v); }
+constexpr std::int64_t operator""_us(unsigned long long v) { return static_cast<std::int64_t>(v) * 1000; }
+constexpr std::int64_t operator""_ms(unsigned long long v) { return static_cast<std::int64_t>(v) * 1000000; }
+constexpr std::int64_t operator""_sec(unsigned long long v) { return static_cast<std::int64_t>(v) * 1000000000; }
+
+// Rate conversions. A rate expressed as MiB/s converted to bytes per
+// nanosecond (the unit the fluid-flow models integrate over).
+constexpr double mib_per_s_to_bytes_per_ns(double mib_s) {
+  return mib_s * static_cast<double>(MiB) / 1e9;
+}
+constexpr double bytes_per_ns_to_mib_per_s(double b_ns) {
+  return b_ns * 1e9 / static_cast<double>(MiB);
+}
+
+// Human-readable byte count, e.g. "4 KiB", "2.5 MiB".
+std::string format_bytes(std::uint64_t bytes);
+
+// Human-readable duration from nanoseconds, e.g. "1.25 ms".
+std::string format_duration_ns(std::int64_t ns);
+
+// Round `v` up to the next power of two (min 1). Used by the buffer
+// management layer, which allocates power-of-two buffers (paper Sec. IV).
+constexpr std::uint64_t next_pow2(std::uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1; v |= v >> 2; v |= v >> 4;
+  v |= v >> 8; v |= v >> 16; v |= v >> 32;
+  return v + 1;
+}
+
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace iofwd

@@ -1,0 +1,44 @@
+#include "proto/bml.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace iofwd::proto {
+
+Bml::Bml(sim::Engine& eng, std::uint64_t total_bytes, std::uint64_t min_class_bytes)
+    : total_(total_bytes),
+      min_class_(next_pow2(std::max<std::uint64_t>(min_class_bytes, 1))),
+      pool_(eng, static_cast<std::int64_t>(total_bytes)) {
+  if (total_bytes == 0) throw std::invalid_argument("BML capacity must be positive");
+}
+
+std::uint64_t Bml::size_class(std::uint64_t bytes) const {
+  return std::max(min_class_, next_pow2(bytes));
+}
+
+sim::Proc<std::uint64_t> Bml::acquire(std::uint64_t bytes) {
+  const std::uint64_t cls = size_class(bytes);
+  assert(cls <= total_ && "request exceeds the whole BML pool");
+  if (pool_.available() < static_cast<std::int64_t>(cls) || pool_.waiting() > 0) ++blocked_;
+  co_await pool_.acquire(static_cast<std::int64_t>(cls));
+  in_use_ += cls;
+  high_watermark_ = std::max(high_watermark_, in_use_);
+  co_return cls;
+}
+
+std::uint64_t Bml::try_acquire(std::uint64_t bytes) {
+  const std::uint64_t cls = size_class(bytes);
+  if (cls > total_ || !pool_.try_acquire(static_cast<std::int64_t>(cls))) return 0;
+  in_use_ += cls;
+  high_watermark_ = std::max(high_watermark_, in_use_);
+  return cls;
+}
+
+void Bml::release(std::uint64_t class_bytes) {
+  assert(class_bytes <= in_use_ && "releasing more than is in use");
+  in_use_ -= class_bytes;
+  pool_.release(static_cast<std::int64_t>(class_bytes));
+}
+
+}  // namespace iofwd::proto

@@ -1,0 +1,55 @@
+// Buffer management layer (BML) for asynchronous data staging (Sec. IV).
+//
+// "To facilitate asynchronous data staging, we designed a custom buffer
+//  management layer in ZOID. ... The total memory managed by BML can be
+//  controlled by an environment variable during the application launch. In
+//  the current implementation, the buffer management allocates buffers that
+//  are powers of 2 bytes. ... If there is insufficient memory to stage the
+//  data, the I/O operation is blocked until a number of queued I/O
+//  operations complete and sufficient memory is available."
+//
+// This is the simulator-side BML: it accounts capacity (no real memory) and
+// blocks acquirers FIFO on a simulated semaphore. The real runtime's BML
+// (rt/bml.hpp) hands out actual buffers with identical size-class and
+// blocking semantics; both are covered by equivalent test suites.
+#pragma once
+
+#include <cstdint>
+
+#include "core/units.hpp"
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::proto {
+
+class Bml {
+ public:
+  Bml(sim::Engine& eng, std::uint64_t total_bytes, std::uint64_t min_class_bytes = 4096);
+
+  // The power-of-two size class serving a request of `bytes`.
+  [[nodiscard]] std::uint64_t size_class(std::uint64_t bytes) const;
+
+  // Reserve a buffer for `bytes` of payload; blocks (FIFO) until the pool
+  // has room. Returns the reserved class size, to be passed to release().
+  sim::Proc<std::uint64_t> acquire(std::uint64_t bytes);
+
+  // Non-blocking variant: 0 if the pool cannot serve the request now.
+  std::uint64_t try_acquire(std::uint64_t bytes);
+
+  void release(std::uint64_t class_bytes);
+
+  [[nodiscard]] std::uint64_t capacity() const { return total_; }
+  [[nodiscard]] std::uint64_t in_use() const { return in_use_; }
+  [[nodiscard]] std::uint64_t high_watermark() const { return high_watermark_; }
+  [[nodiscard]] std::uint64_t blocked_acquires() const { return blocked_; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t min_class_;
+  sim::SimSemaphore pool_;
+  std::uint64_t in_use_ = 0;
+  std::uint64_t high_watermark_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace iofwd::proto

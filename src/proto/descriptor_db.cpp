@@ -1,0 +1,89 @@
+#include "proto/descriptor_db.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iofwd::proto {
+
+bool DescriptorDb::open_descriptor(int fd) {
+  return table_.try_emplace(fd).second;
+}
+
+std::optional<std::uint64_t> DescriptorDb::begin_op(int fd) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return std::nullopt;
+  auto& e = it->second;
+  const std::uint64_t seq = e.next_seq++;
+  e.ops.push_back(OpRecord{seq, false, Status::ok()});
+  return seq;
+}
+
+bool DescriptorDb::complete_op(int fd, std::uint64_t seq, Status status) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return false;
+  auto& e = it->second;
+  auto op = std::find_if(e.ops.begin(), e.ops.end(),
+                         [seq](const OpRecord& r) { return r.seq == seq; });
+  if (op == e.ops.end() || op->completed) return false;
+  op->completed = true;
+  op->status = status;
+  if (!status.is_ok()) e.pending_errors.push_back(std::move(status));
+  return true;
+}
+
+Status DescriptorDb::consume_pending_error(int fd) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return Status(Errc::bad_descriptor, "unknown descriptor");
+  auto& errs = it->second.pending_errors;
+  if (errs.empty()) return Status::ok();
+  Status first = std::move(errs.front());
+  errs.erase(errs.begin());
+  return first;
+}
+
+Status DescriptorDb::close_descriptor(int fd) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return Status(Errc::bad_descriptor, "unknown descriptor");
+  assert(in_flight(fd) == 0 && "close with operations still in flight; drain first");
+  Status result = it->second.pending_errors.empty() ? Status::ok()
+                                                    : std::move(it->second.pending_errors.front());
+  table_.erase(it);
+  return result;
+}
+
+std::size_t DescriptorDb::in_flight(int fd) const {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return 0;
+  return static_cast<std::size_t>(
+      std::count_if(it->second.ops.begin(), it->second.ops.end(),
+                    [](const OpRecord& r) { return !r.completed; }));
+}
+
+std::size_t DescriptorDb::completed_count(int fd) const {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return 0;
+  return static_cast<std::size_t>(
+      std::count_if(it->second.ops.begin(), it->second.ops.end(),
+                    [](const OpRecord& r) { return r.completed; }));
+}
+
+void DescriptorDb::trim_completed(int fd, std::size_t keep_last) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return;
+  auto& ops = it->second.ops;
+  // Keep all in-flight records plus the most recent `keep_last` completed.
+  std::vector<OpRecord> kept;
+  std::size_t completed_total = 0;
+  for (const auto& r : ops) completed_total += r.completed ? 1 : 0;
+  std::size_t to_drop = completed_total > keep_last ? completed_total - keep_last : 0;
+  for (auto& r : ops) {
+    if (r.completed && to_drop > 0 && r.status.is_ok()) {
+      --to_drop;
+      continue;
+    }
+    kept.push_back(std::move(r));
+  }
+  ops = std::move(kept);
+}
+
+}  // namespace iofwd::proto

@@ -1,0 +1,96 @@
+#include "rt/aggregator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace iofwd::rt {
+
+AggregatingBackend::AggregatingBackend(std::unique_ptr<IoBackend> inner,
+                                       std::uint64_t window_bytes)
+    : inner_(std::move(inner)), window_bytes_(std::max<std::uint64_t>(window_bytes, 1)) {
+  assert(inner_);
+}
+
+Status AggregatingBackend::open(int fd, const std::string& path) {
+  std::scoped_lock lock(mu_);
+  windows_.erase(fd);
+  return inner_->open(fd, path);
+}
+
+Status AggregatingBackend::flush_locked(int fd) {
+  auto it = windows_.find(fd);
+  if (it == windows_.end() || it->second.empty()) return Status::ok();
+  Window& w = it->second;
+  auto r = inner_->write(fd, w.base, w.buf);
+  w.buf.clear();
+  if (!r.is_ok()) return r.status();
+  ++writes_out_;
+  return Status::ok();
+}
+
+Result<std::uint64_t> AggregatingBackend::write(int fd, std::uint64_t offset,
+                                                std::span<const std::byte> data) {
+  std::scoped_lock lock(mu_);
+  ++writes_in_;
+  Window& w = windows_[fd];
+
+  // Not contiguous with the buffered window: flush it first.
+  if (!w.empty() && offset != w.end()) {
+    if (Status st = flush_locked(fd); !st.is_ok()) return st;
+  }
+  if (w.empty()) w.base = offset;
+
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t room = window_bytes_ - w.buf.size();
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(room, data.size() - consumed));
+    w.buf.insert(w.buf.end(), data.begin() + static_cast<std::ptrdiff_t>(consumed),
+                 data.begin() + static_cast<std::ptrdiff_t>(consumed + take));
+    consumed += take;
+    if (w.buf.size() >= window_bytes_) {
+      const std::uint64_t next_base = w.end();
+      if (Status st = flush_locked(fd); !st.is_ok()) return st;
+      w.base = next_base;
+    }
+  }
+  return static_cast<std::uint64_t>(data.size());
+}
+
+Result<std::uint64_t> AggregatingBackend::read(int fd, std::uint64_t offset,
+                                               std::span<std::byte> out) {
+  std::scoped_lock lock(mu_);
+  if (Status st = flush_locked(fd); !st.is_ok()) return st;  // read-your-writes
+  return inner_->read(fd, offset, out);
+}
+
+Status AggregatingBackend::fsync(int fd) {
+  std::scoped_lock lock(mu_);
+  if (Status st = flush_locked(fd); !st.is_ok()) return st;
+  return inner_->fsync(fd);
+}
+
+Status AggregatingBackend::close(int fd) {
+  std::scoped_lock lock(mu_);
+  if (Status st = flush_locked(fd); !st.is_ok()) return st;
+  windows_.erase(fd);
+  return inner_->close(fd);
+}
+
+Result<std::uint64_t> AggregatingBackend::size(int fd) {
+  std::scoped_lock lock(mu_);
+  if (Status st = flush_locked(fd); !st.is_ok()) return st;
+  return inner_->size(fd);
+}
+
+std::uint64_t AggregatingBackend::writes_in() const {
+  std::scoped_lock lock(mu_);
+  return writes_in_;
+}
+
+std::uint64_t AggregatingBackend::writes_out() const {
+  std::scoped_lock lock(mu_);
+  return writes_out_;
+}
+
+}  // namespace iofwd::rt

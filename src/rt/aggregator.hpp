@@ -1,0 +1,65 @@
+// AggregatingBackend: ION-side write-back aggregation.
+//
+// Isaila et al. [8 in the paper] showed that aggregating data on the I/O
+// node to issue larger writes improves parallel-file-system performance —
+// but used a single aggregation thread, which cannot saturate the external
+// network. Here aggregation is a backend *decorator*: it composes with the
+// worker-pool execution model, so any number of workers feed it and the
+// flushes themselves are executed by the calling worker.
+//
+// Behaviour:
+//   * strictly sequential appends to the current per-descriptor window are
+//     coalesced in a buffer of `window_bytes`;
+//   * a write that is not contiguous with the window, a full window, fsync,
+//     and close all flush;
+//   * reads flush first (read-your-writes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rt/backend.hpp"
+
+namespace iofwd::rt {
+
+class AggregatingBackend final : public IoBackend {
+ public:
+  AggregatingBackend(std::unique_ptr<IoBackend> inner, std::uint64_t window_bytes);
+
+  Status open(int fd, const std::string& path) override;
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override;
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override;
+  Status fsync(int fd) override;
+  Status close(int fd) override;
+  Result<std::uint64_t> size(int fd) override;
+
+  // Observability: how many writes reached the inner backend vs arrived.
+  [[nodiscard]] std::uint64_t writes_in() const;
+  [[nodiscard]] std::uint64_t writes_out() const;
+
+  [[nodiscard]] IoBackend& inner() { return *inner_; }
+
+ private:
+  struct Window {
+    std::uint64_t base = 0;  // file offset of buf[0]
+    std::vector<std::byte> buf;
+    [[nodiscard]] bool empty() const { return buf.empty(); }
+    [[nodiscard]] std::uint64_t end() const { return base + buf.size(); }
+  };
+
+  Status flush_locked(int fd);  // mu_ held
+
+  std::unique_ptr<IoBackend> inner_;
+  std::uint64_t window_bytes_;
+
+  mutable std::mutex mu_;
+  std::map<int, Window> windows_;
+  std::uint64_t writes_in_ = 0;
+  std::uint64_t writes_out_ = 0;
+};
+
+}  // namespace iofwd::rt

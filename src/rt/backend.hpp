@@ -1,0 +1,106 @@
+// I/O backends: what the ION server executes forwarded operations against.
+//
+//   * MemBackend  — in-memory files; the default for tests and examples,
+//                   and the analogue of streaming to analysis-node memory.
+//   * FileBackend — real files under a root directory (posix pread/pwrite),
+//                   the GPFS-client analogue for a deployment.
+//   * NullBackend — /dev/null semantics (the Fig. 4 microbenchmark).
+//
+// Backends are called concurrently from worker threads and must be
+// thread-safe. A fault hook supports the failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::rt {
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual Status open(int fd, const std::string& path) = 0;
+  virtual Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                                      std::span<const std::byte> data) = 0;
+  virtual Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) = 0;
+  virtual Status fsync(int fd) = 0;
+  virtual Status close(int fd) = 0;
+  // Attribute query: current file size in bytes.
+  virtual Result<std::uint64_t> size(int fd) = 0;
+};
+
+class NullBackend final : public IoBackend {
+ public:
+  Status open(int, const std::string&) override { return Status::ok(); }
+  Result<std::uint64_t> write(int, std::uint64_t, std::span<const std::byte> data) override {
+    return static_cast<std::uint64_t>(data.size());
+  }
+  Result<std::uint64_t> read(int, std::uint64_t, std::span<std::byte> out) override {
+    std::fill(out.begin(), out.end(), std::byte{0});
+    return static_cast<std::uint64_t>(out.size());
+  }
+  Status fsync(int) override { return Status::ok(); }
+  Status close(int) override { return Status::ok(); }
+  Result<std::uint64_t> size(int) override { return 0ull; }
+};
+
+class MemBackend final : public IoBackend {
+ public:
+  using FaultHook = std::function<Status(int fd, std::uint64_t offset, std::uint64_t len)>;
+
+  Status open(int fd, const std::string& path) override;
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override;
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override;
+  Status fsync(int fd) override;
+  Status close(int fd) override;
+  Result<std::uint64_t> size(int fd) override;
+
+  // Failure injection for the deferred-error tests: invoked before every
+  // write; a non-ok result becomes the operation's status.
+  void set_write_fault_hook(FaultHook hook);
+
+  // Test inspection: a copy of the file content (empty if unknown path).
+  [[nodiscard]] std::vector<std::byte> snapshot(const std::string& path) const;
+
+ private:
+  struct File {
+    std::string path;
+    std::vector<std::byte> data;
+  };
+  mutable std::shared_mutex mu_;
+  std::map<int, std::shared_ptr<File>> open_;
+  std::map<std::string, std::shared_ptr<File>> by_path_;
+  FaultHook write_fault_;
+};
+
+class FileBackend final : public IoBackend {
+ public:
+  explicit FileBackend(std::string root) : root_(std::move(root)) {}
+
+  Status open(int fd, const std::string& path) override;
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override;
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override;
+  Status fsync(int fd) override;
+  Status close(int fd) override;
+  Result<std::uint64_t> size(int fd) override;
+
+ private:
+  Result<int> host_fd(int fd) const;
+
+  std::string root_;
+  mutable std::shared_mutex mu_;
+  std::map<int, int> open_;  // forwarded fd -> host fd
+};
+
+}  // namespace iofwd::rt

@@ -1,0 +1,127 @@
+#include "rt/bml.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <new>
+
+namespace iofwd::rt {
+
+Buffer::Buffer(Buffer&& o) noexcept
+    : pool_(o.pool_), data_(o.data_), class_bytes_(o.class_bytes_) {
+  o.pool_ = nullptr;
+  o.data_ = nullptr;
+  o.class_bytes_ = 0;
+}
+
+Buffer& Buffer::operator=(Buffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    pool_ = o.pool_;
+    data_ = o.data_;
+    class_bytes_ = o.class_bytes_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.class_bytes_ = 0;
+  }
+  return *this;
+}
+
+Buffer::~Buffer() { release(); }
+
+void Buffer::release() {
+  if (pool_ != nullptr) {
+    pool_->give_back(data_, class_bytes_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    class_bytes_ = 0;
+  }
+}
+
+BufferPool::BufferPool(std::uint64_t total_bytes, std::uint64_t min_class_bytes,
+                       SizeClassPolicy policy)
+    : total_(total_bytes),
+      min_class_(next_pow2(std::max<std::uint64_t>(min_class_bytes, 64))),
+      policy_(policy) {
+  assert(total_bytes > 0);
+}
+
+BufferPool::~BufferPool() {
+  std::scoped_lock lock(mu_);
+  assert(in_use_ == 0 && "destroying BufferPool with buffers outstanding");
+  for (auto& [cls, list] : free_) {
+    for (std::byte* p : list) ::operator delete[](p, std::align_val_t{64});
+  }
+}
+
+std::uint64_t BufferPool::size_class(std::uint64_t bytes) const {
+  const std::uint64_t p2 = std::max(min_class_, next_pow2(bytes));
+  if (policy_ == SizeClassPolicy::pow2 || p2 <= min_class_) return p2;
+  // quarter policy: candidate classes between p2/2 and p2 in 1/4 steps.
+  const std::uint64_t base = p2 / 2;
+  const std::uint64_t step = base / 4;
+  for (int q = 1; q <= 3; ++q) {
+    const std::uint64_t cls = base + static_cast<std::uint64_t>(q) * step;
+    if (cls >= bytes) return cls;
+  }
+  return p2;
+}
+
+std::byte* BufferPool::take_storage(std::uint64_t class_bytes) {
+  auto& list = free_[class_bytes];
+  if (!list.empty()) {
+    std::byte* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  return static_cast<std::byte*>(
+      ::operator new[](static_cast<std::size_t>(class_bytes), std::align_val_t{64}));
+}
+
+Result<Buffer> BufferPool::acquire(std::uint64_t bytes) {
+  const std::uint64_t cls = size_class(bytes);
+  if (cls > total_) {
+    return Status(Errc::no_memory, "request exceeds BML pool capacity");
+  }
+  std::unique_lock lock(mu_);
+  if (in_use_ + cls > total_) ++blocked_;
+  cv_.wait(lock, [&] { return in_use_ + cls <= total_; });
+  in_use_ += cls;
+  high_watermark_ = std::max(high_watermark_, in_use_);
+  std::byte* p = take_storage(cls);
+  return Buffer(this, p, cls);
+}
+
+Result<Buffer> BufferPool::try_acquire(std::uint64_t bytes) {
+  const std::uint64_t cls = size_class(bytes);
+  if (cls > total_) return Status(Errc::no_memory, "request exceeds BML pool capacity");
+  std::scoped_lock lock(mu_);
+  if (in_use_ + cls > total_) return Status(Errc::would_block, "pool exhausted");
+  in_use_ += cls;
+  high_watermark_ = std::max(high_watermark_, in_use_);
+  return Buffer(this, take_storage(cls), cls);
+}
+
+void BufferPool::give_back(std::byte* data, std::uint64_t class_bytes) {
+  std::scoped_lock lock(mu_);
+  assert(in_use_ >= class_bytes);
+  in_use_ -= class_bytes;
+  free_[class_bytes].push_back(data);
+  cv_.notify_all();
+}
+
+std::uint64_t BufferPool::in_use() const {
+  std::scoped_lock lock(mu_);
+  return in_use_;
+}
+
+std::uint64_t BufferPool::high_watermark() const {
+  std::scoped_lock lock(mu_);
+  return high_watermark_;
+}
+
+std::uint64_t BufferPool::blocked_acquires() const {
+  std::scoped_lock lock(mu_);
+  return blocked_;
+}
+
+}  // namespace iofwd::rt

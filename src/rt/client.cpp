@@ -1,0 +1,120 @@
+#include "rt/client.hpp"
+
+#include <cstring>
+
+namespace iofwd::rt {
+
+Client::Client(std::unique_ptr<ByteStream> stream) : stream_(std::move(stream)) {}
+
+Client::~Client() {
+  if (stream_) stream_->close();
+}
+
+Result<Client::Reply> Client::roundtrip(FrameHeader req, std::span<const std::byte> payload) {
+  std::scoped_lock lock(mu_);
+  req.type = MsgType::request;
+  req.seq = next_seq_++;
+  // For reads the caller presets payload_len to the requested length and
+  // sends no payload; for everything else it is the payload size.
+  if (!payload.empty()) req.payload_len = payload.size();
+
+  std::byte buf[FrameHeader::kWireSize];
+  req.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  if (Status st = stream_->write_all(buf, sizeof buf); !st.is_ok()) return st;
+  if (!payload.empty()) {
+    if (Status st = stream_->write_all(payload.data(), payload.size()); !st.is_ok()) return st;
+  }
+
+  std::byte rep_buf[FrameHeader::kWireSize];
+  if (Status st = stream_->read_exact(rep_buf, sizeof rep_buf); !st.is_ok()) return st;
+  auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(rep_buf));
+  if (!hdr.is_ok()) return hdr.status();
+  Reply r;
+  r.header = hdr.value();
+  if (r.header.type != MsgType::reply || r.header.seq != req.seq) {
+    return Status(Errc::protocol_error, "mismatched reply");
+  }
+  if (r.header.payload_len > 0) {
+    r.payload.resize(r.header.payload_len);
+    if (Status st = stream_->read_exact(r.payload.data(), r.payload.size()); !st.is_ok()) {
+      return st;
+    }
+  }
+  return r;
+}
+
+namespace {
+Status status_of(const FrameHeader& h) {
+  const auto code = static_cast<Errc>(h.status);
+  return code == Errc::ok ? Status::ok() : Status(code, "");
+}
+}  // namespace
+
+Status Client::open(int fd, const std::string& path) {
+  FrameHeader req;
+  req.op = OpCode::open;
+  req.fd = fd;
+  auto r = roundtrip(req, std::as_bytes(std::span(path.data(), path.size())));
+  return r.is_ok() ? status_of(r.value().header) : r.status();
+}
+
+Status Client::write(int fd, std::uint64_t offset, std::span<const std::byte> data) {
+  FrameHeader req;
+  req.op = OpCode::write;
+  req.fd = fd;
+  req.offset = offset;
+  auto r = roundtrip(req, data);
+  if (!r.is_ok()) return r.status();
+  last_staged_ = (r.value().header.flags & FrameHeader::kFlagStaged) != 0;
+  return status_of(r.value().header);
+}
+
+Result<std::vector<std::byte>> Client::read(int fd, std::uint64_t offset, std::uint64_t len) {
+  FrameHeader req;
+  req.op = OpCode::read;
+  req.fd = fd;
+  req.offset = offset;
+  req.payload_len = len;  // requested length travels in the header
+  auto r = roundtrip(req, {});
+  if (!r.is_ok()) return r.status();
+  if (Status st = status_of(r.value().header); !st.is_ok()) return st;
+  return std::move(r.value().payload);
+}
+
+Status Client::fsync(int fd) {
+  FrameHeader req;
+  req.op = OpCode::fsync;
+  req.fd = fd;
+  auto r = roundtrip(req, {});
+  return r.is_ok() ? status_of(r.value().header) : r.status();
+}
+
+Result<std::uint64_t> Client::fstat_size(int fd) {
+  FrameHeader req;
+  req.op = OpCode::fstat;
+  req.fd = fd;
+  auto r = roundtrip(req, {});
+  if (!r.is_ok()) return r.status();
+  if (Status st = status_of(r.value().header); !st.is_ok()) return st;
+  if (r.value().payload.size() != 8) return Status(Errc::protocol_error, "bad fstat reply");
+  std::uint64_t v;
+  std::memcpy(&v, r.value().payload.data(), 8);
+  return v;
+}
+
+Status Client::close(int fd) {
+  FrameHeader req;
+  req.op = OpCode::close;
+  req.fd = fd;
+  auto r = roundtrip(req, {});
+  return r.is_ok() ? status_of(r.value().header) : r.status();
+}
+
+Status Client::shutdown() {
+  FrameHeader req;
+  req.op = OpCode::shutdown;
+  auto r = roundtrip(req, {});
+  return r.is_ok() ? status_of(r.value().header) : r.status();
+}
+
+}  // namespace iofwd::rt

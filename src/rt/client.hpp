@@ -1,0 +1,64 @@
+// Client: the compute-node side of the forwarding runtime.
+//
+// POSIX-like calls are shipped to the ION server over any ByteStream. Calls
+// block for the server's reply — which, in the async-staging execution
+// model, arrives as soon as the payload is staged in the ION's BML buffer
+// (the reply carries the `staged` flag), so write() returns while the
+// actual I/O proceeds in the background. Deferred errors from those
+// background operations surface on subsequent calls on the same descriptor,
+// on fsync(), or on close() — exactly the paper's semantics.
+//
+// Thread safety: a Client serializes its round trips internally, so it may
+// be shared; for concurrency, open one Client per application thread (each
+// with its own transport), mirroring one CN process per connection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "rt/transport.hpp"
+#include "rt/wire.hpp"
+
+namespace iofwd::rt {
+
+class Client {
+ public:
+  explicit Client(std::unique_ptr<ByteStream> stream);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Forwarded calls. `fd` is chosen by the caller (client-managed namespace,
+  // like MPI-IO file handles).
+  Status open(int fd, const std::string& path);
+  Status write(int fd, std::uint64_t offset, std::span<const std::byte> data);
+  Result<std::vector<std::byte>> read(int fd, std::uint64_t offset, std::uint64_t len);
+  Status fsync(int fd);
+  Result<std::uint64_t> fstat_size(int fd);
+  Status close(int fd);
+
+  // Polite disconnect (server releases the connection).
+  Status shutdown();
+
+  // True if the last write() was acknowledged as staged (async mode).
+  [[nodiscard]] bool last_write_was_staged() const { return last_staged_; }
+
+ private:
+  struct Reply {
+    FrameHeader header;
+    std::vector<std::byte> payload;
+  };
+  Result<Reply> roundtrip(FrameHeader req, std::span<const std::byte> payload);
+
+  std::unique_ptr<ByteStream> stream_;
+  std::mutex mu_;
+  std::uint64_t next_seq_ = 1;
+  bool last_staged_ = false;
+};
+
+}  // namespace iofwd::rt

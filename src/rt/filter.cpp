@@ -1,0 +1,158 @@
+#include "rt/filter.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace iofwd::rt {
+
+// ---------------------------------------------------------------------------
+// DownsampleFilter
+// ---------------------------------------------------------------------------
+
+DownsampleFilter::DownsampleFilter(std::uint32_t stride, std::uint32_t element_bytes)
+    : stride_(std::max(1u, stride)), element_bytes_(std::max(1u, element_bytes)) {}
+
+std::string DownsampleFilter::name() const {
+  return "downsample/" + std::to_string(stride_);
+}
+
+Status DownsampleFilter::apply(int /*fd*/, std::uint64_t /*offset*/,
+                               std::vector<std::byte>& data) {
+  if (stride_ == 1) return Status::ok();  // passthrough
+  if (data.size() % element_bytes_ != 0) {
+    return Status(Errc::invalid_argument, "payload is not a whole number of elements");
+  }
+  const std::size_t elems = data.size() / element_bytes_;
+  std::vector<std::byte> out;
+  out.reserve((elems / stride_ + 1) * element_bytes_);
+  for (std::size_t e = 0; e < elems; e += stride_) {
+    const auto* p = data.data() + e * element_bytes_;
+    out.insert(out.end(), p, p + element_bytes_);
+  }
+  data = std::move(out);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// ZeroRleFilter
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kZeroRunFlag = 0x80000000u;
+constexpr std::uint32_t kMaxRun = 0x7fffffffu;
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto n = out.size();
+  out.resize(n + 4);
+  std::memcpy(out.data() + n, &v, 4);
+}
+}  // namespace
+
+Status ZeroRleFilter::apply(int /*fd*/, std::uint64_t /*offset*/,
+                            std::vector<std::byte>& data) {
+  std::span<const std::byte> in(data);
+  std::vector<std::byte> out;
+  out.reserve(in.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == std::byte{0}) {
+      std::size_t run = 0;
+      while (i + run < in.size() && in[i + run] == std::byte{0} && run < kMaxRun) ++run;
+      put_u32(out, static_cast<std::uint32_t>(run) | kZeroRunFlag);
+      i += run;
+    } else {
+      std::size_t run = 0;
+      while (i + run < in.size() && in[i + run] != std::byte{0} && run < kMaxRun) ++run;
+      put_u32(out, static_cast<std::uint32_t>(run));
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    }
+  }
+  bytes_in_ += in.size();
+  bytes_out_ += out.size();
+  data = std::move(out);
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> ZeroRleFilter::decode(std::span<const std::byte> in) {
+  std::vector<std::byte> out;
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (i + 4 > in.size()) return Status(Errc::protocol_error, "truncated RLE header");
+    std::uint32_t v;
+    std::memcpy(&v, in.data() + i, 4);
+    i += 4;
+    const std::uint32_t run = v & kMaxRun;
+    if ((v & kZeroRunFlag) != 0) {
+      out.insert(out.end(), run, std::byte{0});
+    } else {
+      if (i + run > in.size()) return Status(Errc::protocol_error, "truncated RLE literal");
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MomentsFilter
+// ---------------------------------------------------------------------------
+
+Status MomentsFilter::apply(int /*fd*/, std::uint64_t /*offset*/,
+                            std::vector<std::byte>& data) {
+  const std::span<const std::byte> in(data);  // observe only
+  const std::size_t n = in.size() / sizeof(double);
+  if (n == 0) return Status::ok();
+  double lo = 0, hi = 0, sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double v;
+    std::memcpy(&v, in.data() + i * sizeof(double), sizeof(double));
+    if (i == 0) {
+      lo = hi = v;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    sum += v;
+  }
+  std::scoped_lock lock(mu_);
+  if (!any_) {
+    m_.min = lo;
+    m_.max = hi;
+    any_ = true;
+  } else {
+    m_.min = std::min(m_.min, lo);
+    m_.max = std::max(m_.max, hi);
+  }
+  m_.sum += sum;
+  m_.count += n;
+  return Status::ok();
+}
+
+MomentsFilter::Moments MomentsFilter::moments() const {
+  std::scoped_lock lock(mu_);
+  return m_;
+}
+
+// ---------------------------------------------------------------------------
+// FilterChain
+// ---------------------------------------------------------------------------
+
+Status FilterChain::apply(int fd, std::uint64_t offset, std::vector<std::byte>& data) const {
+  std::uint64_t off = offset;
+  for (const auto& f : filters_) {
+    if (Status st = f->apply(fd, off, data); !st.is_ok()) return st;
+    off = f->map_offset(off);
+  }
+  return Status::ok();
+}
+
+std::uint64_t FilterChain::map_offset(std::uint64_t offset) const {
+  std::uint64_t off = offset;
+  for (const auto& f : filters_) off = f->map_offset(off);
+  return off;
+}
+
+}  // namespace iofwd::rt

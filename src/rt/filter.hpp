@@ -1,0 +1,120 @@
+// Data-filtering offload on the I/O node.
+//
+// The paper's conclusion proposes exactly this: "Since the compute
+// capabilities of the I/O forwarding nodes are usually underutilized, we
+// are investigating techniques to offload data filtering onto the I/O
+// forwarding nodes in order to reduce the amount of data written to storage
+// as well as to facilitate in situ analytics."
+//
+// A DataFilter transforms a staged write payload on the ION before it
+// reaches the backend — executed by the worker pool (or inline in the
+// thread-per-client model), i.e. on exactly the CPU the paper observes to
+// be underutilized. Filters may shrink the payload (data reduction) and may
+// remap the file offset accordingly (e.g. a k:1 downsampler maps offset/k).
+//
+// Built-ins:
+//   * DownsampleFilter — keep every k-th `element_bytes`-sized element.
+//   * ZeroRleFilter    — run-length encodes zero bytes (sparse data).
+//   * MomentsFilter    — in-situ analytics: min/max/sum/count of doubles,
+//                        passthrough payload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::rt {
+
+class DataFilter {
+ public:
+  virtual ~DataFilter() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Transform the payload of a forwarded write in place. Analytics-style
+  // filters simply observe; reducing filters replace the contents.
+  virtual Status apply(int fd, std::uint64_t offset, std::vector<std::byte>& data) = 0;
+
+  // Where the (possibly reduced) payload lands. Default: unchanged.
+  [[nodiscard]] virtual std::uint64_t map_offset(std::uint64_t offset) const { return offset; }
+};
+
+// Keep the first element of every group of `stride` elements.
+class DownsampleFilter final : public DataFilter {
+ public:
+  DownsampleFilter(std::uint32_t stride, std::uint32_t element_bytes = 8);
+
+  [[nodiscard]] std::string name() const override;
+  Status apply(int fd, std::uint64_t offset, std::vector<std::byte>& data) override;
+  [[nodiscard]] std::uint64_t map_offset(std::uint64_t offset) const override {
+    return offset / stride_;
+  }
+
+ private:
+  std::uint32_t stride_;
+  std::uint32_t element_bytes_;
+};
+
+// Run-length encodes runs of zero bytes:
+//   literal run: u32 length with MSB clear, followed by the bytes;
+//   zero run:    u32 length with MSB set, no bytes.
+// decode() reverses it (used by tests and by readers of filtered files).
+class ZeroRleFilter final : public DataFilter {
+ public:
+  [[nodiscard]] std::string name() const override { return "zero_rle"; }
+  Status apply(int fd, std::uint64_t offset, std::vector<std::byte>& data) override;
+
+  static Result<std::vector<std::byte>> decode(std::span<const std::byte> in);
+
+  [[nodiscard]] std::uint64_t bytes_in() const { return bytes_in_; }
+  [[nodiscard]] std::uint64_t bytes_out() const { return bytes_out_; }
+
+ private:
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+// In-situ analytics: running min/max/sum/count over IEEE doubles streaming
+// past; payload passes through untouched.
+class MomentsFilter final : public DataFilter {
+ public:
+  struct Moments {
+    double min = 0;
+    double max = 0;
+    double sum = 0;
+    std::uint64_t count = 0;
+    [[nodiscard]] double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  };
+
+  [[nodiscard]] std::string name() const override { return "moments"; }
+  Status apply(int fd, std::uint64_t offset, std::vector<std::byte>& data) override;
+
+  [[nodiscard]] Moments moments() const;
+
+ private:
+  mutable std::mutex mu_;
+  Moments m_;
+  bool any_ = false;
+};
+
+// Chain: applies filters in order, threading payload and offset mapping.
+class FilterChain {
+ public:
+  void add(std::shared_ptr<DataFilter> f) { filters_.push_back(std::move(f)); }
+  [[nodiscard]] bool empty() const { return filters_.empty(); }
+
+  // Applies every filter; `data` is replaced when a filter transforms it.
+  Status apply(int fd, std::uint64_t offset, std::vector<std::byte>& data) const;
+  [[nodiscard]] std::uint64_t map_offset(std::uint64_t offset) const;
+
+ private:
+  std::vector<std::shared_ptr<DataFilter>> filters_;
+};
+
+}  // namespace iofwd::rt

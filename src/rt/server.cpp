@@ -1,0 +1,413 @@
+#include "rt/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "core/log.hpp"
+
+namespace iofwd::rt {
+
+const char* to_string(ExecModel m) {
+  switch (m) {
+    case ExecModel::thread_per_client: return "thread_per_client";
+    case ExecModel::work_queue: return "work_queue";
+    case ExecModel::work_queue_async: return "work_queue_async";
+  }
+  return "?";
+}
+
+IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
+    : backend_(std::move(backend)),
+      cfg_(cfg),
+      pool_(cfg.bml_bytes, cfg.bml_min_class, cfg.bml_policy),
+      queue_(cfg.workers) {
+  assert(backend_ && "IonServer needs a backend");
+  if (cfg_.exec != ExecModel::thread_per_client) {
+    std::scoped_lock lock(threads_mu_);
+    for (int i = 0; i < cfg_.workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+IonServer::~IonServer() { stop(); }
+
+void IonServer::serve(std::unique_ptr<ByteStream> stream) {
+  auto conn = std::make_shared<ClientConn>();
+  conn->stream = std::move(stream);
+  std::scoped_lock lock(threads_mu_);
+  if (stopping_) {
+    conn->stream->close();
+    return;
+  }
+  conns_.push_back(conn);
+  threads_.emplace_back([this, conn] { receiver_loop(conn); });
+}
+
+void IonServer::serve_listener(std::unique_ptr<Listener> listener) {
+  std::scoped_lock lock(threads_mu_);
+  listener_ = std::move(listener);
+  threads_.emplace_back([this] {
+    while (!stopping_) {
+      auto t = listener_->accept();
+      if (!t.is_ok()) break;
+      serve(std::move(t).value());
+    }
+  });
+}
+
+void IonServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Second caller: wait for the first to have finished by taking the lock.
+    std::scoped_lock lock(threads_mu_);
+    return;
+  }
+  if (listener_) listener_->close();
+  {
+    std::scoped_lock lock(threads_mu_);
+    for (auto& c : conns_) c->stream->close();
+  }
+  queue_.close();
+  std::vector<std::jthread> to_join;
+  {
+    std::scoped_lock lock(threads_mu_);
+    to_join.swap(threads_);
+  }
+  to_join.clear();  // jthread joins on destruction
+}
+
+ServerStats IonServer::stats() const {
+  std::scoped_lock lock(stats_mu_);
+  ServerStats s = stats_;
+  s.queue_batches = queue_.batches();
+  s.queue_max_depth = queue_.max_depth();
+  s.bml_blocked = pool_.blocked_acquires();
+  s.bml_high_watermark = pool_.high_watermark();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Receiver path
+// ---------------------------------------------------------------------------
+
+void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
+  while (!stopping_) {
+    std::byte hdr_buf[FrameHeader::kWireSize];
+    if (!conn->stream->read_exact(hdr_buf, sizeof hdr_buf).is_ok()) break;
+    auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(hdr_buf));
+    if (!hdr.is_ok()) {
+      IOFWD_LOG_WARN("dropping client: %s", hdr.status().to_string().c_str());
+      break;
+    }
+    const FrameHeader req = hdr.value();
+    if (req.type != MsgType::request) {
+      IOFWD_LOG_WARN("unexpected frame type from client");
+      break;
+    }
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.ops;
+    }
+    switch (req.op) {
+      case OpCode::open:
+        handle_open(*conn, req);
+        break;
+      case OpCode::write:
+        handle_write(conn, req);
+        break;
+      case OpCode::read:
+        handle_read(conn, req);
+        break;
+      case OpCode::fsync:
+        handle_fsync(*conn, req);
+        break;
+      case OpCode::fstat:
+        handle_fstat(*conn, req);
+        break;
+      case OpCode::close:
+        handle_close(*conn, req);
+        break;
+      case OpCode::shutdown:
+        (void)send_reply(*conn, req, Status::ok());
+        conn->stream->close();
+        return;
+    }
+  }
+}
+
+Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status status,
+                             std::span<const std::byte> payload, bool staged) {
+  FrameHeader rep;
+  rep.type = MsgType::reply;
+  rep.op = req.op;
+  rep.fd = req.fd;
+  rep.seq = req.seq;
+  rep.offset = req.offset;
+  rep.status = static_cast<std::int32_t>(status.code());
+  rep.payload_len = payload.size();
+  if (staged) rep.flags |= FrameHeader::kFlagStaged;
+
+  std::byte buf[FrameHeader::kWireSize];
+  rep.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  std::scoped_lock lock(conn.write_mu);
+  if (Status st = conn.stream->write_all(buf, sizeof buf); !st.is_ok()) return st;
+  if (!payload.empty()) {
+    if (Status st = conn.stream->write_all(payload.data(), payload.size()); !st.is_ok()) {
+      return st;
+    }
+    std::scoped_lock slock(stats_mu_);
+    stats_.bytes_out += payload.size();
+  }
+  return Status::ok();
+}
+
+Status IonServer::consume_deferred(int fd) {
+  std::scoped_lock lock(db_mu_);
+  Status st = db_.consume_pending_error(fd);
+  if (!st.is_ok() && st.code() != Errc::bad_descriptor) {
+    std::scoped_lock slock(stats_mu_);
+    ++stats_.deferred_errors;
+  }
+  return st;
+}
+
+void IonServer::drain_descriptor(int fd) {
+  std::unique_lock lock(db_mu_);
+  db_cv_.wait(lock, [&] { return db_.in_flight(fd) == 0; });
+}
+
+void IonServer::note_completed(int fd, std::uint64_t seq, const Status& st) {
+  std::scoped_lock lock(db_mu_);
+  db_.complete_op(fd, seq, st);
+  db_cv_.notify_all();
+}
+
+void IonServer::handle_open(ClientConn& conn, const FrameHeader& req) {
+  std::string path(req.payload_len, '\0');
+  if (req.payload_len > 0 &&
+      !conn.stream->read_exact(path.data(), path.size()).is_ok()) {
+    return;
+  }
+  Status st;
+  {
+    std::scoped_lock lock(db_mu_);
+    if (!db_.open_descriptor(req.fd)) {
+      st = Status(Errc::invalid_argument, "fd already open");
+    }
+  }
+  if (st.is_ok()) {
+    st = backend_->open(req.fd, path);
+    if (!st.is_ok()) {
+      std::scoped_lock lock(db_mu_);
+      (void)db_.close_descriptor(req.fd);
+    }
+  }
+  (void)send_reply(conn, req, st);
+}
+
+void IonServer::handle_close(ClientConn& conn, const FrameHeader& req) {
+  // Close drains: all async operations must land so the final status
+  // (including deferred errors) is accurate.
+  drain_descriptor(req.fd);
+  Status deferred;
+  {
+    std::scoped_lock lock(db_mu_);
+    deferred = db_.close_descriptor(req.fd);
+  }
+  if (!deferred.is_ok() && deferred.code() != Errc::bad_descriptor) {
+    std::scoped_lock slock(stats_mu_);
+    ++stats_.deferred_errors;
+  }
+  Status be = backend_->close(req.fd);
+  (void)send_reply(conn, req, deferred.is_ok() ? be : deferred);
+}
+
+void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req) {
+  drain_descriptor(req.fd);
+  if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
+    (void)send_reply(conn, req, deferred);
+    return;
+  }
+  (void)send_reply(conn, req, backend_->fsync(req.fd));
+}
+
+void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req) {
+  // Attribute queries are synchronous (Sec. IV): drain in-flight async
+  // writes so the size is accurate, surface deferred errors first.
+  drain_descriptor(req.fd);
+  if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
+    (void)send_reply(conn, req, deferred);
+    return;
+  }
+  auto sz = backend_->size(req.fd);
+  if (!sz.is_ok()) {
+    (void)send_reply(conn, req, sz.status());
+    return;
+  }
+  std::byte payload[8];
+  const std::uint64_t v = sz.value();
+  std::memcpy(payload, &v, 8);
+  (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
+}
+
+void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req) {
+  // The payload always follows the header; it must be consumed from the
+  // stream even if the operation is going to bounce.
+  auto buf = pool_.acquire(req.payload_len);
+  if (!buf.is_ok()) {
+    // Oversize request: swallow the payload in pieces and bounce.
+    std::vector<std::byte> sink(1 << 16);
+    std::uint64_t left = req.payload_len;
+    while (left > 0) {
+      const std::size_t n = std::min<std::uint64_t>(left, sink.size());
+      if (!conn->stream->read_exact(sink.data(), n).is_ok()) return;
+      left -= n;
+    }
+    (void)send_reply(*conn, req, buf.status());
+    return;
+  }
+  Buffer payload = std::move(buf).value();
+  if (req.payload_len > 0 &&
+      !conn->stream->read_exact(payload.data(), req.payload_len).is_ok()) {
+    return;
+  }
+  {
+    std::scoped_lock lock(stats_mu_);
+    stats_.bytes_in += req.payload_len;
+  }
+
+  // Deferred-error gate (async mode): surface the oldest unreported error
+  // instead of executing this operation.
+  if (cfg_.exec == ExecModel::work_queue_async) {
+    if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
+      (void)send_reply(*conn, req, deferred);
+      return;
+    }
+  }
+
+  Task t;
+  t.conn = conn;
+  t.req = req;
+  t.payload = std::move(payload);
+
+  switch (cfg_.exec) {
+    case ExecModel::thread_per_client:
+      execute_task(t);  // inline, synchronous
+      break;
+    case ExecModel::work_queue:
+      t.reply_on_completion = true;
+      if (!queue_.push(std::move(t))) {
+        (void)send_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
+      }
+      break;
+    case ExecModel::work_queue_async: {
+      std::uint64_t seq_val = 0;
+      {
+        std::scoped_lock lock(db_mu_);
+        auto seq = db_.begin_op(req.fd);
+        if (!seq) {
+          (void)send_reply(*conn, req, Status(Errc::bad_descriptor, "fd not open"));
+          return;
+        }
+        seq_val = *seq;
+      }
+      t.db_seq = seq_val;
+      t.record_in_db = true;
+      // Early acknowledgement: the application is unblocked as soon as the
+      // payload sits in the BML buffer.
+      (void)send_reply(*conn, req, Status::ok(), {}, /*staged=*/true);
+      if (!queue_.push(std::move(t))) {
+        // Server stopping: mark the op completed so close-drain cannot hang.
+        note_completed(req.fd, seq_val, Status(Errc::shutdown, "server stopping"));
+      }
+      break;
+    }
+  }
+}
+
+void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req) {
+  if (cfg_.exec == ExecModel::work_queue_async) {
+    // Read barrier: in-flight writes on this descriptor land first.
+    drain_descriptor(req.fd);
+    if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
+      (void)send_reply(*conn, req, deferred);
+      return;
+    }
+  }
+  Task t;
+  t.conn = conn;
+  t.req = req;
+  t.reply_on_completion = true;
+  if (cfg_.exec == ExecModel::thread_per_client) {
+    execute_task(t);
+  } else if (!queue_.push(std::move(t))) {
+    (void)send_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution path (receiver thread or worker pool)
+// ---------------------------------------------------------------------------
+
+void IonServer::worker_loop() {
+  while (true) {
+    auto batch = queue_.pop_batch(cfg_.multiplex_depth, cfg_.balanced_batches);
+    if (batch.empty()) return;  // queue closed and drained
+    for (auto& t : batch) execute_task(t);
+  }
+}
+
+void IonServer::execute_task(Task& t) {
+  if (t.req.op == OpCode::write) {
+    Status st;
+    if (!filters_.empty()) {
+      // Data-filtering offload: transform on the ION's otherwise idle
+      // cycles, then write the (possibly reduced) payload at the mapped
+      // offset.
+      std::vector<std::byte> data(t.payload.data(), t.payload.data() + t.req.payload_len);
+      t.payload.release();
+      const std::uint64_t before = data.size();
+      st = filters_.apply(t.req.fd, t.req.offset, data);
+      if (st.is_ok()) {
+        {
+          std::scoped_lock slock(stats_mu_);
+          stats_.filter_bytes_in += before;
+          stats_.filter_bytes_out += data.size();
+        }
+        auto r = backend_->write(t.req.fd, filters_.map_offset(t.req.offset), data);
+        if (!r.is_ok()) st = r.status();
+      }
+    } else {
+      auto r = backend_->write(t.req.fd, t.req.offset,
+                               std::span<const std::byte>(t.payload.data(), t.req.payload_len));
+      st = r.is_ok() ? Status::ok() : r.status();
+      t.payload.release();  // back to the BML pool as early as possible
+    }
+    if (t.record_in_db) {
+      note_completed(t.req.fd, t.db_seq, st);
+    }
+    if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
+      (void)send_reply(*t.conn, t.req, st);
+    }
+    return;
+  }
+  assert(t.req.op == OpCode::read);
+  auto buf = pool_.acquire(t.req.payload_len);
+  if (!buf.is_ok()) {
+    (void)send_reply(*t.conn, t.req, buf.status());
+    return;
+  }
+  Buffer out = std::move(buf).value();
+  auto r = backend_->read(t.req.fd, t.req.offset,
+                          std::span<std::byte>(out.data(), t.req.payload_len));
+  if (!r.is_ok()) {
+    (void)send_reply(*t.conn, t.req, r.status());
+    return;
+  }
+  (void)send_reply(*t.conn, t.req, Status::ok(),
+                   std::span<const std::byte>(out.data(), r.value()));
+}
+
+}  // namespace iofwd::rt

@@ -1,0 +1,151 @@
+// IonServer: the real I/O-forwarding daemon.
+//
+// Pluggable execution models mirror the paper's mechanisms:
+//   * thread_per_client  — ZOID's baseline: the per-client receiver thread
+//     executes each operation inline and replies (synchronous).
+//   * work_queue         — I/O scheduling: receivers enqueue tasks into the
+//     shared FIFO; a worker pool drains it with batched multiplexing; the
+//     client still blocks until completion (synchronous staging).
+//   * work_queue_async   — adds asynchronous data staging: writes are
+//     copied into a BML buffer and acknowledged immediately ("staged");
+//     completion status is recorded in the descriptor database and
+//     surfaced on the next operation on that descriptor (deferred errors),
+//     on fsync, or on close.
+//
+// Semantics notes (documented guarantees):
+//   * open/close/fsync are always synchronous (paper Sec. IV).
+//   * In async mode, a read on a descriptor first drains that descriptor's
+//     in-flight writes (read barrier), so read-after-write is consistent.
+//   * Overlapping async writes to the same region may complete in any
+//     order (as with POSIX AIO).
+//   * A deferred error is returned by the next operation on the
+//     descriptor, which is then NOT executed; the error is consumed.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "proto/descriptor_db.hpp"
+#include "rt/backend.hpp"
+#include "rt/filter.hpp"
+#include "rt/bml.hpp"
+#include "rt/task_queue.hpp"
+#include "rt/transport.hpp"
+#include "rt/wire.hpp"
+
+namespace iofwd::rt {
+
+enum class ExecModel { thread_per_client, work_queue, work_queue_async };
+
+[[nodiscard]] const char* to_string(ExecModel m);
+
+struct ServerConfig {
+  ExecModel exec = ExecModel::work_queue_async;
+  int workers = 4;           // paper's sweet spot on a 4-core ION (Fig. 11)
+  int multiplex_depth = 8;   // tasks per event-loop pass
+  bool balanced_batches = true;
+  std::uint64_t bml_bytes = 256ull << 20;
+  std::uint64_t bml_min_class = 4096;
+  SizeClassPolicy bml_policy = SizeClassPolicy::pow2;
+};
+
+struct ServerStats {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t deferred_errors = 0;
+  std::uint64_t queue_batches = 0;
+  std::uint64_t queue_max_depth = 0;
+  std::uint64_t bml_blocked = 0;
+  std::uint64_t bml_high_watermark = 0;
+  // Data-filtering offload: payload bytes before/after the filter chain.
+  std::uint64_t filter_bytes_in = 0;
+  std::uint64_t filter_bytes_out = 0;
+};
+
+class IonServer {
+ public:
+  IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg);
+  ~IonServer();
+  IonServer(const IonServer&) = delete;
+  IonServer& operator=(const IonServer&) = delete;
+
+  // Serve a connected stream; spawns the per-client receiver thread.
+  void serve(std::unique_ptr<ByteStream> stream);
+
+  // Accept clients from a listener (UNIX or TCP) until stop() (spawns a
+  // thread).
+  void serve_listener(std::unique_ptr<Listener> listener);
+
+  // Install a data-filtering chain (in-situ analytics / data reduction,
+  // paper Sec. VII). Must be called before clients are served; applied to
+  // every forwarded write by the executing worker.
+  void set_filter_chain(FilterChain chain) { filters_ = std::move(chain); }
+
+  // Drain the queue, close client streams, join every thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct ClientConn {
+    std::unique_ptr<ByteStream> stream;
+    std::mutex write_mu;  // serializes reply frames from receiver + workers
+  };
+
+  struct Task {
+    std::shared_ptr<ClientConn> conn;
+    FrameHeader req;
+    Buffer payload;            // staged write data (owned)
+    bool reply_on_completion = false;  // sync staging
+    bool record_in_db = false;         // async staging
+    std::uint64_t db_seq = 0;
+  };
+
+  void receiver_loop(std::shared_ptr<ClientConn> conn);
+  void worker_loop();
+  void execute_task(Task& t);
+
+  // Inline op handlers (receiver thread).
+  void handle_open(ClientConn& conn, const FrameHeader& req);
+  void handle_close(ClientConn& conn, const FrameHeader& req);
+  void handle_fsync(ClientConn& conn, const FrameHeader& req);
+  void handle_fstat(ClientConn& conn, const FrameHeader& req);
+  void handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req);
+  void handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req);
+
+  Status send_reply(ClientConn& conn, const FrameHeader& req, Status status,
+                    std::span<const std::byte> payload = {}, bool staged = false);
+
+  // Deferred-error gate: non-ok means the op must bounce without executing.
+  Status consume_deferred(int fd);
+  void drain_descriptor(int fd);
+  void note_completed(int fd, std::uint64_t seq, const Status& st);
+
+  std::unique_ptr<IoBackend> backend_;
+  ServerConfig cfg_;
+  FilterChain filters_;
+  BufferPool pool_;
+  TaskQueue<Task> queue_;
+
+  std::mutex db_mu_;
+  std::condition_variable db_cv_;
+  proto::DescriptorDb db_;
+
+  std::mutex threads_mu_;
+  std::vector<std::jthread> threads_;
+  std::vector<std::shared_ptr<ClientConn>> conns_;
+  std::unique_ptr<Listener> listener_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace iofwd::rt

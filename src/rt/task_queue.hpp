@@ -1,0 +1,113 @@
+// The shared FIFO work queue drained by the worker pool (paper Fig. 7).
+//
+// MPMC, mutex + condition variable, with the batch dequeue that implements
+// the paper's per-worker I/O multiplexing: a worker takes up to `max_batch`
+// tasks in one pass, optionally balanced against the backlog so one worker
+// does not starve the others (the "simple load-balancing heuristic").
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace iofwd::rt {
+
+template <typename T>
+class TaskQueue {
+ public:
+  explicit TaskQueue(int workers_hint = 4) : workers_hint_(std::max(1, workers_hint)) {}
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  // Returns false if the queue is already closed.
+  bool push(T task) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return false;
+      q_.push_back(std::move(task));
+      max_depth_ = std::max(max_depth_, q_.size());
+      ++pushed_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Blocks for at least one task; then drains up to `max_batch` (balanced
+  // against backlog when `balanced` is set). Empty result means closed.
+  std::vector<T> pop_batch(int max_batch, bool balanced = true) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !q_.empty() || closed_; });
+    std::vector<T> batch;
+    if (q_.empty()) return batch;  // closed and drained
+    int target = max_batch;
+    if (balanced) {
+      const auto backlog = static_cast<int>(q_.size());
+      const int share = (backlog + workers_hint_ - 1) / workers_hint_;
+      target = std::clamp(share, 1, max_batch);
+    }
+    while (!q_.empty() && static_cast<int>(batch.size()) < target) {
+      batch.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    ++batches_;
+    popped_ += batch.size();
+    return batch;
+  }
+
+  std::optional<T> try_pop() {
+    std::scoped_lock lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    T t = std::move(q_.front());
+    q_.pop_front();
+    ++popped_;
+    return t;
+  }
+
+  // Close: pending tasks are still handed out; pop_batch returns empty once
+  // drained.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return q_.size();
+  }
+  [[nodiscard]] std::size_t max_depth() const {
+    std::scoped_lock lock(mu_);
+    return max_depth_;
+  }
+  [[nodiscard]] std::uint64_t batches() const {
+    std::scoped_lock lock(mu_);
+    return batches_;
+  }
+  [[nodiscard]] std::uint64_t pushed() const {
+    std::scoped_lock lock(mu_);
+    return pushed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  bool closed_ = false;
+  int workers_hint_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+};
+
+}  // namespace iofwd::rt

@@ -1,0 +1,277 @@
+#include "rt/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace iofwd::rt {
+
+// ---------------------------------------------------------------------------
+// InProcPipe
+// ---------------------------------------------------------------------------
+
+Status InProcPipe::read_exact(void* buf, std::size_t n) {
+  auto* out = static_cast<std::byte*>(buf);
+  std::unique_lock lock(mu_);
+  if (ring_.empty()) ring_.resize(capacity_);
+  std::size_t got = 0;
+  while (got < n) {
+    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0 && closed_) {
+      return Status(Errc::shutdown, "pipe closed by peer");
+    }
+    const std::size_t take = std::min(n - got, count_);
+    const std::size_t first = std::min(take, capacity_ - head_);
+    std::memcpy(out + got, ring_.data() + head_, first);
+    if (take > first) std::memcpy(out + got + first, ring_.data(), take - first);
+    head_ = (head_ + take) % capacity_;
+    count_ -= take;
+    got += take;
+    cv_.notify_all();  // writers may be waiting for space
+  }
+  return Status::ok();
+}
+
+Status InProcPipe::write_all(const void* buf, std::size_t n) {
+  const auto* in = static_cast<const std::byte*>(buf);
+  std::unique_lock lock(mu_);
+  if (ring_.empty()) ring_.resize(capacity_);
+  std::size_t put = 0;
+  while (put < n) {
+    cv_.wait(lock, [&] { return count_ < capacity_ || closed_; });
+    if (closed_) return Status(Errc::shutdown, "pipe closed");
+    const std::size_t space = capacity_ - count_;
+    const std::size_t take = std::min(n - put, space);
+    const std::size_t tail = (head_ + count_) % capacity_;
+    const std::size_t first = std::min(take, capacity_ - tail);
+    std::memcpy(ring_.data() + tail, in + put, first);
+    if (take > first) std::memcpy(ring_.data(), in + put + first, take - first);
+    count_ += take;
+    put += take;
+    cv_.notify_all();
+  }
+  return Status::ok();
+}
+
+void InProcPipe::close() {
+  std::scoped_lock lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::pair<std::unique_ptr<InProcTransport>, std::unique_ptr<InProcTransport>>
+InProcTransport::make_pair(std::size_t capacity) {
+  auto ab = std::make_shared<InProcPipe>(capacity);
+  auto ba = std::make_shared<InProcPipe>(capacity);
+  auto a = std::unique_ptr<InProcTransport>(new InProcTransport(ba, ab));
+  auto b = std::unique_ptr<InProcTransport>(new InProcTransport(ab, ba));
+  return {std::move(a), std::move(b)};
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+SocketTransport::~SocketTransport() { close(); }
+
+Result<std::pair<std::unique_ptr<SocketTransport>, std::unique_ptr<SocketTransport>>>
+SocketTransport::make_socketpair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status(Errc::io_error, std::string("socketpair: ") + std::strerror(errno));
+  }
+  return std::make_pair(std::make_unique<SocketTransport>(fds[0]),
+                        std::make_unique<SocketTransport>(fds[1]));
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status(Errc::io_error, std::string("socket: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return Status(Errc::invalid_argument, "unix path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status(Errc::not_connected, std::string("connect: ") + std::strerror(err));
+  }
+  return std::make_unique<SocketTransport>(fd);
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::connect_tcp(const std::string& host,
+                                                                      std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 || res == nullptr) {
+    return Status(Errc::not_connected, "cannot resolve " + host);
+  }
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return Status(Errc::io_error, std::string("socket: ") + std::strerror(errno));
+  }
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status(Errc::not_connected, std::string("connect: ") + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<SocketTransport>(fd);
+}
+
+Status SocketTransport::read_exact(void* buf, std::size_t n) {
+  auto* p = static_cast<std::byte*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd_, p + got, n - got);
+    if (r == 0) return Status(Errc::shutdown, "peer closed");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(Errc::io_error, std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return Status::ok();
+}
+
+Status SocketTransport::write_all(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::write(fd_, p + put, n - put);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE) return Status(Errc::shutdown, "peer closed");
+      return Status(Errc::io_error, std::string("write: ") + std::strerror(errno));
+    }
+    put += static_cast<std::size_t>(r);
+  }
+  return Status::ok();
+}
+
+void SocketTransport::close() {
+  std::scoped_lock lock(close_mu_);
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::~TcpListener() { close(); }
+
+Result<std::unique_ptr<TcpListener>> TcpListener::bind(std::uint16_t port,
+                                                       const std::string& bind_addr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(Errc::io_error, std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status(Errc::invalid_argument, "bad bind address: " + bind_addr);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status(Errc::io_error, std::string("bind/listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status(Errc::io_error, std::string("getsockname: ") + std::strerror(err));
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, ntohs(bound.sin_port)));
+}
+
+Result<std::unique_ptr<SocketTransport>> TcpListener::accept() {
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    if (errno == EBADF || errno == EINVAL) return Status(Errc::shutdown, "listener closed");
+    return Status(Errc::io_error, std::string("accept: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<SocketTransport>(cfd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UnixListener
+// ---------------------------------------------------------------------------
+
+UnixListener::~UnixListener() { close(); }
+
+Result<std::unique_ptr<UnixListener>> UnixListener::bind(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status(Errc::io_error, std::string("socket: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return Status(Errc::invalid_argument, "unix path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status(Errc::io_error, std::string("bind/listen: ") + std::strerror(err));
+  }
+  return std::unique_ptr<UnixListener>(new UnixListener(fd, path));
+}
+
+Result<std::unique_ptr<SocketTransport>> UnixListener::accept() {
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    if (errno == EBADF || errno == EINVAL) return Status(Errc::shutdown, "listener closed");
+    return Status(Errc::io_error, std::string("accept: ") + std::strerror(errno));
+  }
+  return std::make_unique<SocketTransport>(cfd);
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+}
+
+}  // namespace iofwd::rt

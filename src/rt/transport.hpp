@@ -1,0 +1,170 @@
+// Byte-stream transports for the real forwarding runtime.
+//
+// The server and client speak FrameHeader-framed messages over a reliable
+// byte stream. Two transports are provided:
+//
+//   * InProcTransport — a pair of bounded byte queues guarded by mutex +
+//     condition variables. Used by tests and the in-process examples; it
+//     exercises the exact same framing and threading paths as sockets.
+//   * SocketTransport — POSIX stream sockets (socketpair(2) or AF_UNIX /
+//     AF_INET via the listener below), for running the ION server as a real
+//     daemon on a Linux cluster.
+//
+// All streams are thread-compatible in the usual split sense: one reader
+// thread and one writer thread may operate concurrently; two concurrent
+// writers must synchronize externally (Client and the server's per-client
+// reply path each hold their own write mutex).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::rt {
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Blocks until exactly n bytes were read, the peer closed (shutdown), or
+  // an error occurred.
+  virtual Status read_exact(void* buf, std::size_t n) = 0;
+  // Blocks until all n bytes were accepted.
+  virtual Status write_all(const void* buf, std::size_t n) = 0;
+  // Close this end; concurrent and future reads/writes fail with shutdown.
+  virtual void close() = 0;
+};
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+// One direction of an in-process duplex pipe.
+class InProcPipe {
+ public:
+  explicit InProcPipe(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  Status read_exact(void* buf, std::size_t n);
+  Status write_all(const void* buf, std::size_t n);
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::byte> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // ring_ is lazily sized to capacity_
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+class InProcTransport final : public ByteStream {
+ public:
+  // Creates a connected pair (a, b): bytes written to a are read from b and
+  // vice versa.
+  static std::pair<std::unique_ptr<InProcTransport>, std::unique_ptr<InProcTransport>> make_pair(
+      std::size_t capacity = 1 << 20);
+
+  Status read_exact(void* buf, std::size_t n) override { return in_->read_exact(buf, n); }
+  Status write_all(const void* buf, std::size_t n) override { return out_->write_all(buf, n); }
+  void close() override {
+    in_->close();
+    out_->close();
+  }
+
+ private:
+  InProcTransport(std::shared_ptr<InProcPipe> in, std::shared_ptr<InProcPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  std::shared_ptr<InProcPipe> in_;
+  std::shared_ptr<InProcPipe> out_;
+};
+
+// ---------------------------------------------------------------------------
+// Socket transport
+// ---------------------------------------------------------------------------
+
+class SocketTransport final : public ByteStream {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // A connected AF_UNIX socketpair (for tests and same-host deployments).
+  static Result<std::pair<std::unique_ptr<SocketTransport>, std::unique_ptr<SocketTransport>>>
+  make_socketpair();
+
+  // Client side: connect to a UNIX-domain listener at `path`.
+  static Result<std::unique_ptr<SocketTransport>> connect_unix(const std::string& path);
+
+  // Client side: connect to a TCP listener (IPv4 dotted-quad or hostname).
+  static Result<std::unique_ptr<SocketTransport>> connect_tcp(const std::string& host,
+                                                              std::uint16_t port);
+
+  Status read_exact(void* buf, std::size_t n) override;
+  Status write_all(const void* buf, std::size_t n) override;
+  void close() override;
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::mutex close_mu_;
+};
+
+// Abstract listener: the server accepts clients from either flavor.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual Result<std::unique_ptr<SocketTransport>> accept() = 0;
+  virtual void close() = 0;
+};
+
+// TCP listener (IPv4): the deployment path between real hosts.
+class TcpListener final : public Listener {
+ public:
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Port 0 picks an ephemeral port; read it back with port().
+  static Result<std::unique_ptr<TcpListener>> bind(std::uint16_t port,
+                                                   const std::string& bind_addr = "127.0.0.1");
+
+  Result<std::unique_ptr<SocketTransport>> accept() override;
+  void close() override;
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// UNIX-domain listener: the server binds a path and accepts SocketTransports.
+class UnixListener final : public Listener {
+ public:
+  ~UnixListener();
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  static Result<std::unique_ptr<UnixListener>> bind(const std::string& path);
+
+  // Blocks until a client connects, the listener is closed, or an error.
+  Result<std::unique_ptr<SocketTransport>> accept() override;
+  void close() override;
+
+ private:
+  UnixListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace iofwd::rt

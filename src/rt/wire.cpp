@@ -1,0 +1,70 @@
+#include "rt/wire.hpp"
+
+namespace iofwd::rt {
+
+namespace {
+
+template <typename T>
+void put(std::byte*& p, T v) {
+  std::memcpy(p, &v, sizeof v);
+  p += sizeof v;
+}
+
+template <typename T>
+T take(const std::byte*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  p += sizeof v;
+  return v;
+}
+
+}  // namespace
+
+void FrameHeader::encode(std::span<std::byte, kWireSize> out) const {
+  std::byte* p = out.data();
+  put(p, magic);
+  put(p, static_cast<std::uint8_t>(type));
+  put(p, static_cast<std::uint8_t>(op));
+  put(p, flags);
+  put(p, fd);
+  put(p, status);
+  put(p, seq);
+  put(p, offset);
+  put(p, payload_len);
+}
+
+Result<FrameHeader> FrameHeader::decode(std::span<const std::byte, kWireSize> in) {
+  const std::byte* p = in.data();
+  FrameHeader h;
+  h.magic = take<std::uint32_t>(p);
+  if (h.magic != kMagic) return Status(Errc::protocol_error, "bad magic");
+  const auto type = take<std::uint8_t>(p);
+  if (type != 1 && type != 2) return Status(Errc::protocol_error, "bad type");
+  h.type = static_cast<MsgType>(type);
+  const auto op = take<std::uint8_t>(p);
+  if (op < 1 || op > 7) return Status(Errc::protocol_error, "bad opcode");
+  h.op = static_cast<OpCode>(op);
+  h.flags = take<std::uint16_t>(p);
+  h.fd = take<std::int32_t>(p);
+  h.status = take<std::int32_t>(p);
+  h.seq = take<std::uint64_t>(p);
+  h.offset = take<std::uint64_t>(p);
+  h.payload_len = take<std::uint64_t>(p);
+  if (h.payload_len > kMaxPayload) return Status(Errc::message_too_large, "payload too large");
+  return h;
+}
+
+const char* opcode_name(OpCode op) {
+  switch (op) {
+    case OpCode::open: return "open";
+    case OpCode::write: return "write";
+    case OpCode::read: return "read";
+    case OpCode::close: return "close";
+    case OpCode::fsync: return "fsync";
+    case OpCode::shutdown: return "shutdown";
+    case OpCode::fstat: return "fstat";
+  }
+  return "?";
+}
+
+}  // namespace iofwd::rt

@@ -1,0 +1,61 @@
+// Wire protocol for the real (host-threaded) forwarding runtime.
+//
+// Frames are a fixed little-endian header followed by an optional payload.
+// The same framing serves requests (client -> ION server) and replies. The
+// two-step semantics of the BG/P protocol (parameters first, payload next)
+// map onto header+payload of a single frame here; the async-staging "early
+// reply" is a reply frame with the `staged` flag set.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::rt {
+
+enum class MsgType : std::uint8_t {
+  request = 1,
+  reply = 2,
+};
+
+enum class OpCode : std::uint8_t {
+  open = 1,
+  write = 2,
+  read = 3,
+  close = 4,
+  fsync = 5,
+  shutdown = 6,  // client asks the server to stop serving it
+  fstat = 7,     // query attributes (size); always synchronous (Sec. IV)
+};
+
+struct FrameHeader {
+  static constexpr std::uint32_t kMagic = 0x494f4657;  // "IOFW"
+  static constexpr std::size_t kWireSize = 44;
+
+  std::uint32_t magic = kMagic;
+  MsgType type = MsgType::request;
+  OpCode op = OpCode::open;
+  std::uint16_t flags = 0;        // bit 0: staged (async early reply)
+  std::int32_t fd = -1;
+  std::int32_t status = 0;        // Errc as i32 (replies)
+  std::uint64_t seq = 0;          // client-assigned request id
+  std::uint64_t offset = 0;       // file offset for read/write
+  std::uint64_t payload_len = 0;  // bytes following the header
+
+  static constexpr std::uint16_t kFlagStaged = 1;
+
+  void encode(std::span<std::byte, kWireSize> out) const;
+  // Returns protocol_error on bad magic or unknown type/op.
+  static Result<FrameHeader> decode(std::span<const std::byte, kWireSize> in);
+};
+
+// Sanity limit: a single forwarded operation may carry at most 256 MiB
+// (far beyond any ION buffer the paper considers).
+inline constexpr std::uint64_t kMaxPayload = 256ull << 20;
+
+[[nodiscard]] const char* opcode_name(OpCode op);
+
+}  // namespace iofwd::rt

@@ -1,0 +1,74 @@
+#include "sim/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace iofwd::sim {
+
+void ChromeTracer::instant(const std::string& name, const std::string& cat, int tid) {
+  events_.push_back(Event{'i', name, cat, tid, eng_.now(), 0, 0});
+}
+
+void ChromeTracer::counter(const std::string& name, double value) {
+  events_.push_back(Event{'C', name, "counter", 0, eng_.now(), 0, value});
+}
+
+void ChromeTracer::complete(const std::string& name, const std::string& cat, int tid,
+                            SimTime start, SimTime end) {
+  events_.push_back(Event{'X', name, cat, tid, start, end - start, 0});
+}
+
+namespace {
+// Trace Event Format wants microseconds; keep sub-us precision as decimals.
+void put_us(std::ostringstream& os, SimTime ns) {
+  os << ns / 1000;
+  const auto frac = ns % 1000;
+  if (frac != 0) {
+    os << '.' << (frac / 100) << ((frac / 10) % 10) << (frac % 10);
+  }
+}
+
+void escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+std::string ChromeTracer::to_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":")" << e.phase << R"(","name":")";
+    escape(os, e.name);
+    os << R"(","cat":")";
+    escape(os, e.cat);
+    os << R"(","pid":1,"tid":)" << e.tid << R"(,"ts":)";
+    put_us(os, e.ts);
+    if (e.phase == 'X') {
+      os << R"(,"dur":)";
+      put_us(os, e.dur);
+    } else if (e.phase == 'C') {
+      os << R"(,"args":{"value":)" << e.value << "}";
+    } else if (e.phase == 'i') {
+      os << R"(,"s":"t")";
+    }
+    os << "}";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+Status ChromeTracer::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status(Errc::io_error, "cannot open " + path);
+  const std::string j = to_json();
+  f << j;
+  return f.good() ? Status::ok() : Status(Errc::io_error, "short write to " + path);
+}
+
+}  // namespace iofwd::sim

@@ -1,0 +1,92 @@
+// Chrome-trace exporter for simulated runs.
+//
+// Records spans/instants/counters against *simulated* time and writes the
+// Trace Event Format JSON that chrome://tracing and Perfetto load, so a
+// forwarding run can be inspected visually: per-CN operation spans, worker
+// batches, queue-depth counters.
+//
+//   ChromeTracer tracer(engine);
+//   { auto s = tracer.span("write", "cn", /*tid=*/cn); co_await ...; }
+//   tracer.counter("queue_depth", depth);
+//   tracer.write_json("trace.json");
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "sim/engine.hpp"
+
+namespace iofwd::sim {
+
+class ChromeTracer {
+ public:
+  explicit ChromeTracer(Engine& eng) : eng_(eng) {}
+  ChromeTracer(const ChromeTracer&) = delete;
+  ChromeTracer& operator=(const ChromeTracer&) = delete;
+
+  // RAII span: emits a complete ("X") event covering construction to
+  // destruction in simulated time.
+  class Span {
+   public:
+    Span(Span&& o) noexcept
+        : tracer_(o.tracer_), name_(std::move(o.name_)), cat_(std::move(o.cat_)),
+          tid_(o.tid_), start_(o.start_) {
+      o.tracer_ = nullptr;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+    ~Span() { finish(); }
+
+    void finish() {
+      if (tracer_ != nullptr) {
+        tracer_->complete(name_, cat_, tid_, start_, tracer_->eng_.now());
+        tracer_ = nullptr;
+      }
+    }
+
+   private:
+    friend class ChromeTracer;
+    Span(ChromeTracer* t, std::string name, std::string cat, int tid)
+        : tracer_(t), name_(std::move(name)), cat_(std::move(cat)), tid_(tid),
+          start_(t->eng_.now()) {}
+    ChromeTracer* tracer_;
+    std::string name_;
+    std::string cat_;
+    int tid_;
+    SimTime start_;
+  };
+
+  [[nodiscard]] Span span(std::string name, std::string cat, int tid) {
+    return Span(this, std::move(name), std::move(cat), tid);
+  }
+
+  void instant(const std::string& name, const std::string& cat, int tid);
+  void counter(const std::string& name, double value);
+  void complete(const std::string& name, const std::string& cat, int tid, SimTime start,
+                SimTime end);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  // Serialize to the Trace Event Format (JSON array form).
+  [[nodiscard]] std::string to_json() const;
+  Status write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'i' instant, 'C' counter
+    std::string name;
+    std::string cat;
+    int tid;
+    SimTime ts;
+    SimTime dur;   // X only
+    double value;  // C only
+  };
+
+  Engine& eng_;
+  std::vector<Event> events_;
+};
+
+}  // namespace iofwd::sim

@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "core/log.hpp"
+#include "sim/process.hpp"
+
+namespace iofwd::sim {
+
+Engine::EventId Engine::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(Ev{t, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0) {
+    cancelled_.insert(id);  // heap entry removed lazily in fire_next
+  }
+}
+
+void Engine::spawn(Proc<void> p) {
+  auto h = p.release_detached();
+  schedule_at(now_, [h] { h.resume(); });
+}
+
+bool Engine::fire_next(SimTime limit) {
+  while (!heap_.empty()) {
+    const Ev ev = heap_.top();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      heap_.pop();
+      cancelled_.erase(it);
+      continue;
+    }
+    if (ev.t > limit) return false;
+    heap_.pop();
+    auto node = callbacks_.extract(ev.id);
+    assert(!node.empty());
+    now_ = ev.t;
+    ++processed_;
+    node.mapped()();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t start = processed_;
+  while (!stopped_ && fire_next(std::numeric_limits<SimTime>::max())) {
+  }
+  return processed_ - start;
+}
+
+std::uint64_t Engine::run_until(SimTime t) {
+  const std::uint64_t start = processed_;
+  while (!stopped_ && fire_next(t)) {
+  }
+  if (now_ < t) now_ = t;
+  return processed_ - start;
+}
+
+}  // namespace iofwd::sim

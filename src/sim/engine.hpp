@@ -1,0 +1,93 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a min-heap of (time, sequence) ordered events. Everything
+// that happens in the simulated machine is a C++20 coroutine (`Proc<T>`,
+// see process.hpp) suspended on an awaitable that scheduled a wake-up event
+// here. Execution is single-threaded and deterministic: ties in time are
+// broken by insertion sequence.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace iofwd::sim {
+
+template <typename T>
+class Proc;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedule `cb` at absolute simulated time `t` (>= now). Returns an id
+  // usable with cancel().
+  EventId schedule_at(SimTime t, Callback cb);
+
+  // Schedule `cb` `delay` nanoseconds from now (delay < 0 is clamped to 0).
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  // Lazily cancel a scheduled event. Cancelling an already-fired or unknown
+  // id is a no-op.
+  void cancel(EventId id);
+
+  // Start a detached process at the current simulated time. The coroutine
+  // frame frees itself on completion. An exception escaping a detached
+  // process terminates the simulation (fail fast — simulated machinery is
+  // not supposed to throw).
+  void spawn(Proc<void> p);
+
+  // Run until the event queue is empty or stop() was called.
+  // Returns the number of events processed by this call.
+  std::uint64_t run();
+
+  // Run events with time <= `t`; afterwards now() == t if the queue drained
+  // past it. Returns events processed.
+  std::uint64_t run_until(SimTime t);
+
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Ev {
+    SimTime t;
+    EventId id;
+  };
+  struct EvCmp {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t > b.t : a.id > b.id;
+    }
+  };
+
+  bool fire_next(SimTime limit);
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, EvCmp> heap_;
+  // Callbacks are stored out-of-band so cancel() can drop them eagerly
+  // (freeing captured resources) while the heap entry dies lazily.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace iofwd::sim

@@ -1,0 +1,182 @@
+// Proc<T>: the coroutine type for simulated activities.
+//
+// A Proc is lazy (suspends at the start). It runs in one of two modes:
+//
+//   * awaited:  `T v = co_await child();` — the child starts immediately via
+//     symmetric transfer; when it finishes, control returns to the awaiting
+//     parent. Exceptions propagate to the parent.
+//   * detached: `engine.spawn(std::move(p))` — the engine resumes it at the
+//     current simulated time and the frame destroys itself at completion.
+//
+// Processes must run to completion: destroying a suspended, non-detached
+// Proc mid-flight is a programming error (a sync primitive may still hold
+// its handle) and asserts in debug builds.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace iofwd::sim {
+
+template <typename T>
+class Proc;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  bool detached = false;
+  bool done = false;
+  std::exception_ptr exception{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      p.done = true;
+      if (p.continuation) return p.continuation;
+      if (p.detached) {
+        if (p.exception) {
+          // A detached simulated activity threw: there is no parent to
+          // propagate to, so fail fast rather than silently dropping it.
+          std::fprintf(stderr, "iofwd::sim: exception escaped detached process\n");
+          std::terminate();
+        }
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Proc {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Proc get_return_object() {
+      return Proc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Proc(Proc&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Proc& operator=(Proc&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  // Awaiting a Proc starts it immediately (symmetric transfer).
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      T await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        assert(p.value.has_value());
+        return std::move(*p.value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  friend class Engine;
+  explicit Proc(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  void destroy() {
+    if (h_) {
+      assert((!h_.promise().done || h_.done()) && "state mismatch");
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Proc<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Proc get_return_object() {
+      return Proc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Proc(Proc&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Proc& operator=(Proc&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+  ~Proc() { destroy(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      void await_resume() {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  // Used by Engine::spawn: mark detached (self-destroying) and hand over the
+  // handle. The Proc wrapper relinquishes ownership.
+  std::coroutine_handle<promise_type> release_detached() {
+    assert(h_ && "spawning an empty Proc");
+    h_.promise().detached = true;
+    return std::exchange(h_, {});
+  }
+
+ private:
+  explicit Proc(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace iofwd::sim

@@ -1,0 +1,63 @@
+#include "sim/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace iofwd::sim {
+
+void Telemetry::track(std::string name, std::function<double()> cumulative_work,
+                      double capacity_per_ns) {
+  gauges_.push_back(Gauge{std::move(cumulative_work), 0});
+  series_.push_back(Series{std::move(name), capacity_per_ns, {}});
+}
+
+void Telemetry::start() {
+  running_ = true;
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    gauges_[i].last = gauges_[i].cumulative();
+  }
+  eng_.spawn(sampler());
+}
+
+Proc<void> Telemetry::sampler() {
+  while (running_) {
+    co_await Delay{eng_, period_};
+    if (!running_) break;
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+      const double now_total = gauges_[i].cumulative();
+      const double work = now_total - gauges_[i].last;
+      gauges_[i].last = now_total;
+      const double cap_work = series_[i].capacity * static_cast<double>(period_);
+      series_[i].utilization.push_back(cap_work > 0 ? work / cap_work : 0.0);
+    }
+  }
+}
+
+double Telemetry::mean_utilization(const std::string& name) const {
+  for (const auto& s : series_) {
+    if (s.name != name || s.utilization.empty()) continue;
+    double sum = 0;
+    for (double u : s.utilization) sum += u;
+    return sum / static_cast<double>(s.utilization.size());
+  }
+  return 0.0;
+}
+
+std::string Telemetry::render() const {
+  static constexpr const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const auto& s : series_) width = std::max(width, s.name.size());
+  for (const auto& s : series_) {
+    os << s.name << std::string(width - s.name.size(), ' ') << " |";
+    for (double u : s.utilization) {
+      const int lvl = std::clamp(static_cast<int>(std::lround(u * 9)), 0, 9);
+      os << kLevels[lvl];
+    }
+    os << "| mean " << static_cast<int>(std::lround(mean_utilization(s.name) * 100)) << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace iofwd::sim

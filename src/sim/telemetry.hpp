@@ -1,0 +1,78 @@
+// Telemetry: periodic sampling of resource usage during a simulation.
+//
+// A Sampler process wakes every `period` of simulated time and reads each
+// registered gauge's cumulative work, yielding per-window utilization
+// series — how busy the tree, the ION cores, and the NIC were over the run.
+// The diag tool and benches use it to show *where* each mechanism's
+// bottleneck sits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/units.hpp"
+#include "sim/engine.hpp"
+#include "sim/fluid.hpp"
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::sim {
+
+class Telemetry {
+ public:
+  Telemetry(Engine& eng, SimTime period_ns) : eng_(eng), period_(period_ns) {}
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Track any cumulative-work gauge. `capacity_per_ns` converts work/ns
+  // into a utilization fraction.
+  void track(std::string name, std::function<double()> cumulative_work, double capacity_per_ns);
+
+  // Convenience adapters.
+  void track_link(std::string name, Link& link) {
+    track(std::move(name), [&link] { return link.total_payload_bytes(); },
+          iofwd::mib_per_s_to_bytes_per_ns(link.effective_peak_mib_s()));
+  }
+  void track_cpu(std::string name, CpuPool& cpu) {
+    track(std::move(name), [&cpu] { return cpu.total_cpu_ns(); },
+          static_cast<double>(cpu.spec().cores));
+  }
+
+  // Spawn the sampler on the engine. It re-arms itself each period until
+  // stop() is called (call stop() before the final engine drain so the
+  // sampler does not keep the event queue alive forever).
+  void start();
+  void stop() { running_ = false; }
+
+  struct Series {
+    std::string name;
+    double capacity;
+    std::vector<double> utilization;  // one entry per elapsed window
+  };
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] SimTime period() const { return period_; }
+
+  // Mean utilization over all complete windows (0 if none).
+  [[nodiscard]] double mean_utilization(const std::string& name) const;
+
+  [[nodiscard]] std::string render() const;  // ascii sparkline per series
+
+ private:
+  struct Gauge {
+    std::function<double()> cumulative;
+    double last = 0;
+  };
+
+  Proc<void> sampler();
+
+  Engine& eng_;
+  SimTime period_;
+  bool running_ = false;
+  std::vector<Gauge> gauges_;
+  std::vector<Series> series_;
+};
+
+}  // namespace iofwd::sim

@@ -1,0 +1,22 @@
+// Simulated time.
+//
+// SimTime is integer nanoseconds from simulation start. Integer time keeps
+// the event queue totally ordered and the runs bit-reproducible; fractional
+// residues from the fluid-flow models are rounded up so no event ever fires
+// "early".
+#pragma once
+
+#include <cstdint>
+
+namespace iofwd::sim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * 1000;
+inline constexpr SimTime kNsPerSec = 1000 * 1000 * 1000;
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr SimTime from_seconds(double s) { return static_cast<SimTime>(s * 1e9); }
+
+}  // namespace iofwd::sim

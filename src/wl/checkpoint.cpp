@@ -1,0 +1,86 @@
+#include "wl/checkpoint.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "bgp/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::wl {
+
+namespace {
+
+// A reusable cycle barrier for the bulk-synchronous mode.
+struct CycleBarrier {
+  sim::Engine& eng;
+  int parties;
+  int waiting = 0;
+  std::unique_ptr<sim::SimEvent> gate;
+
+  explicit CycleBarrier(sim::Engine& e, int n)
+      : eng(e), parties(n), gate(std::make_unique<sim::SimEvent>(e)) {}
+
+  sim::Proc<void> arrive_and_wait() {
+    auto* my_gate = gate.get();
+    if (++waiting == parties) {
+      waiting = 0;
+      auto old = std::move(gate);
+      gate = std::make_unique<sim::SimEvent>(eng);
+      old->set();
+      co_return;
+    }
+    co_await my_gate->wait();
+  }
+};
+
+sim::Proc<void> cn_cycle(bgp::Machine& m, proto::Forwarder& fwd, int cn,
+                         const CheckpointParams& p, CycleBarrier* barrier) {
+  proto::SinkTarget sink;
+  sink.kind = proto::SinkTarget::Kind::storage;
+  auto& eng = m.engine();
+  for (int c = 0; c < p.cycles; ++c) {
+    co_await sim::Delay{eng, p.compute_ns};
+    sink.block = (static_cast<std::uint64_t>(c) * static_cast<std::uint64_t>(p.cns) +
+                  static_cast<std::uint64_t>(cn));
+    (void)co_await fwd.write(cn, -1, p.checkpoint_bytes, sink);
+    if (barrier != nullptr) co_await barrier->arrive_and_wait();
+  }
+}
+
+sim::Proc<void> run_all(bgp::Machine& m, proto::Forwarder& fwd, const CheckpointParams& p) {
+  std::unique_ptr<CycleBarrier> barrier;
+  if (p.barrier) barrier = std::make_unique<CycleBarrier>(m.engine(), p.cns);
+  std::vector<sim::Proc<void>> procs;
+  for (int cn = 0; cn < p.cns; ++cn) procs.push_back(cn_cycle(m, fwd, cn, p, barrier.get()));
+  co_await sim::when_all(m.engine(), std::move(procs));
+  co_await fwd.drain();
+  fwd.shutdown();
+}
+
+}  // namespace
+
+CheckpointResult run_checkpoint(proto::Mechanism m, const bgp::MachineConfig& machine_cfg,
+                                const proto::ForwarderConfig& fwd_cfg,
+                                const CheckpointParams& params) {
+  sim::Engine eng;
+  bgp::Machine machine(eng, machine_cfg);
+  proto::RunMetrics metrics;
+  auto fwd = proto::make_forwarder(m, machine, machine.pset(0), metrics, fwd_cfg);
+
+  eng.spawn(run_all(machine, *fwd, params));
+  eng.run();
+
+  CheckpointResult r;
+  r.total_time_s = sim::to_seconds(eng.now());
+  r.compute_time_s = sim::to_seconds(params.compute_ns) * params.cycles;
+  if (r.compute_time_s > 0) {
+    r.io_overhead_pct = 100.0 * (r.total_time_s - r.compute_time_s) / r.compute_time_s;
+  }
+  if (r.total_time_s > 0) {
+    r.aggregate_mib_s = static_cast<double>(metrics.bytes_delivered) / (1024.0 * 1024.0) /
+                        r.total_time_s;
+  }
+  return r;
+}
+
+}  // namespace iofwd::wl

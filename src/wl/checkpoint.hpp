@@ -1,0 +1,41 @@
+// Checkpointing application workload: compute / checkpoint cycles.
+//
+// The paper's introduction frames the payoff of faster forwarding as
+// "accelerat[ing] the time to solution or apply[ing] more complex models
+// during the same time frame". This workload quantifies it: every CN
+// alternates `compute_ns` of computation with a `checkpoint_bytes` write.
+// With synchronous forwarding the application stalls for the full I/O time;
+// with asynchronous data staging the write overlaps the next compute phase
+// and the application approaches compute-bound speed.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/config.hpp"
+#include "proto/forwarder.hpp"
+
+namespace iofwd::wl {
+
+struct CheckpointParams {
+  int cns = 64;
+  int cycles = 50;
+  sim::SimTime compute_ns = 400'000'000;      // 400 ms of computation per cycle
+  std::uint64_t checkpoint_bytes = 4ull << 20;  // 4 MiB per CN per cycle
+  // Bulk-synchronous mode: all CNs synchronize (an MPI barrier) between
+  // cycles, as real stencil/spectral codes do. Without it, synchronous I/O
+  // lets ranks drift out of phase and de-facto stream their checkpoints.
+  bool barrier = true;
+};
+
+struct CheckpointResult {
+  double total_time_s = 0;       // wall time of the whole run
+  double compute_time_s = 0;     // pure computation (lower bound)
+  double io_overhead_pct = 0;    // (total - compute) / compute
+  double aggregate_mib_s = 0;    // checkpoint data rate over the run
+};
+
+CheckpointResult run_checkpoint(proto::Mechanism m, const bgp::MachineConfig& machine_cfg,
+                                const proto::ForwarderConfig& fwd_cfg,
+                                const CheckpointParams& params);
+
+}  // namespace iofwd::wl

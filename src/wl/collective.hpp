@@ -1,0 +1,55 @@
+// Two-phase collective I/O over the forwarding layer.
+//
+// The classic ROMIO optimization, here interacting with the paper's
+// forwarding mechanisms: every CN holds many small strided pieces of a
+// shared file (a block-cyclic matrix, say). Two ways to write it:
+//
+//   * independent — each CN forwards each small piece directly: many small
+//     forwarded operations, each paying the two-step control exchange the
+//     paper identifies as the small-message bottleneck (Sec. V-A2);
+//   * collective  — phase 1 redistributes the pieces over the 3-D torus to
+//     aggregator CNs so each holds one large contiguous range; phase 2 the
+//     aggregators forward few large operations.
+//
+// The experiment (bench/ext_collective) shows how much of collective I/O's
+// advantage evaporates once the forwarding layer itself handles small
+// operations well (work-queue multiplexing), and how much remains.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/config.hpp"
+#include "proto/forwarder.hpp"
+
+namespace iofwd::wl {
+
+enum class IoMode { independent, collective };
+
+struct CollectiveParams {
+  int cns = 64;
+  int aggregators = 8;           // phase-2 writers (collective mode)
+  std::uint64_t piece_bytes = 64ull << 10;  // strided piece per CN per round
+  int pieces_per_cn = 32;        // rounds
+  std::uint64_t stripe_bytes = 4ull << 20;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return static_cast<std::uint64_t>(cns) * static_cast<std::uint64_t>(pieces_per_cn) *
+           piece_bytes;
+  }
+};
+
+struct CollectiveResult {
+  double elapsed_s = 0;
+  double throughput_mib_s = 0;
+  std::uint64_t forwarded_ops = 0;  // operations that hit the forwarding layer
+  double exchange_s = 0;            // time spent in the torus redistribution
+};
+
+CollectiveResult run_collective(proto::Mechanism m, IoMode mode,
+                                const bgp::MachineConfig& machine_cfg,
+                                const proto::ForwarderConfig& fwd_cfg,
+                                const CollectiveParams& params);
+
+[[nodiscard]] const char* to_string(IoMode m);
+
+}  // namespace iofwd::wl

@@ -1,0 +1,142 @@
+#include "wl/ior.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "bgp/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::wl {
+
+const char* to_string(IorPattern p) {
+  switch (p) {
+    case IorPattern::sequential: return "sequential";
+    case IorPattern::strided: return "strided";
+    case IorPattern::random: return "random";
+  }
+  return "?";
+}
+
+const char* to_string(IorDirection d) {
+  switch (d) {
+    case IorDirection::write_only: return "write";
+    case IorDirection::read_only: return "read";
+    case IorDirection::write_then_read: return "write+read";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Phase {
+  std::uint64_t bytes = 0;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+};
+
+std::uint64_t offset_for(const IorParams& p, int global_rank, int seg, Rng& rng) {
+  const std::uint64_t t = p.transfer_bytes;
+  const auto nprocs = static_cast<std::uint64_t>(p.cns);
+  const auto s = static_cast<std::uint64_t>(seg);
+  const auto r = static_cast<std::uint64_t>(global_rank);
+  if (!p.shared_file) {
+    // Per-process file: plain sequential region regardless of pattern name;
+    // `random` still permutes within the region.
+    if (p.pattern == IorPattern::random) {
+      return rng.below(static_cast<std::uint64_t>(p.segments)) * t;
+    }
+    return s * t;
+  }
+  switch (p.pattern) {
+    case IorPattern::sequential:
+      // Each rank owns a contiguous slab; walks it in order.
+      return (r * static_cast<std::uint64_t>(p.segments) + s) * t;
+    case IorPattern::strided:
+      // Segment-major interleave: transfers of all ranks for segment s are
+      // adjacent (classic IOR shared-file layout).
+      return (s * nprocs + r) * t;
+    case IorPattern::random:
+      return rng.below(nprocs * static_cast<std::uint64_t>(p.segments)) * t;
+  }
+  return 0;
+}
+
+sim::Proc<void> ior_proc(bgp::Machine& m, proto::Forwarder& fwd, int rank, int global_rank,
+                         const IorParams& p, bool reading, Phase& phase, Rng rng) {
+  proto::SinkTarget st;
+  st.kind = proto::SinkTarget::Kind::storage;
+  for (int seg = 0; seg < p.segments; ++seg) {
+    const std::uint64_t off = offset_for(p, global_rank, seg, rng);
+    st.block = off / p.stripe_bytes +
+               (p.shared_file ? 0 : static_cast<std::uint64_t>(global_rank) * 1024);
+    if (reading) {
+      (void)co_await fwd.read(rank, -1, p.transfer_bytes, st);
+    } else {
+      (void)co_await fwd.write(rank, -1, p.transfer_bytes, st);
+    }
+    phase.bytes += p.transfer_bytes;
+  }
+  (void)m;
+}
+
+sim::Proc<void> run_phase(bgp::Machine& m, std::vector<std::unique_ptr<proto::Forwarder>>& fwds,
+                          const IorParams& p, bool reading, Phase& phase) {
+  auto& eng = m.engine();
+  phase.start = eng.now();
+  Rng root(p.seed + (reading ? 1 : 0));
+  std::vector<sim::Proc<void>> procs;
+  const int cns_per_pset = m.config().cns_per_pset;
+  for (int g = 0; g < p.cns; ++g) {
+    procs.push_back(ior_proc(m, *fwds[static_cast<std::size_t>(g / cns_per_pset)],
+                             g % cns_per_pset, g, p, reading, phase, root.fork()));
+  }
+  co_await sim::when_all(eng, std::move(procs));
+  for (auto& f : fwds) co_await f->drain();
+  phase.end = eng.now();
+}
+
+sim::Proc<void> run_phases(bgp::Machine& m, std::vector<std::unique_ptr<proto::Forwarder>>& fwds,
+                           const IorParams& p, Phase& wr, Phase& rd) {
+  if (p.direction != IorDirection::read_only) {
+    co_await run_phase(m, fwds, p, /*reading=*/false, wr);
+  }
+  if (p.direction != IorDirection::write_only) {
+    co_await run_phase(m, fwds, p, /*reading=*/true, rd);
+  }
+  for (auto& f : fwds) f->shutdown();
+}
+
+double rate_mib_s(const Phase& ph) {
+  const double secs = sim::to_seconds(ph.end - ph.start);
+  return secs > 0 ? static_cast<double>(ph.bytes) / (1024.0 * 1024.0) / secs : 0.0;
+}
+
+}  // namespace
+
+IorResult run_ior(proto::Mechanism m, const bgp::MachineConfig& machine_cfg,
+                  const proto::ForwarderConfig& fwd_cfg, const IorParams& params) {
+  auto cfg = machine_cfg;
+  cfg.num_psets = (params.cns + cfg.cns_per_pset - 1) / cfg.cns_per_pset;
+
+  sim::Engine eng;
+  bgp::Machine machine(eng, cfg);
+  proto::RunMetrics metrics;
+  std::vector<std::unique_ptr<proto::Forwarder>> fwds;
+  for (int p = 0; p < machine.num_psets(); ++p) {
+    fwds.push_back(proto::make_forwarder(m, machine, machine.pset(p), metrics, fwd_cfg));
+  }
+
+  Phase wr, rd;
+  eng.spawn(run_phases(machine, fwds, params, wr, rd));
+  eng.run();
+
+  IorResult r;
+  r.bytes_written = wr.bytes;
+  r.bytes_read = rd.bytes;
+  r.write_mib_s = rate_mib_s(wr);
+  r.read_mib_s = rate_mib_s(rd);
+  r.elapsed_s = sim::to_seconds(eng.now());
+  return r;
+}
+
+}  // namespace iofwd::wl

@@ -1,0 +1,51 @@
+// IOR-like parameterized I/O benchmark on the simulated machine.
+//
+// IOR is the other standard parallel-I/O benchmark on leadership systems
+// (Lang et al. [11], the study the paper builds on, uses it extensively).
+// This generator covers its core parameter space against the simulated
+// GPFS: access pattern (sequential / strided / random offsets), direction
+// (write, read, or write-then-read), transfer size, segment count, shared
+// vs per-process files.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/config.hpp"
+#include "core/rng.hpp"
+#include "proto/forwarder.hpp"
+
+namespace iofwd::wl {
+
+enum class IorPattern { sequential, strided, random };
+enum class IorDirection { write_only, read_only, write_then_read };
+
+struct IorParams {
+  int cns = 64;
+  IorPattern pattern = IorPattern::sequential;
+  IorDirection direction = IorDirection::write_only;
+  std::uint64_t transfer_bytes = 1ull << 20;  // -t
+  int segments = 64;                          // -s (transfers per process)
+  bool shared_file = true;                    // -F inverted
+  std::uint64_t stripe_bytes = 4ull << 20;
+  std::uint64_t seed = 0x10f;
+
+  [[nodiscard]] std::uint64_t bytes_per_process() const {
+    return transfer_bytes * static_cast<std::uint64_t>(segments);
+  }
+};
+
+struct IorResult {
+  double write_mib_s = 0;
+  double read_mib_s = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  double elapsed_s = 0;
+};
+
+IorResult run_ior(proto::Mechanism m, const bgp::MachineConfig& machine_cfg,
+                  const proto::ForwarderConfig& fwd_cfg, const IorParams& params);
+
+[[nodiscard]] const char* to_string(IorPattern p);
+[[nodiscard]] const char* to_string(IorDirection d);
+
+}  // namespace iofwd::wl

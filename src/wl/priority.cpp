@@ -1,0 +1,84 @@
+#include "wl/priority.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "bgp/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::wl {
+
+namespace {
+
+struct Collected {
+  Sample interactive_latency_ns;
+  Sample bulk_latency_ns;
+  std::uint64_t bulk_bytes = 0;
+};
+
+sim::Proc<void> bulk_cn(bgp::Machine& m, proto::Forwarder& fwd, int cn, const PriorityParams& p,
+                        Collected& out) {
+  proto::SinkTarget sink;
+  sink.kind = proto::SinkTarget::Kind::da_memory;
+  sink.priority = 0;
+  auto& eng = m.engine();
+  for (int i = 0; i < p.bulk_iterations; ++i) {
+    const sim::SimTime t0 = eng.now();
+    (void)co_await fwd.write(cn, -1, p.bulk_bytes, sink);
+    out.bulk_latency_ns.add(static_cast<double>(eng.now() - t0));
+    out.bulk_bytes += p.bulk_bytes;
+  }
+}
+
+sim::Proc<void> interactive_cn(bgp::Machine& m, proto::Forwarder& fwd, int cn,
+                               const PriorityParams& p, Collected& out) {
+  proto::SinkTarget sink;
+  sink.kind = proto::SinkTarget::Kind::da_memory;
+  sink.priority = p.interactive_priority;
+  auto& eng = m.engine();
+  for (int i = 0; i < p.interactive_iterations; ++i) {
+    co_await sim::Delay{eng, p.interactive_gap_ns};
+    const sim::SimTime t0 = eng.now();
+    (void)co_await fwd.write(cn, -1, p.interactive_bytes, sink);
+    out.interactive_latency_ns.add(static_cast<double>(eng.now() - t0));
+  }
+}
+
+sim::Proc<void> run_all(bgp::Machine& m, proto::Forwarder& fwd, const PriorityParams& p,
+                        Collected& out) {
+  std::vector<sim::Proc<void>> procs;
+  int cn = 0;
+  for (int i = 0; i < p.bulk_cns; ++i) procs.push_back(bulk_cn(m, fwd, cn++, p, out));
+  for (int i = 0; i < p.interactive_cns; ++i) {
+    procs.push_back(interactive_cn(m, fwd, cn++, p, out));
+  }
+  co_await sim::when_all(m.engine(), std::move(procs));
+  co_await fwd.drain();
+  fwd.shutdown();
+}
+
+}  // namespace
+
+PriorityResult run_priority(proto::Mechanism m, const bgp::MachineConfig& machine_cfg,
+                            const proto::ForwarderConfig& fwd_cfg, const PriorityParams& params) {
+  sim::Engine eng;
+  bgp::Machine machine(eng, machine_cfg);
+  proto::RunMetrics metrics;
+  auto fwd = proto::make_forwarder(m, machine, machine.pset(0), metrics, fwd_cfg);
+
+  Collected out;
+  eng.spawn(run_all(machine, *fwd, params, out));
+  eng.run();
+
+  PriorityResult r;
+  const double secs = sim::to_seconds(metrics.last_delivery);
+  if (secs > 0) {
+    r.bulk_throughput_mib_s = static_cast<double>(out.bulk_bytes) / (1024.0 * 1024.0) / secs;
+  }
+  r.interactive_mean_latency_us = out.interactive_latency_ns.percentile(50) / 1e3;
+  r.interactive_p99_latency_us = out.interactive_latency_ns.percentile(99) / 1e3;
+  r.bulk_mean_latency_ms = out.bulk_latency_ns.percentile(50) / 1e6;
+  return r;
+}
+
+}  // namespace iofwd::wl

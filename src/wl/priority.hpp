@@ -1,0 +1,41 @@
+// Mixed bulk + interactive workload for evaluating work-queue scheduling
+// policies (the paper's suggested extensions: size-aware and priority-aware
+// queues, Sec. IV).
+//
+// Most CNs stream bulk 1 MiB checkpoints; a few CNs issue small
+// high-priority operations (e.g. monitoring or steering messages for the
+// concurrent-analysis use case of Sec. I). We measure what the policies are
+// meant to trade: bulk throughput vs the latency of the small operations.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/config.hpp"
+#include "core/stats.hpp"
+#include "proto/forwarder.hpp"
+
+namespace iofwd::wl {
+
+struct PriorityParams {
+  int bulk_cns = 56;
+  int interactive_cns = 8;
+  std::uint64_t bulk_bytes = 1ull << 20;
+  std::uint64_t interactive_bytes = 64ull << 10;
+  int bulk_iterations = 200;
+  int interactive_iterations = 200;
+  // Think time between interactive ops (they are sporadic by nature).
+  sim::SimTime interactive_gap_ns = 2'000'000;  // 2 ms
+  int interactive_priority = 1;                 // bulk stays at 0
+};
+
+struct PriorityResult {
+  double bulk_throughput_mib_s = 0;
+  double interactive_mean_latency_us = 0;
+  double interactive_p99_latency_us = 0;
+  double bulk_mean_latency_ms = 0;
+};
+
+PriorityResult run_priority(proto::Mechanism m, const bgp::MachineConfig& machine_cfg,
+                            const proto::ForwarderConfig& fwd_cfg, const PriorityParams& params);
+
+}  // namespace iofwd::wl

@@ -1,0 +1,75 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace iofwd::analysis {
+namespace {
+
+TEST(FigureReport, StoresAndRetrieves) {
+  FigureReport r("figX", "title", "CNs");
+  r.add("4", "CIOD", 400.0);
+  r.add("4", "ZOID", 440.0);
+  r.add("8", "CIOD", 410.0);
+  EXPECT_EQ(r.get("4", "CIOD"), 400.0);
+  EXPECT_EQ(r.get("4", "ZOID"), 440.0);
+  EXPECT_EQ(r.get("9", "CIOD"), std::nullopt);
+  EXPECT_EQ(r.get("4", "nope"), std::nullopt);
+}
+
+TEST(FigureReport, OverwriteUpdatesCell) {
+  FigureReport r("f", "t", "x");
+  r.add("1", "s", 1.0);
+  r.add("1", "s", 2.0);
+  EXPECT_EQ(r.get("1", "s"), 2.0);
+}
+
+TEST(FigureReport, RenderContainsSeriesAndExpected) {
+  FigureReport r("fig09", "ladder", "CNs");
+  r.add("32", "CIOD", 390.8);
+  r.add_expected("32", "CIOD", 390.0);
+  const std::string out = r.render();
+  EXPECT_NE(out.find("fig09"), std::string::npos);
+  EXPECT_NE(out.find("CIOD"), std::string::npos);
+  EXPECT_NE(out.find("paper:CIOD"), std::string::npos);
+  EXPECT_NE(out.find("390.8"), std::string::npos);
+}
+
+TEST(FigureReport, RenderWithoutExpectationsOmitsPaperColumns) {
+  FigureReport r("f", "t", "x");
+  r.add("1", "s", 1.0);
+  EXPECT_EQ(r.render().find("paper:"), std::string::npos);
+}
+
+TEST(FigureReport, MissingCellsRenderAsDash) {
+  FigureReport r("f", "t", "x");
+  r.add("1", "a", 1.0);
+  r.add("2", "b", 2.0);  // (1,b) and (2,a) missing
+  const std::string out = r.render();
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(FigureReport, CsvRoundTrip) {
+  FigureReport r("figcsv", "t", "x");
+  r.add("1", "s", 42.5);
+  r.add_expected("1", "s", 40.0);
+  const std::string path = "/tmp/iofwd_report_test.csv";
+  ASSERT_TRUE(r.write_csv(path).is_ok());
+  std::ifstream f(path);
+  std::string header, line;
+  std::getline(f, header);
+  std::getline(f, line);
+  EXPECT_EQ(header, "x,series,measured_MiB/s,paper_MiB/s");
+  EXPECT_EQ(line, "1,s,42.5,40");
+  std::remove(path.c_str());
+}
+
+TEST(FigureReport, CsvToBadPathFails) {
+  FigureReport r("f", "t", "x");
+  EXPECT_FALSE(r.write_csv("/nonexistent_dir_xyz/file.csv").is_ok());
+}
+
+}  // namespace
+}  // namespace iofwd::analysis

@@ -1,0 +1,69 @@
+#include "bgp/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd::bgp {
+namespace {
+
+TEST(MachineConfig, IntrepidDefaultsValidate) {
+  const auto cfg = MachineConfig::intrepid();
+  std::string why;
+  EXPECT_TRUE(cfg.validate(&why)) << why;
+  EXPECT_EQ(cfg.cns_per_pset, 64);
+  EXPECT_EQ(cfg.ion_cores, 4);
+  EXPECT_EQ(cfg.total_cns(), 64);
+}
+
+TEST(MachineConfig, TreeEffectivePeakMatchesPaper) {
+  // Paper Sec. III-A: ~731 MiBps effective after 26 B headers per 256 B.
+  const auto cfg = MachineConfig::intrepid();
+  EXPECT_NEAR(cfg.tree_effective_peak_mib_s(), 731.0, 8.0);
+}
+
+TEST(MachineConfig, SingleThreadExternalMatchesPaper) {
+  // Paper Fig. 5: one ION thread sustains 307 MiBps of TCP.
+  const auto cfg = MachineConfig::intrepid();
+  EXPECT_NEAR(cfg.external_peak_mib_s(1), 307.0, 3.0);
+}
+
+TEST(MachineConfig, FourThreadExternalMatchesPaper) {
+  // Paper Fig. 5: four threads sustain 791 MiBps.
+  const auto cfg = MachineConfig::intrepid();
+  EXPECT_NEAR(cfg.external_peak_mib_s(4), 791.0, 8.0);
+}
+
+TEST(MachineConfig, EightThreadsWorseThanFour) {
+  // Paper Fig. 5 and Fig. 11: 8 threads on 4 cores regress.
+  const auto cfg = MachineConfig::intrepid();
+  EXPECT_LT(cfg.external_peak_mib_s(8), cfg.external_peak_mib_s(4));
+}
+
+TEST(MachineConfig, EndToEndBoundNearPaper) {
+  // Paper Sec. III-C: ~650 MiBps.
+  const auto cfg = MachineConfig::intrepid();
+  EXPECT_NEAR(cfg.end_to_end_bound_mib_s(), 650.0, 40.0);
+}
+
+TEST(MachineConfig, ValidateRejectsBadConfigs) {
+  std::string why;
+  auto check_invalid = [&](auto mutate) {
+    auto cfg = MachineConfig::intrepid();
+    mutate(cfg);
+    EXPECT_FALSE(cfg.validate(&why));
+    EXPECT_FALSE(why.empty());
+  };
+  check_invalid([](MachineConfig& c) { c.num_psets = 0; });
+  check_invalid([](MachineConfig& c) { c.cns_per_pset = 0; });
+  check_invalid([](MachineConfig& c) { c.num_da_nodes = 0; });
+  check_invalid([](MachineConfig& c) { c.num_fsns = -1; });
+  check_invalid([](MachineConfig& c) { c.ion_cores = 0; });
+  check_invalid([](MachineConfig& c) { c.tree_raw_mb_s = 0; });
+  check_invalid([](MachineConfig& c) { c.eth_mib_s = -5; });
+  check_invalid([](MachineConfig& c) { c.ion_tcp_send_cost_ns_b = 0; });
+  check_invalid([](MachineConfig& c) { c.ion_share_penalty = -0.1; });
+  check_invalid([](MachineConfig& c) { c.control_steps = 0; });
+  check_invalid([](MachineConfig& c) { c.ion_memory_bytes = 0; });
+}
+
+}  // namespace
+}  // namespace iofwd::bgp

@@ -1,0 +1,110 @@
+#include "bgp/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::bgp {
+namespace {
+
+TEST(Machine, BuildsIntrepidTopology) {
+  sim::Engine eng;
+  auto cfg = MachineConfig::intrepid();
+  cfg.num_psets = 4;
+  cfg.num_da_nodes = 20;
+  Machine m(eng, cfg);
+  EXPECT_EQ(m.num_psets(), 4);
+  EXPECT_EQ(m.num_das(), 20);
+  EXPECT_EQ(m.storage().num_fsns(), 128);
+  EXPECT_EQ(m.pset(3).id(), 3);
+  EXPECT_EQ(m.pset(0).num_cns(), 64);
+  EXPECT_EQ(m.da(19).id(), 19);
+}
+
+TEST(Machine, RejectsInvalidConfig) {
+  sim::Engine eng;
+  auto cfg = MachineConfig::intrepid();
+  cfg.ion_cores = 0;
+  EXPECT_THROW(Machine(eng, cfg), std::invalid_argument);
+}
+
+TEST(Machine, MxnDistributionCoversAllDas) {
+  sim::Engine eng;
+  auto cfg = MachineConfig::intrepid();
+  cfg.num_psets = 2;
+  cfg.num_da_nodes = 5;
+  Machine m(eng, cfg);
+  // 128 CNs over 5 DAs: every DA serves some CNs, balanced within 1.
+  std::vector<int> counts(5, 0);
+  for (int p = 0; p < 2; ++p) {
+    for (int c = 0; c < 64; ++c) ++counts[static_cast<std::size_t>(m.da_for_cn(p, c).id())];
+  }
+  int lo = counts[0], hi = counts[0];
+  for (int x : counts) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_GT(lo, 0);
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(Machine, TreeLinkHasHeaderOverhead) {
+  sim::Engine eng;
+  Machine m(eng, MachineConfig::intrepid());
+  EXPECT_NEAR(m.pset(0).tree().effective_peak_mib_s(), 731.0, 8.0);
+}
+
+TEST(Machine, IonMemoryMatchesConfig) {
+  sim::Engine eng;
+  Machine m(eng, MachineConfig::intrepid());
+  EXPECT_EQ(m.pset(0).ion().memory().available(), 2ll * 1024 * 1024 * 1024);
+}
+
+sim::Proc<void> serve_and_mark(Machine& m, int fsn, std::uint64_t bytes, sim::SimTime& done,
+                               sim::Engine& eng) {
+  co_await m.storage().serve(fsn, bytes);
+  done = eng.now();
+}
+
+TEST(Machine, StorageServesThroughFsnLink) {
+  sim::Engine eng;
+  auto cfg = MachineConfig::intrepid();
+  cfg.storage_latency_ns = 0;
+  cfg.fsn_mib_s_each = bytes_per_ns_to_mib_per_s(1.0);       // 1 B/ns per FSN
+  cfg.storage_aggregate_mib_s = bytes_per_ns_to_mib_per_s(100.0);  // not binding
+  Machine m(eng, cfg);
+  sim::SimTime done = -1;
+  eng.spawn(serve_and_mark(m, 0, 1000, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(Machine, StorageAggregateCapBinds) {
+  sim::Engine eng;
+  auto cfg = MachineConfig::intrepid();
+  cfg.storage_latency_ns = 0;
+  cfg.fsn_mib_s_each = bytes_per_ns_to_mib_per_s(10.0);        // generous per-FSN
+  cfg.storage_aggregate_mib_s = bytes_per_ns_to_mib_per_s(1.0);  // 1 B/ns total
+  cfg.num_fsns = 4;
+  Machine m(eng, cfg);
+  std::vector<sim::SimTime> done(4, -1);
+  for (int f = 0; f < 4; ++f) eng.spawn(serve_and_mark(m, f, 1000, done[f], eng));
+  eng.run();
+  // 4000 bytes through a 1 B/ns aggregate: 4000 ns, shared fairly.
+  for (auto d : done) EXPECT_EQ(d, 4000);
+}
+
+TEST(Machine, StripingRoundRobins) {
+  sim::Engine eng;
+  Machine m(eng, MachineConfig::intrepid());
+  const int n = m.storage().num_fsns();
+  EXPECT_EQ(m.storage().fsn_for(0), 0);
+  EXPECT_EQ(m.storage().fsn_for(1), 1);
+  EXPECT_EQ(m.storage().fsn_for(static_cast<std::uint64_t>(n)), 0);
+}
+
+}  // namespace
+}  // namespace iofwd::bgp

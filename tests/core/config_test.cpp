@@ -1,0 +1,73 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace iofwd {
+namespace {
+
+TEST(Config, DefaultsWhenUnset) {
+  Config c;
+  EXPECT_EQ(c.get("nope", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("nope", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("nope", 2.5), 2.5);
+  EXPECT_TRUE(c.get_bool("nope", true));
+  EXPECT_FALSE(c.contains("nope"));
+}
+
+TEST(Config, SetAndGet) {
+  Config c;
+  c.set("ion.workers", "4");
+  EXPECT_EQ(c.get_int("ion.workers", 0), 4);
+  EXPECT_TRUE(c.contains("ion.workers"));
+  c.set_int("bml.bytes", 1073741824);
+  EXPECT_EQ(c.get_int("bml.bytes", 0), 1073741824);
+  c.set_double("net.bw", 731.5);
+  EXPECT_DOUBLE_EQ(c.get_double("net.bw", 0), 731.5);
+}
+
+TEST(Config, BoolParsing) {
+  Config c;
+  for (const char* t : {"1", "true", "Yes", "ON"}) {
+    c.set("flag", t);
+    EXPECT_TRUE(c.get_bool("flag", false)) << t;
+  }
+  for (const char* f : {"0", "false", "No", "off"}) {
+    c.set("flag", f);
+    EXPECT_FALSE(c.get_bool("flag", true)) << f;
+  }
+  c.set("flag", "banana");
+  EXPECT_TRUE(c.get_bool("flag", true));  // unparseable -> default
+}
+
+TEST(Config, BadIntFallsBack) {
+  Config c;
+  c.set("n", "not-a-number");
+  EXPECT_EQ(c.get_int("n", -3), -3);
+}
+
+TEST(Config, EnvOverridesExplicit) {
+  // Mirrors the paper: worker count is controlled by an environment variable
+  // at job launch (Sec. IV).
+  ::setenv("IOFWD_ION_WORKERS", "8", 1);
+  Config c;
+  c.set("ion.workers", "4");
+  EXPECT_EQ(c.get_int("ion.workers", 0), 8);
+  EXPECT_TRUE(c.contains("ion.workers"));
+  ::unsetenv("IOFWD_ION_WORKERS");
+  EXPECT_EQ(c.get_int("ion.workers", 0), 4);
+}
+
+TEST(Config, ParseOverride) {
+  Config c;
+  EXPECT_TRUE(c.parse_override("a.b=xyz"));
+  EXPECT_EQ(c.get("a.b"), "xyz");
+  EXPECT_FALSE(c.parse_override("noequals"));
+  EXPECT_FALSE(c.parse_override("=v"));
+  EXPECT_TRUE(c.parse_override("k="));  // empty value is allowed
+  EXPECT_EQ(c.get("k", "d"), "");       // explicit empty value wins over default
+}
+
+}  // namespace
+}  // namespace iofwd

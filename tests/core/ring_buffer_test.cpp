@@ -1,0 +1,93 @@
+#include "core/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iofwd {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_EQ(rb.pop(), std::nullopt);
+}
+
+TEST(RingBuffer, PushPopFifo) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(4));
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, WrapAroundManyTimes) {
+  RingBuffer<int> rb(5);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (rb.push(next_in)) ++next_in;
+    while (auto v = rb.pop()) {
+      EXPECT_EQ(*v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBuffer, FrontPeeksOldest) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  rb.push("b");
+  EXPECT_EQ(rb.front(), "a");
+  rb.pop();
+  EXPECT_EQ(rb.front(), "b");
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(9));
+  EXPECT_EQ(rb.pop(), 9);
+}
+
+TEST(RingBuffer, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(5));
+  auto v = rb.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+class RingBufferCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferCapacity, FillDrainProperty) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> rb(cap);
+  for (std::size_t i = 0; i < cap; ++i) EXPECT_TRUE(rb.push(i));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(999));
+  for (std::size_t i = 0; i < cap; ++i) {
+    auto v = rb.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RingBufferCapacity, ::testing::Values(1u, 2u, 3u, 7u, 64u, 1024u));
+
+}  // namespace
+}  // namespace iofwd

@@ -1,0 +1,84 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace iofwd {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowZeroBound) {
+  Rng r(9);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // Child stream differs from the parent continuing.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRoughlyUniform) {
+  Rng r(17);
+  constexpr int buckets = 10;
+  int counts[buckets] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.below(buckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / buckets, n / buckets * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace iofwd

@@ -1,0 +1,89 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace iofwd {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, Basic) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 100;
+    (i < 400 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(Sample, Percentiles) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+}
+
+TEST(Sample, SingleElement) {
+  Sample s;
+  s.add(42.0);
+  EXPECT_EQ(s.median(), 42.0);
+  EXPECT_EQ(s.percentile(99), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(Sample, AddAfterQueryResorts) {
+  Sample s;
+  s.add(10.0);
+  EXPECT_EQ(s.max(), 10.0);
+  s.add(20.0);
+  s.add(5.0);
+  EXPECT_EQ(s.max(), 20.0);
+  EXPECT_EQ(s.min(), 5.0);
+}
+
+TEST(Sample, EmptyIsZero) {
+  Sample s;
+  EXPECT_EQ(s.median(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace iofwd

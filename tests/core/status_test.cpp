@@ -1,0 +1,68 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), Errc::ok);
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s(Errc::io_error, "disk on fire");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::io_error);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.to_string(), "io_error: disk on fire");
+}
+
+TEST(Status, EqualityIgnoresMessage) {
+  EXPECT_EQ(Status(Errc::io_error, "a"), Status(Errc::io_error, "b"));
+  EXPECT_FALSE(Status(Errc::io_error, "a") == Status(Errc::no_memory, "a"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Errc::internal); ++c) {
+    EXPECT_NE(errc_name(static_cast<Errc>(c)), "unknown") << "code " << c;
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Errc::ok);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = Status(Errc::bad_descriptor, "fd 7");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::bad_descriptor);
+  EXPECT_EQ(r.status().message(), "fd 7");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ErrcConstructor) {
+  Result<std::string> r(Errc::no_memory, "pool empty");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::no_memory);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r = 7;
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+}  // namespace
+}  // namespace iofwd

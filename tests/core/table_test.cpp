@@ -1,0 +1,69 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iofwd {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "MiB/s"});
+  t.add_row({"CIOD", "420.0"});
+  t.add_row({"ZOID+async", "618.3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("CIOD"), std::string::npos);
+  EXPECT_NE(out.find("618.3"), std::string::npos);
+  // Frame lines present.
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW({ auto s = t.render(); });
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(5.0, 0), "5");
+  EXPECT_EQ(Table::num(std::nan(""), 1), "-");
+  EXPECT_EQ(Table::pct(95.4), "95%");
+}
+
+TEST(BarChart, ScalesToMax) {
+  BarChart c("title", 10);
+  c.add("full", 100);
+  c.add("half", 50);
+  c.add("zero", 0);
+  const std::string out = c.render();
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+  EXPECT_NE(out.find("title"), std::string::npos);
+}
+
+TEST(BarChart, EmptyIsJustTitle) {
+  BarChart c("nothing");
+  EXPECT_EQ(c.render(), "nothing\n");
+}
+
+TEST(GroupedChart, RendersAllSeriesPerGroup) {
+  GroupedChart g("fig", {"CIOD", "ZOID"}, 20);
+  g.add_group("n=4", {100, 120});
+  g.add_group("n=8", {90, 130});
+  const std::string out = g.render();
+  EXPECT_NE(out.find("n=4"), std::string::npos);
+  EXPECT_NE(out.find("n=8"), std::string::npos);
+  // Each group lists both series.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1 + 2 * 3);
+}
+
+TEST(GroupedChart, MissingValuesPadToZero) {
+  GroupedChart g("fig", {"a", "b", "c"});
+  g.add_group("x", {1.0});
+  EXPECT_NO_THROW({ auto s = g.render(); });
+}
+
+}  // namespace
+}  // namespace iofwd

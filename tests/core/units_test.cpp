@@ -1,0 +1,80 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd {
+namespace {
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+TEST(Units, TimeLiterals) {
+  EXPECT_EQ(5_us, 5000);
+  EXPECT_EQ(3_ms, 3000000);
+  EXPECT_EQ(2_sec, 2000000000);
+}
+
+TEST(Units, RateRoundTrip) {
+  const double mib_s = 731.0;
+  EXPECT_NEAR(bytes_per_ns_to_mib_per_s(mib_per_s_to_bytes_per_ns(mib_s)), mib_s, 1e-9);
+}
+
+TEST(Units, RateMagnitude) {
+  // 1 MiB/s == 1048576 bytes per 1e9 ns.
+  EXPECT_NEAR(mib_per_s_to_bytes_per_ns(1.0), 1048576.0 / 1e9, 1e-12);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(1048576), "1 MiB");
+  EXPECT_EQ(format_bytes(3u << 30), "3 GiB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration_ns(12), "12 ns");
+  EXPECT_EQ(format_duration_ns(1500), "1.50 us");
+  EXPECT_EQ(format_duration_ns(2500000), "2.50 ms");
+  EXPECT_EQ(format_duration_ns(1250000000), "1.250 s");
+}
+
+TEST(Units, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_EQ(next_pow2((1ull << 40) + 1), 1ull << 41);
+}
+
+TEST(Units, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(4097));
+  EXPECT_FALSE(is_pow2(3));
+}
+
+class NextPow2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NextPow2Property, ResultIsPow2AndTight) {
+  const auto v = GetParam();
+  const auto p = next_pow2(v);
+  EXPECT_TRUE(is_pow2(p));
+  EXPECT_GE(p, v);
+  if (p > 1) { EXPECT_LT(p / 2, std::max<std::uint64_t>(v, 1)); }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NextPow2Property,
+                         ::testing::Values(0u, 1u, 2u, 5u, 7u, 63u, 64u, 65u, 100u, 255u, 257u,
+                                           4095u, 4096u, 4097u, 1u << 20, (1u << 20) + 1));
+
+}  // namespace
+}  // namespace iofwd

@@ -1,0 +1,147 @@
+// Paper-shape regression suite.
+//
+// Asserts the headline shapes of every reproduced figure with explicit
+// tolerances, so a calibration or scheduler change that silently breaks the
+// reproduction fails CI instead of EXPERIMENTS.md. Iteration counts are
+// reduced relative to the bench binaries; tolerances account for that.
+#include <gtest/gtest.h>
+
+#include "bgp/machine.hpp"
+#include "wl/stream.hpp"
+
+namespace iofwd {
+namespace {
+
+using proto::Mechanism;
+
+double stream(Mechanism m, int cns, std::uint64_t msg = 1_MiB, int iters = 120,
+              proto::SinkTarget::Kind sink = proto::SinkTarget::Kind::da_memory,
+              int workers = 4) {
+  wl::StreamParams p;
+  p.cns_per_pset = cns;
+  p.message_bytes = msg;
+  p.iterations = iters;
+  p.sink = sink;
+  proto::ForwarderConfig fc;
+  fc.workers = workers;
+  return wl::run_stream(m, bgp::MachineConfig::intrepid(), fc, p).throughput_mib_s;
+}
+
+// ---- Fig. 4: collective network ------------------------------------------
+
+TEST(PaperShapes, Fig4_TreePeaksNear680AtMidCounts) {
+  const double t8 = stream(Mechanism::ciod, 8, 1_MiB, 120, proto::SinkTarget::Kind::dev_null);
+  EXPECT_NEAR(t8, 690, 40) << "paper: ~680 MiB/s at 4-8 CNs";
+}
+
+TEST(PaperShapes, Fig4_DegradesBeyond32Cns) {
+  const double t8 = stream(Mechanism::ciod, 8, 1_MiB, 120, proto::SinkTarget::Kind::dev_null);
+  const double t64 = stream(Mechanism::ciod, 64, 1_MiB, 120, proto::SinkTarget::Kind::dev_null);
+  EXPECT_LT(t64, 0.95 * t8) << "paper: performance reduces beyond 32 CNs";
+}
+
+TEST(PaperShapes, Fig4_SingleCnIsInjectionLimited) {
+  const double t1 = stream(Mechanism::zoid, 1, 1_MiB, 120, proto::SinkTarget::Kind::dev_null);
+  EXPECT_LT(t1, 500) << "one CN cannot saturate the tree";
+}
+
+TEST(PaperShapes, Fig4_ZoidEdgesCiod) {
+  const double ciod = stream(Mechanism::ciod, 8, 1_MiB, 120, proto::SinkTarget::Kind::dev_null);
+  const double zoid = stream(Mechanism::zoid, 8, 1_MiB, 120, proto::SinkTarget::Kind::dev_null);
+  EXPECT_GT(zoid, ciod) << "paper: ~2% improvement";
+  EXPECT_LT(zoid, 1.10 * ciod) << "...but only a few percent";
+}
+
+// ---- Fig. 5: external network (config-level model) ------------------------
+
+TEST(PaperShapes, Fig5_ExternalThreadScaling) {
+  const auto cfg = bgp::MachineConfig::intrepid();
+  EXPECT_NEAR(cfg.external_peak_mib_s(1), 307, 5);
+  EXPECT_NEAR(cfg.external_peak_mib_s(4), 791, 10);
+  EXPECT_LT(cfg.external_peak_mib_s(8), cfg.external_peak_mib_s(4));
+}
+
+// ---- Fig. 6: end-to-end baselines ------------------------------------------
+
+TEST(PaperShapes, Fig6_SyncPeakNearTwoThirdsOfBound) {
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const double peak = stream(Mechanism::ciod, 4);
+  const double eff = peak / cfg.end_to_end_bound_mib_s();
+  EXPECT_NEAR(eff, 0.63, 0.08) << "paper: ~66% of the achievable maximum";
+}
+
+TEST(PaperShapes, Fig6_DeclinesWithCnCount) {
+  EXPECT_LT(stream(Mechanism::zoid, 64), stream(Mechanism::zoid, 4));
+}
+
+// ---- Fig. 9: the mechanism ladder ------------------------------------------
+
+TEST(PaperShapes, Fig9_ImprovementRatiosAt32Cns) {
+  const double ciod = stream(Mechanism::ciod, 32);
+  const double zoid = stream(Mechanism::zoid, 32);
+  const double async = stream(Mechanism::zoid_sched_async, 32);
+  // Paper: +57% over CIOD, +40% over ZOID.
+  EXPECT_NEAR(async / ciod, 1.57, 0.15);
+  EXPECT_NEAR(async / zoid, 1.40, 0.15);
+}
+
+TEST(PaperShapes, Fig9_AsyncNearTheBound) {
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const double async = stream(Mechanism::zoid_sched_async, 32, 1_MiB, 200);
+  EXPECT_GT(async / cfg.end_to_end_bound_mib_s(), 0.85) << "paper: ~95% of its 650 bound";
+}
+
+// ---- Fig. 10: message-size behaviour ----------------------------------------
+
+TEST(PaperShapes, Fig10_GainsPersistAcrossSizes) {
+  for (std::uint64_t msg : {256_KiB, 1_MiB, 4_MiB}) {
+    const double zoid = stream(Mechanism::zoid, 64, msg, 60);
+    const double async = stream(Mechanism::zoid_sched_async, 64, msg, 60);
+    EXPECT_GT(async, 1.2 * zoid) << "msg=" << msg;
+  }
+}
+
+TEST(PaperShapes, Fig10_SmallMessagesGatedByControlExchange) {
+  const double small = stream(Mechanism::zoid, 64, 64_KiB, 120);
+  const double large = stream(Mechanism::zoid, 64, 1_MiB, 120);
+  EXPECT_LT(small, 0.8 * large);
+}
+
+// ---- Fig. 11: worker-pool size ----------------------------------------------
+
+TEST(PaperShapes, Fig11_OneWorkerCappedByOneCore) {
+  const double w1 = stream(Mechanism::zoid_sched_async, 64, 1_MiB, 120,
+                           proto::SinkTarget::Kind::da_memory, 1);
+  EXPECT_NEAR(w1, 300, 40) << "paper: a single thread cannot exceed ~300 MiB/s";
+}
+
+TEST(PaperShapes, Fig11_FourWorkersIsTheSweetSpot) {
+  const double w2 = stream(Mechanism::zoid_sched_async, 64, 1_MiB, 120,
+                           proto::SinkTarget::Kind::da_memory, 2);
+  const double w4 = stream(Mechanism::zoid_sched_async, 64, 1_MiB, 120,
+                           proto::SinkTarget::Kind::da_memory, 4);
+  const double w8 = stream(Mechanism::zoid_sched_async, 64, 1_MiB, 120,
+                           proto::SinkTarget::Kind::da_memory, 8);
+  EXPECT_GT(w4, w2);
+  EXPECT_LT(w8, w4) << "paper: 8 threads regress vs 4 on the 4-core ION";
+}
+
+// ---- Fig. 12: weak scaling ---------------------------------------------------
+
+TEST(PaperShapes, Fig12_ThroughputScalesWithIonCount) {
+  auto run = [](int psets) {
+    auto cfg = bgp::MachineConfig::intrepid();
+    cfg.num_psets = psets;
+    cfg.num_da_nodes = 20;
+    wl::StreamParams p;
+    p.iterations = 40;
+    p.distribute_das = true;
+    return wl::run_stream(Mechanism::zoid_sched_async, cfg, {}, p).throughput_mib_s;
+  };
+  const double one = run(1);
+  const double four = run(4);
+  EXPECT_GT(four, 3.5 * one) << "every pset adds its own tree + ION";
+}
+
+}  // namespace
+}  // namespace iofwd

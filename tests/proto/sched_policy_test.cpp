@@ -1,0 +1,113 @@
+#include "proto/sched_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "proto/types.hpp"
+
+namespace iofwd::proto {
+namespace {
+
+struct FakeTask {
+  int id = 0;
+  std::uint64_t bytes = 0;
+  SinkTarget sink;
+};
+
+sim::Proc<void> drain_queue(SimTaskQueue<FakeTask>& q, std::vector<int>& order) {
+  while (true) {
+    auto t = co_await q.pop();
+    if (!t) break;
+    order.push_back(t->id);
+  }
+}
+
+std::vector<int> run_policy(QueuePolicy policy, const std::vector<FakeTask>& tasks) {
+  sim::Engine eng;
+  SimTaskQueue<FakeTask> q(eng, policy);
+  for (const auto& t : tasks) q.push(t);
+  std::vector<int> order;
+  eng.spawn(drain_queue(q, order));
+  q.close();
+  eng.run();
+  return order;
+}
+
+FakeTask task(int id, std::uint64_t bytes, int priority = 0) {
+  FakeTask t;
+  t.id = id;
+  t.bytes = bytes;
+  t.sink.priority = priority;
+  return t;
+}
+
+TEST(SchedPolicy, FifoPreservesArrivalOrder) {
+  const auto order = run_policy(QueuePolicy::fifo, {task(1, 100), task(2, 1), task(3, 50)});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedPolicy, SjfPicksSmallestFirst) {
+  const auto order = run_policy(QueuePolicy::sjf, {task(1, 100), task(2, 1), task(3, 50)});
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(SchedPolicy, SjfTiesBreakByArrival) {
+  const auto order = run_policy(QueuePolicy::sjf, {task(1, 10), task(2, 10), task(3, 10)});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedPolicy, PriorityBeatsArrivalOrder) {
+  const auto order = run_policy(
+      QueuePolicy::priority,
+      {task(1, 10, /*priority=*/0), task(2, 10, 2), task(3, 10, 1), task(4, 10, 2)});
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 3, 1}));  // FIFO within a level
+}
+
+TEST(SchedPolicy, PopBlocksUntilPush) {
+  sim::Engine eng;
+  SimTaskQueue<FakeTask> q(eng, QueuePolicy::fifo);
+  std::vector<int> order;
+  eng.spawn(drain_queue(q, order));
+  eng.run();
+  EXPECT_TRUE(order.empty());
+  q.push(task(9, 1));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{9}));
+  q.close();
+  eng.run();
+}
+
+TEST(SchedPolicy, TryPopRespectsPolicy) {
+  sim::Engine eng;
+  SimTaskQueue<FakeTask> q(eng, QueuePolicy::sjf);
+  q.push(task(1, 100));
+  q.push(task(2, 5));
+  auto t = q.try_pop();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->id, 2);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.try_pop()->id, 1);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(SchedPolicy, CloseDrainsQueuedTasksFirst) {
+  sim::Engine eng;
+  SimTaskQueue<FakeTask> q(eng, QueuePolicy::fifo);
+  q.push(task(1, 1));
+  q.push(task(2, 1));
+  q.close();
+  std::vector<int> order;
+  eng.spawn(drain_queue(q, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedPolicy, ToStringNames) {
+  EXPECT_EQ(to_string(QueuePolicy::fifo), "fifo");
+  EXPECT_EQ(to_string(QueuePolicy::sjf), "sjf");
+  EXPECT_EQ(to_string(QueuePolicy::priority), "priority");
+}
+
+}  // namespace
+}  // namespace iofwd::proto

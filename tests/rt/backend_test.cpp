@@ -1,0 +1,164 @@
+#include "rt/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+namespace iofwd::rt {
+namespace {
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+template <typename Backend>
+void basic_lifecycle(Backend& be) {
+  ASSERT_TRUE(be.open(1, "file_a").is_ok());
+  const auto data = bytes_of("hello world");
+  auto w = be.write(1, 0, data);
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value(), data.size());
+
+  std::vector<std::byte> out(5);
+  auto r = be.read(1, 6, out);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 5u);
+  EXPECT_EQ(std::memcmp(out.data(), "world", 5), 0);
+
+  EXPECT_TRUE(be.fsync(1).is_ok());
+  auto sz = be.size(1);
+  ASSERT_TRUE(sz.is_ok());
+  EXPECT_EQ(sz.value(), data.size());
+  EXPECT_TRUE(be.close(1).is_ok());
+  EXPECT_EQ(be.close(1).code(), Errc::bad_descriptor);
+  EXPECT_EQ(be.size(1).code(), Errc::bad_descriptor);
+}
+
+TEST(MemBackend, Lifecycle) {
+  MemBackend be;
+  basic_lifecycle(be);
+}
+
+TEST(FileBackend, Lifecycle) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("iofwd_fb_" + std::to_string(::getpid()));
+  FileBackend be(root.string());
+  basic_lifecycle(be);
+  std::filesystem::remove_all(root);
+}
+
+TEST(MemBackend, UnknownFdErrors) {
+  MemBackend be;
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(be.write(9, 0, buf).code(), Errc::bad_descriptor);
+  EXPECT_EQ(be.read(9, 0, buf).code(), Errc::bad_descriptor);
+  EXPECT_EQ(be.fsync(9).code(), Errc::bad_descriptor);
+}
+
+TEST(MemBackend, DoubleOpenSameFdRejected) {
+  MemBackend be;
+  ASSERT_TRUE(be.open(1, "x").is_ok());
+  EXPECT_EQ(be.open(1, "y").code(), Errc::invalid_argument);
+}
+
+TEST(MemBackend, SparseWriteZeroFills) {
+  MemBackend be;
+  be.open(1, "f");
+  const auto d = bytes_of("xy");
+  be.write(1, 10, d);
+  std::vector<std::byte> out(12);
+  auto r = be.read(1, 0, out);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 12u);
+  EXPECT_EQ(out[0], std::byte{0});
+  EXPECT_EQ(out[10], std::byte{'x'});
+}
+
+TEST(MemBackend, ReadPastEofIsShort) {
+  MemBackend be;
+  be.open(1, "f");
+  be.write(1, 0, bytes_of("abc"));
+  std::vector<std::byte> out(10);
+  auto r = be.read(1, 2, out);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 1u);
+  auto r2 = be.read(1, 100, out);
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(r2.value(), 0u);
+}
+
+TEST(MemBackend, SamePathSharedAcrossFds) {
+  MemBackend be;
+  be.open(1, "shared");
+  be.open(2, "shared");
+  be.write(1, 0, bytes_of("data"));
+  std::vector<std::byte> out(4);
+  auto r = be.read(2, 0, out);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(std::memcmp(out.data(), "data", 4), 0);
+}
+
+TEST(MemBackend, WriteFaultHookInjects) {
+  MemBackend be;
+  be.open(1, "f");
+  be.set_write_fault_hook([](int, std::uint64_t off, std::uint64_t) {
+    return off == 0 ? Status(Errc::io_error, "boom") : Status::ok();
+  });
+  EXPECT_EQ(be.write(1, 0, bytes_of("x")).code(), Errc::io_error);
+  EXPECT_TRUE(be.write(1, 8, bytes_of("x")).is_ok());
+}
+
+TEST(MemBackend, SnapshotReflectsWrites) {
+  MemBackend be;
+  be.open(1, "snap");
+  be.write(1, 0, bytes_of("abc"));
+  auto s = be.snapshot("snap");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[2], std::byte{'c'});
+  EXPECT_TRUE(be.snapshot("missing").empty());
+}
+
+TEST(FileBackend, RejectsPathEscape) {
+  FileBackend be("/tmp/iofwd_root");
+  EXPECT_EQ(be.open(1, "../etc/passwd").code(), Errc::invalid_argument);
+}
+
+TEST(FileBackend, PersistsAcrossReopen) {
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("iofwd_fb2_" + std::to_string(::getpid()));
+  {
+    FileBackend be(root.string());
+    be.open(1, "persist");
+    be.write(1, 0, bytes_of("persisted"));
+    be.close(1);
+  }
+  {
+    FileBackend be(root.string());
+    be.open(2, "persist");
+    std::vector<std::byte> out(9);
+    auto r = be.read(2, 0, out);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(std::memcmp(out.data(), "persisted", 9), 0);
+    be.close(2);
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(NullBackend, SwallowsEverything) {
+  NullBackend be;
+  EXPECT_TRUE(be.open(1, "whatever").is_ok());
+  auto w = be.write(1, 0, bytes_of("data"));
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value(), 4u);
+  std::vector<std::byte> out(4, std::byte{0xff});
+  auto r = be.read(1, 0, out);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(out[0], std::byte{0});
+  EXPECT_TRUE(be.close(1).is_ok());
+}
+
+}  // namespace
+}  // namespace iofwd::rt

@@ -1,0 +1,292 @@
+// End-to-end tests of the real forwarding runtime: IonServer + Client over
+// in-process and socket transports, across all three execution models.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+
+namespace iofwd::rt {
+namespace {
+
+struct Harness {
+  MemBackend* mem = nullptr;  // owned by server
+  std::unique_ptr<IonServer> server;
+  std::unique_ptr<Client> client;
+
+  explicit Harness(ExecModel exec, ServerConfig cfg = {}) {
+    cfg.exec = exec;
+    auto backend = std::make_unique<MemBackend>();
+    mem = backend.get();
+    server = std::make_unique<IonServer>(std::move(backend), cfg);
+    auto [a, b] = InProcTransport::make_pair();
+    server->serve(std::move(a));
+    client = std::make_unique<Client>(std::move(b));
+  }
+
+  std::unique_ptr<Client> extra_client() {
+    auto [a, b] = InProcTransport::make_pair();
+    server->serve(std::move(a));
+    return std::make_unique<Client>(std::move(b));
+  }
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& x : v) x = static_cast<std::byte>(rng.next());
+  return v;
+}
+
+class AllModels : public ::testing::TestWithParam<ExecModel> {};
+
+TEST_P(AllModels, OpenWriteReadCloseRoundTrip) {
+  Harness h(GetParam());
+  ASSERT_TRUE(h.client->open(1, "file").is_ok());
+  const auto data = pattern(1_MiB, 7);
+  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  ASSERT_TRUE(h.client->fsync(1).is_ok());  // barrier so async lands
+  auto r = h.client->read(1, 0, data.size());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), data);
+  EXPECT_TRUE(h.client->close(1).is_ok());
+}
+
+TEST_P(AllModels, OffsetWritesAssembleCorrectly) {
+  Harness h(GetParam());
+  ASSERT_TRUE(h.client->open(3, "f").is_ok());
+  const auto a = pattern(64_KiB, 1);
+  const auto b = pattern(64_KiB, 2);
+  ASSERT_TRUE(h.client->write(3, 64_KiB, b).is_ok());
+  ASSERT_TRUE(h.client->write(3, 0, a).is_ok());
+  auto r = h.client->read(3, 0, 128_KiB);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), r.value().begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), r.value().begin() + 64_KiB));
+  EXPECT_TRUE(h.client->close(3).is_ok());
+}
+
+TEST_P(AllModels, WriteToUnopenedFdFails) {
+  Harness h(GetParam());
+  const auto data = pattern(4096, 3);
+  Status st = h.client->write(9, 0, data);
+  if (GetParam() == ExecModel::work_queue_async) {
+    // Staging is acknowledged; the failure is deferred to the next op.
+    st = h.client->fsync(9);
+  }
+  EXPECT_EQ(st.code(), Errc::bad_descriptor);
+}
+
+TEST_P(AllModels, ManySequentialOps) {
+  Harness h(GetParam());
+  ASSERT_TRUE(h.client->open(1, "big").is_ok());
+  const auto chunk = pattern(16_KiB, 9);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(h.client->write(1, static_cast<std::uint64_t>(i) * chunk.size(), chunk).is_ok());
+  }
+  ASSERT_TRUE(h.client->fsync(1).is_ok());
+  auto r = h.client->read(1, 99 * chunk.size(), chunk.size());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), chunk);
+  EXPECT_TRUE(h.client->close(1).is_ok());
+  const auto s = h.server->stats();
+  EXPECT_GE(s.ops, 103u);
+  EXPECT_GE(s.bytes_in, 100 * chunk.size());
+}
+
+TEST_P(AllModels, ConcurrentClientsIntegrity) {
+  Harness h(GetParam());
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < kClients; ++i) clients.push_back(h.extra_client());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client& c = *clients[static_cast<std::size_t>(i)];
+      const int fd = 10 + i;
+      const auto data = pattern(256_KiB, static_cast<std::uint64_t>(i));
+      if (!c.open(fd, "client_" + std::to_string(i)).is_ok()) ++failures;
+      for (int op = 0; op < 20; ++op) {
+        if (!c.write(fd, static_cast<std::uint64_t>(op) * data.size(), data).is_ok()) {
+          ++failures;
+        }
+      }
+      if (!c.fsync(fd).is_ok()) ++failures;
+      auto r = c.read(fd, 19 * data.size(), data.size());
+      if (!r.is_ok() || r.value() != data) ++failures;
+      if (!c.close(fd).is_ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(AllModels, FstatReportsSize) {
+  Harness h(GetParam());
+  ASSERT_TRUE(h.client->open(1, "sized").is_ok());
+  auto empty = h.client->fstat_size(1);
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_EQ(empty.value(), 0u);
+  const auto data = pattern(192_KiB, 21);
+  ASSERT_TRUE(h.client->write(1, 64_KiB, data).is_ok());
+  // fstat drains in-flight async writes, so the size is exact.
+  auto sz = h.client->fstat_size(1);
+  ASSERT_TRUE(sz.is_ok());
+  EXPECT_EQ(sz.value(), 256_KiB);
+  EXPECT_TRUE(h.client->close(1).is_ok());
+}
+
+TEST_P(AllModels, FstatUnknownFdFails) {
+  Harness h(GetParam());
+  EXPECT_EQ(h.client->fstat_size(77).code(), Errc::bad_descriptor);
+}
+
+TEST_P(AllModels, ShutdownOpcodeDisconnects) {
+  Harness h(GetParam());
+  EXPECT_TRUE(h.client->shutdown().is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModels,
+                         ::testing::Values(ExecModel::thread_per_client, ExecModel::work_queue,
+                                           ExecModel::work_queue_async),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ---------------------------------------------------------------------------
+// Async-staging semantics
+// ---------------------------------------------------------------------------
+
+TEST(AsyncRt, WriteIsAcknowledgedAsStaged) {
+  Harness h(ExecModel::work_queue_async);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  const auto data = pattern(64_KiB, 4);
+  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  EXPECT_TRUE(h.client->last_write_was_staged());
+  ASSERT_TRUE(h.client->close(1).is_ok());
+}
+
+TEST(SyncRt, WriteIsNotStaged) {
+  Harness h(ExecModel::work_queue);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  const auto data = pattern(4096, 4);
+  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  EXPECT_FALSE(h.client->last_write_was_staged());
+}
+
+TEST(AsyncRt, DeferredErrorReportedExactlyOnce) {
+  Harness h(ExecModel::work_queue_async);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  std::atomic<int> fail_once{1};
+  h.mem->set_write_fault_hook([&](int, std::uint64_t, std::uint64_t) {
+    return fail_once.fetch_sub(1) > 0 ? Status(Errc::io_error, "injected") : Status::ok();
+  });
+  const auto data = pattern(4096, 5);
+  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  // fsync drains and must report the deferred failure.
+  EXPECT_EQ(h.client->fsync(1).code(), Errc::io_error);
+  // Consumed: everything after is clean.
+  EXPECT_TRUE(h.client->fsync(1).is_ok());
+  EXPECT_TRUE(h.client->write(1, 0, data).is_ok());
+  EXPECT_TRUE(h.client->close(1).is_ok());
+}
+
+TEST(AsyncRt, CloseReportsDeferredError) {
+  Harness h(ExecModel::work_queue_async);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  h.mem->set_write_fault_hook(
+      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "injected"); });
+  const auto data = pattern(4096, 6);
+  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  EXPECT_EQ(h.client->close(1).code(), Errc::io_error);
+  const auto s = h.server->stats();
+  EXPECT_GE(s.deferred_errors, 1u);
+}
+
+TEST(AsyncRt, ReadAfterWriteIsConsistent) {
+  // The read barrier: a read observes all previously staged writes.
+  Harness h(ExecModel::work_queue_async);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  const auto data = pattern(1_MiB, 8);
+  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  auto r = h.client->read(1, 0, data.size());  // no fsync in between
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), data);
+  EXPECT_TRUE(h.client->close(1).is_ok());
+}
+
+TEST(AsyncRt, BmlBackpressureStillDeliversEverything) {
+  ServerConfig cfg;
+  cfg.bml_bytes = 256 * 1024;  // tiny pool forces staging to block
+  Harness h(ExecModel::work_queue_async, cfg);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  const auto data = pattern(64_KiB, 9);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(h.client->write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok());
+  }
+  ASSERT_TRUE(h.client->fsync(1).is_ok());
+  auto r = h.client->read(1, 63 * data.size(), data.size());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), data);
+  EXPECT_TRUE(h.client->close(1).is_ok());
+  EXPECT_LE(h.server->stats().bml_high_watermark, 256u * 1024);
+}
+
+TEST(Rt, OversizeWriteBouncesCleanly) {
+  ServerConfig cfg;
+  cfg.bml_bytes = 64 * 1024;
+  Harness h(ExecModel::work_queue, cfg);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  const auto data = pattern(1_MiB, 10);  // exceeds the whole pool
+  EXPECT_EQ(h.client->write(1, 0, data).code(), Errc::no_memory);
+  // The connection remains usable afterwards.
+  const auto small = pattern(4096, 11);
+  EXPECT_TRUE(h.client->write(1, 0, small).is_ok());
+}
+
+TEST(Rt, WorksOverSocketpair) {
+  auto pair = SocketTransport::make_socketpair();
+  ASSERT_TRUE(pair.is_ok());
+  auto backend = std::make_unique<MemBackend>();
+  IonServer server(std::move(backend), {});
+  server.serve(std::move(pair.value().first));
+  Client client(std::move(pair.value().second));
+  ASSERT_TRUE(client.open(1, "sock").is_ok());
+  const auto data = pattern(512_KiB, 12);
+  ASSERT_TRUE(client.write(1, 0, data).is_ok());
+  ASSERT_TRUE(client.fsync(1).is_ok());
+  auto r = client.read(1, 0, data.size());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), data);
+  EXPECT_TRUE(client.close(1).is_ok());
+}
+
+TEST(Rt, StatsAccumulate) {
+  Harness h(ExecModel::work_queue_async);
+  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  const auto data = pattern(64_KiB, 13);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(h.client->write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok());
+  }
+  ASSERT_TRUE(h.client->fsync(1).is_ok());
+  const auto s = h.server->stats();
+  EXPECT_EQ(s.bytes_in, 32 * data.size());
+  EXPECT_GE(s.queue_batches, 1u);
+  EXPECT_GE(s.queue_max_depth, 1u);
+}
+
+TEST(Rt, StopIsIdempotentAndJoinsThreads) {
+  auto h = std::make_unique<Harness>(ExecModel::work_queue_async);
+  ASSERT_TRUE(h->client->open(1, "f").is_ok());
+  h->server->stop();
+  h->server->stop();
+  // Client calls now fail cleanly instead of hanging.
+  const auto data = pattern(4096, 14);
+  EXPECT_FALSE(h->client->write(1, 0, data).is_ok());
+}
+
+}  // namespace
+}  // namespace iofwd::rt

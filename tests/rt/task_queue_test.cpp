@@ -1,0 +1,127 @@
+#include "rt/task_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+namespace iofwd::rt {
+namespace {
+
+TEST(TaskQueue, PushPopSingle) {
+  TaskQueue<int> q(2);
+  EXPECT_TRUE(q.push(7));
+  auto batch = q.pop_batch(8);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 7);
+}
+
+TEST(TaskQueue, BatchRespectsMax) {
+  TaskQueue<int> q(1);
+  for (int i = 0; i < 20; ++i) q.push(i);
+  auto batch = q.pop_batch(8, /*balanced=*/false);
+  EXPECT_EQ(batch.size(), 8u);
+  EXPECT_EQ(batch.front(), 0);
+  EXPECT_EQ(batch.back(), 7);
+}
+
+TEST(TaskQueue, BalancedBatchSharesBacklog) {
+  TaskQueue<int> q(/*workers_hint=*/4);
+  for (int i = 0; i < 8; ++i) q.push(i);
+  // Backlog 8 over 4 workers: a fair share is 2, not the full multiplex 8.
+  auto batch = q.pop_batch(8, /*balanced=*/true);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(TaskQueue, FifoOrderAcrossBatches) {
+  TaskQueue<int> q(1);
+  for (int i = 0; i < 10; ++i) q.push(i);
+  int expect = 0;
+  while (expect < 10) {
+    for (int v : q.pop_batch(3, false)) EXPECT_EQ(v, expect++);
+  }
+}
+
+TEST(TaskQueue, CloseDrainsThenReturnsEmpty) {
+  TaskQueue<int> q(1);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  auto batch = q.pop_batch(8, false);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(q.pop_batch(8).empty());
+}
+
+TEST(TaskQueue, CloseWakesBlockedConsumer) {
+  TaskQueue<int> q(1);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    auto batch = q.pop_batch(4);
+    EXPECT_TRUE(batch.empty());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(TaskQueue, TryPop) {
+  TaskQueue<int> q(1);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  q.push(5);
+  EXPECT_EQ(q.try_pop(), 5);
+}
+
+TEST(TaskQueue, MpmcDeliversEachTaskExactlyOnce) {
+  TaskQueue<int> q(4);
+  constexpr int kTasks = 10000;
+  std::mutex seen_mu;
+  std::set<int> seen;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        auto batch = q.pop_batch(16);
+        if (batch.empty()) return;
+        std::scoped_lock lock(seen_mu);
+        for (int v : batch) {
+          EXPECT_TRUE(seen.insert(v).second) << "duplicate delivery of " << v;
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = p; i < kTasks; i += 2) q.push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (q.size() > 0) std::this_thread::yield();
+  q.close();
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kTasks));
+}
+
+TEST(TaskQueue, StatsTrackDepthAndBatches) {
+  TaskQueue<int> q(2);
+  for (int i = 0; i < 5; ++i) q.push(i);
+  EXPECT_EQ(q.max_depth(), 5u);
+  EXPECT_EQ(q.pushed(), 5u);
+  (void)q.pop_batch(8, false);
+  EXPECT_EQ(q.batches(), 1u);
+}
+
+TEST(TaskQueue, MoveOnlyTasks) {
+  TaskQueue<std::unique_ptr<int>> q(1);
+  q.push(std::make_unique<int>(3));
+  auto batch = q.pop_batch(1);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(*batch[0], 3);
+}
+
+}  // namespace
+}  // namespace iofwd::rt

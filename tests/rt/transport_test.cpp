@@ -1,0 +1,183 @@
+#include "rt/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+
+namespace iofwd::rt {
+namespace {
+
+template <typename MakePair>
+void round_trip_test(MakePair make) {
+  auto [a, b] = make();
+  const char msg[] = "hello forwarding";
+  ASSERT_TRUE(a->write_all(msg, sizeof msg).is_ok());
+  char got[sizeof msg];
+  ASSERT_TRUE(b->read_exact(got, sizeof got).is_ok());
+  EXPECT_STREQ(got, msg);
+  // Reverse direction.
+  ASSERT_TRUE(b->write_all("pong", 4).is_ok());
+  char pong[4];
+  ASSERT_TRUE(a->read_exact(pong, 4).is_ok());
+  EXPECT_EQ(std::memcmp(pong, "pong", 4), 0);
+}
+
+template <typename MakePair>
+void large_transfer_test(MakePair make) {
+  auto [a, b] = make();
+  // Bigger than the in-proc ring capacity: forces wraparound + blocking.
+  std::vector<std::byte> data(3 * (1 << 20));
+  Rng rng(42);
+  for (auto& x : data) x = static_cast<std::byte>(rng.next());
+  std::thread writer([&] { ASSERT_TRUE(a->write_all(data.data(), data.size()).is_ok()); });
+  std::vector<std::byte> got(data.size());
+  ASSERT_TRUE(b->read_exact(got.data(), got.size()).is_ok());
+  writer.join();
+  EXPECT_EQ(got, data);
+}
+
+template <typename MakePair>
+void close_unblocks_reader_test(MakePair make) {
+  auto [a, b] = make();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  char buf[16];
+  const Status st = b->read_exact(buf, sizeof buf);
+  closer.join();
+  EXPECT_EQ(st.code(), Errc::shutdown);
+}
+
+auto make_inproc = [] { return InProcTransport::make_pair(64 * 1024); };
+auto make_sockets = [] {
+  auto r = SocketTransport::make_socketpair();
+  EXPECT_TRUE(r.is_ok());
+  return std::move(r).value();
+};
+
+TEST(InProcTransport, RoundTrip) { round_trip_test(make_inproc); }
+TEST(InProcTransport, LargeTransferWrapsRing) { large_transfer_test(make_inproc); }
+TEST(InProcTransport, CloseUnblocksReader) { close_unblocks_reader_test(make_inproc); }
+
+TEST(SocketTransport, RoundTrip) { round_trip_test(make_sockets); }
+TEST(SocketTransport, LargeTransfer) { large_transfer_test(make_sockets); }
+TEST(SocketTransport, CloseUnblocksReader) { close_unblocks_reader_test(make_sockets); }
+
+TEST(InProcTransport, ManySmallMessagesInterleaved) {
+  auto [a, b] = InProcTransport::make_pair(256);
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < 10000; ++i) {
+      ASSERT_TRUE(a->write_all(&i, sizeof i).is_ok());
+    }
+  });
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    std::uint32_t v = 0;
+    ASSERT_TRUE(b->read_exact(&v, sizeof v).is_ok());
+    ASSERT_EQ(v, i);
+  }
+  producer.join();
+}
+
+TEST(UnixListener, AcceptAndEcho) {
+  const std::string path = "/tmp/iofwd_test_" + std::to_string(::getpid()) + ".sock";
+  auto listener = UnixListener::bind(path);
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+
+  std::thread server([&] {
+    auto conn = listener.value()->accept();
+    ASSERT_TRUE(conn.is_ok());
+    char buf[5];
+    ASSERT_TRUE(conn.value()->read_exact(buf, 5).is_ok());
+    ASSERT_TRUE(conn.value()->write_all(buf, 5).is_ok());
+  });
+
+  auto client = SocketTransport::connect_unix(path);
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  ASSERT_TRUE(client.value()->write_all("abcde", 5).is_ok());
+  char got[5];
+  ASSERT_TRUE(client.value()->read_exact(got, 5).is_ok());
+  EXPECT_EQ(std::memcmp(got, "abcde", 5), 0);
+  server.join();
+}
+
+TEST(UnixListener, ConnectToMissingPathFails) {
+  auto r = SocketTransport::connect_unix("/tmp/iofwd_definitely_missing.sock");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::not_connected);
+}
+
+TEST(UnixListener, PathTooLongRejected) {
+  const std::string long_path(300, 'x');
+  EXPECT_FALSE(UnixListener::bind(long_path).is_ok());
+  EXPECT_FALSE(SocketTransport::connect_unix(long_path).is_ok());
+}
+
+TEST(TcpListener, AcceptAndEchoOverLoopback) {
+  auto listener = TcpListener::bind(0);  // ephemeral port
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  const std::uint16_t port = listener.value()->port();
+  ASSERT_GT(port, 0);
+
+  std::thread server([&] {
+    auto conn = listener.value()->accept();
+    ASSERT_TRUE(conn.is_ok());
+    char buf[7];
+    ASSERT_TRUE(conn.value()->read_exact(buf, 7).is_ok());
+    ASSERT_TRUE(conn.value()->write_all(buf, 7).is_ok());
+  });
+
+  auto client = SocketTransport::connect_tcp("127.0.0.1", port);
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  ASSERT_TRUE(client.value()->write_all("forward", 7).is_ok());
+  char got[7];
+  ASSERT_TRUE(client.value()->read_exact(got, 7).is_ok());
+  EXPECT_EQ(std::memcmp(got, "forward", 7), 0);
+  server.join();
+}
+
+TEST(TcpListener, ConnectToClosedPortFails) {
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const auto port = listener.value()->port();
+  listener.value()->close();
+  auto c = SocketTransport::connect_tcp("127.0.0.1", port);
+  EXPECT_FALSE(c.is_ok());
+}
+
+TEST(TcpListener, BadBindAddressRejected) {
+  EXPECT_FALSE(TcpListener::bind(0, "not-an-ip").is_ok());
+}
+
+TEST(TcpListener, ServerClientOverTcp) {
+  // Full runtime stack over real TCP loopback.
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  const auto port = listener.value()->port();
+
+  IonServer server(std::make_unique<MemBackend>(), {});
+  server.serve_listener(std::move(listener).value());
+
+  auto stream = SocketTransport::connect_tcp("127.0.0.1", port);
+  ASSERT_TRUE(stream.is_ok());
+  Client client(std::move(stream).value());
+  ASSERT_TRUE(client.open(1, "tcp_file").is_ok());
+  std::vector<std::byte> data(256 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i * 7);
+  ASSERT_TRUE(client.write(1, 0, data).is_ok());
+  ASSERT_TRUE(client.fsync(1).is_ok());
+  auto r = client.read(1, 0, data.size());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), data);
+  ASSERT_TRUE(client.close(1).is_ok());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace iofwd::rt

@@ -1,0 +1,74 @@
+#include "rt/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd::rt {
+namespace {
+
+TEST(Wire, HeaderRoundTrip) {
+  FrameHeader h;
+  h.type = MsgType::reply;
+  h.op = OpCode::write;
+  h.flags = FrameHeader::kFlagStaged;
+  h.fd = 42;
+  h.status = static_cast<std::int32_t>(Errc::io_error);
+  h.seq = 0xdeadbeefcafe;
+  h.offset = 1ull << 40;
+  h.payload_len = 12345;
+
+  std::byte buf[FrameHeader::kWireSize];
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  auto r = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  const auto& d = r.value();
+  EXPECT_EQ(d.type, MsgType::reply);
+  EXPECT_EQ(d.op, OpCode::write);
+  EXPECT_EQ(d.flags, FrameHeader::kFlagStaged);
+  EXPECT_EQ(d.fd, 42);
+  EXPECT_EQ(d.status, static_cast<std::int32_t>(Errc::io_error));
+  EXPECT_EQ(d.seq, 0xdeadbeefcafeull);
+  EXPECT_EQ(d.offset, 1ull << 40);
+  EXPECT_EQ(d.payload_len, 12345u);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  FrameHeader h;
+  std::byte buf[FrameHeader::kWireSize];
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  buf[0] = std::byte{0x00};
+  auto r = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::protocol_error);
+}
+
+TEST(Wire, RejectsBadTypeAndOp) {
+  FrameHeader h;
+  std::byte buf[FrameHeader::kWireSize];
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  buf[4] = std::byte{9};  // type
+  EXPECT_FALSE(FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf)).is_ok());
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  buf[5] = std::byte{0};  // opcode
+  EXPECT_FALSE(FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf)).is_ok());
+}
+
+TEST(Wire, RejectsOversizePayload) {
+  FrameHeader h;
+  h.payload_len = kMaxPayload + 1;
+  std::byte buf[FrameHeader::kWireSize];
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  auto r = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
+  EXPECT_EQ(r.code(), Errc::message_too_large);
+}
+
+TEST(Wire, OpcodeNamesAreStable) {
+  EXPECT_STREQ(opcode_name(OpCode::open), "open");
+  EXPECT_STREQ(opcode_name(OpCode::write), "write");
+  EXPECT_STREQ(opcode_name(OpCode::read), "read");
+  EXPECT_STREQ(opcode_name(OpCode::close), "close");
+  EXPECT_STREQ(opcode_name(OpCode::fsync), "fsync");
+  EXPECT_STREQ(opcode_name(OpCode::shutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace iofwd::rt

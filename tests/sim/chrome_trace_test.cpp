@@ -1,0 +1,91 @@
+#include "sim/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::sim {
+namespace {
+
+TEST(ChromeTrace, SpanRecordsSimulatedDuration) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  eng.spawn([](Engine& e, ChromeTracer& t) -> Proc<void> {
+    auto s = t.span("op", "cn", 3);
+    co_await Delay{e, 1500};
+  }(eng, tracer));
+  eng.run();
+  ASSERT_EQ(tracer.event_count(), 1u);
+  const std::string j = tracer.to_json();
+  EXPECT_NE(j.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(j.find(R"("name":"op")"), std::string::npos);
+  EXPECT_NE(j.find(R"("tid":3)"), std::string::npos);
+  EXPECT_NE(j.find(R"("dur":1.50)"), std::string::npos);  // 1500 ns = 1.5 us
+}
+
+TEST(ChromeTrace, InstantAndCounter) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  tracer.instant("wake", "worker", 1);
+  tracer.counter("queue_depth", 12.5);
+  const std::string j = tracer.to_json();
+  EXPECT_NE(j.find(R"("ph":"i")"), std::string::npos);
+  EXPECT_NE(j.find(R"("ph":"C")"), std::string::npos);
+  EXPECT_NE(j.find(R"("value":12.5)"), std::string::npos);
+}
+
+TEST(ChromeTrace, MovedSpanEmitsOnce) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  {
+    auto a = tracer.span("m", "c", 0);
+    auto b = std::move(a);
+  }
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(ChromeTrace, ExplicitFinishIsIdempotent) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  auto s = tracer.span("f", "c", 0);
+  s.finish();
+  s.finish();
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(ChromeTrace, EscapesQuotesInNames) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  tracer.instant(R"(we"ird)", "c", 0);
+  EXPECT_NE(tracer.to_json().find(R"(we\"ird)"), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesValidJsonArrayToFile) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  tracer.counter("x", 1);
+  tracer.counter("x", 2);
+  const std::string path = "/tmp/iofwd_trace_test.json";
+  ASSERT_TRUE(tracer.write_json(path).is_ok());
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(all.front(), '[');
+  EXPECT_EQ(all[all.size() - 2], ']');  // trailing newline
+  // Two counter events, comma-separated object list.
+  EXPECT_EQ(std::count(all.begin(), all.end(), '{'), 4);  // 2 events + 2 args objects
+  EXPECT_EQ(std::count(all.begin(), all.end(), '}'), 4);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, EmptyTraceIsEmptyArray) {
+  Engine eng;
+  ChromeTracer tracer(eng);
+  EXPECT_EQ(tracer.to_json(), "[]\n");
+}
+
+}  // namespace
+}  // namespace iofwd::sim

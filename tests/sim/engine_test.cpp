@@ -1,0 +1,134 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/process.hpp"
+
+namespace iofwd::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_EQ(eng.events_pending(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, TieBrokenByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(5, [&] { order.push_back(1); });
+  eng.schedule_at(5, [&] { order.push_back(2); });
+  eng.schedule_at(5, [&] { order.push_back(3); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine eng;
+  std::vector<SimTime> times;
+  eng.schedule_at(10, [&] {
+    times.push_back(eng.now());
+    eng.schedule_after(5, [&] { times.push_back(eng.now()); });
+  });
+  eng.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine eng;
+  SimTime fired = -1;
+  eng.schedule_at(10, [&] { eng.schedule_after(-100, [&] { fired = eng.now(); }); });
+  eng.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine eng;
+  bool fired = false;
+  const auto id = eng.schedule_at(10, [&] { fired = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine eng;
+  eng.cancel(9999);
+  eng.schedule_at(1, [] {});
+  EXPECT_EQ(eng.run(), 1u);
+}
+
+TEST(Engine, CancelledEventDoesNotBlockOthers) {
+  Engine eng;
+  std::vector<int> order;
+  const auto id = eng.schedule_at(5, [&] { order.push_back(1); });
+  eng.schedule_at(5, [&] { order.push_back(2); });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.run_until(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), 20);
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Engine eng;
+  eng.run_until(100);
+  EXPECT_EQ(eng.now(), 100);
+}
+
+TEST(Engine, StopHaltsTheLoop) {
+  Engine eng;
+  int count = 0;
+  eng.schedule_at(1, [&] { ++count; });
+  eng.schedule_at(2, [&] {
+    ++count;
+    eng.stop();
+  });
+  eng.schedule_at(3, [&] { ++count; });
+  eng.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(eng.stopped());
+}
+
+TEST(Engine, ManyEventsStressOrder) {
+  Engine eng;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    eng.schedule_at((i * 7919) % 1000, [&] {
+      if (eng.now() < last) monotone = false;
+      last = eng.now();
+    });
+  }
+  eng.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(eng.events_processed(), 10000u);
+}
+
+}  // namespace
+}  // namespace iofwd::sim

@@ -1,0 +1,332 @@
+#include "sim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::sim {
+namespace {
+
+// Helper: run one consume and record completion time.
+Proc<void> one_consume(FluidResource& r, double units, SimTime& done_at, Engine& eng) {
+  co_await r.consume(units);
+  done_at = eng.now();
+}
+
+Proc<void> one_consume_after(Engine& eng, FluidResource& r, SimTime start, double units,
+                             SimTime& done_at) {
+  co_await Delay{eng, start};
+  co_await r.consume(units);
+  done_at = eng.now();
+}
+
+TEST(FluidResource, SingleFlowServiceTime) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 2.0; }, "r");  // 2 units/ns
+  SimTime done = -1;
+  eng.spawn(one_consume(r, 100.0, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 50);  // 100 units at 2/ns
+  EXPECT_NEAR(r.total_served(), 100.0, 1e-6);
+}
+
+TEST(FluidResource, TwoFlowsShareEqually) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 2.0; }, "r");
+  SimTime d1 = -1, d2 = -1;
+  eng.spawn(one_consume(r, 100.0, d1, eng));
+  eng.spawn(one_consume(r, 100.0, d2, eng));
+  eng.run();
+  // Both flows active the whole time, each gets 1 unit/ns.
+  EXPECT_EQ(d1, 100);
+  EXPECT_EQ(d2, 100);
+}
+
+TEST(FluidResource, ShortFlowLeavesLongFlowSpeedsUp) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 2.0; }, "r");
+  SimTime d_short = -1, d_long = -1;
+  eng.spawn(one_consume(r, 50.0, d_short, eng));
+  eng.spawn(one_consume(r, 150.0, d_long, eng));
+  eng.run();
+  // Phase 1: both at 1/ns until short completes at t=50 (served 50 each).
+  // Phase 2: long alone at 2/ns for remaining 100 -> 50 ns more.
+  EXPECT_EQ(d_short, 50);
+  EXPECT_EQ(d_long, 100);
+}
+
+TEST(FluidResource, LateArrivalSlowsExisting) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 1.0; }, "r");
+  SimTime d1 = -1, d2 = -1;
+  eng.spawn(one_consume(r, 100.0, d1, eng));
+  eng.spawn(one_consume_after(eng, r, 50, 100.0, d2));
+  eng.run();
+  // Flow 1: alone for 50ns (50 served), then shares 0.5/ns. 50 left -> 100ns
+  // more -> completes at 150. Flow 2: 50 served by t=150, then alone at 1/ns
+  // for 50 -> completes at 200.
+  EXPECT_EQ(d1, 150);
+  EXPECT_EQ(d2, 200);
+}
+
+TEST(FluidResource, PerFlowCapLimitsSingleFlow) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 10.0; }, "r", /*per_flow_cap=*/1.0);
+  SimTime done = -1;
+  eng.spawn(one_consume(r, 100.0, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 100);  // capped at 1/ns despite 10/ns capacity
+}
+
+TEST(FluidResource, CapacityFunctionSeesFlowCount) {
+  Engine eng;
+  // Aggregate capacity *drops* with contention: 4 / n per flow.
+  FluidResource r(eng, [](int n) { return 4.0 / n; }, "r");
+  SimTime d1 = -1, d2 = -1;
+  eng.spawn(one_consume(r, 100.0, d1, eng));
+  eng.spawn(one_consume(r, 100.0, d2, eng));
+  eng.run();
+  // n=2 -> total 2, each 1/ns -> both at t=100.
+  EXPECT_EQ(d1, 100);
+  EXPECT_EQ(d2, 100);
+}
+
+TEST(FluidResource, ZeroUnitsIsImmediate) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 1.0; }, "r");
+  SimTime done = -1;
+  eng.spawn(one_consume(r, 0.0, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(FluidResource, BusyTimeTracksActivity) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 1.0; }, "r");
+  SimTime d1 = -1, d2 = -1;
+  eng.spawn(one_consume(r, 10.0, d1, eng));
+  eng.spawn(one_consume_after(eng, r, 100, 10.0, d2));
+  eng.run();
+  EXPECT_EQ(r.busy_time(), 20);  // two disjoint 10ns busy periods
+}
+
+TEST(FluidResource, ManyFlowsAllComplete) {
+  Engine eng;
+  FluidResource r(eng, [](int) { return 1.0; }, "r");
+  std::vector<SimTime> done(64, -1);
+  for (int i = 0; i < 64; ++i) eng.spawn(one_consume(r, 64.0, done[i], eng));
+  eng.run();
+  for (auto d : done) EXPECT_EQ(d, 64 * 64);
+  EXPECT_NEAR(r.total_served(), 64.0 * 64.0, 1e-3);
+}
+
+// ------------------------------- Link ---------------------------------------
+
+Proc<void> one_transfer(Link& link, std::uint64_t bytes, SimTime& done_at, Engine& eng) {
+  co_await link.transfer(bytes);
+  done_at = eng.now();
+}
+
+TEST(Link, EffectivePeakAccountsHeaders) {
+  Engine eng;
+  // BG/P tree: 850 MB/s raw ~ 810.6 MiB/s; 26 B headers per 256 B payload
+  // -> effective ~ 736 MiB/s (the paper quotes ~731 with its rounding).
+  LinkSpec spec;
+  spec.bandwidth_mib_s = 850.0 * 1e6 / static_cast<double>(MiB);
+  spec.header_bytes_per_unit = 26;
+  spec.payload_unit_bytes = 256;
+  Link link(eng, spec, "tree");
+  EXPECT_NEAR(link.effective_peak_mib_s(), 731.0, 8.0);
+}
+
+TEST(Link, TransferTimeMatchesBandwidth) {
+  Engine eng;
+  LinkSpec spec;
+  spec.bandwidth_mib_s = bytes_per_ns_to_mib_per_s(1.0);  // 1 byte/ns
+  Link link(eng, spec, "l");
+  SimTime done = -1;
+  eng.spawn(one_transfer(link, 1000, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(Link, LatencyAddsToTransfer) {
+  Engine eng;
+  LinkSpec spec;
+  spec.bandwidth_mib_s = bytes_per_ns_to_mib_per_s(1.0);
+  spec.latency_ns = 500;
+  Link link(eng, spec, "l");
+  SimTime done = -1;
+  eng.spawn(one_transfer(link, 1000, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 1500);
+}
+
+TEST(Link, ZeroByteTransferOnlyLatency) {
+  Engine eng;
+  LinkSpec spec;
+  spec.bandwidth_mib_s = 100.0;
+  spec.latency_ns = 42;
+  Link link(eng, spec, "l");
+  SimTime done = -1;
+  eng.spawn(one_transfer(link, 0, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 42);
+}
+
+TEST(Link, SharedFairly) {
+  Engine eng;
+  LinkSpec spec;
+  spec.bandwidth_mib_s = bytes_per_ns_to_mib_per_s(2.0);  // 2 bytes/ns
+  Link link(eng, spec, "l");
+  SimTime d1 = -1, d2 = -1;
+  eng.spawn(one_transfer(link, 1000, d1, eng));
+  eng.spawn(one_transfer(link, 1000, d2, eng));
+  eng.run();
+  EXPECT_EQ(d1, 1000);
+  EXPECT_EQ(d2, 1000);
+  EXPECT_NEAR(link.total_payload_bytes(), 2000.0, 1e-9);
+}
+
+TEST(Link, PerFlowCapEnforced) {
+  Engine eng;
+  LinkSpec spec;
+  spec.bandwidth_mib_s = bytes_per_ns_to_mib_per_s(10.0);
+  spec.per_flow_cap_mib_s = bytes_per_ns_to_mib_per_s(1.0);
+  Link link(eng, spec, "l");
+  SimTime done = -1;
+  eng.spawn(one_transfer(link, 100, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 100);
+}
+
+// ------------------------------ CpuPool -------------------------------------
+
+TEST(CpuPool, EffectiveCoresShape) {
+  Engine eng;
+  CpuSpec spec;
+  spec.cores = 4;
+  spec.share_penalty = 0.18;
+  spec.switch_penalty = 0.05;
+  CpuPool cpu(eng, spec, "ion");
+  // Monotone up to core count...
+  EXPECT_DOUBLE_EQ(cpu.effective_cores(1), 1.0);
+  EXPECT_GT(cpu.effective_cores(2), cpu.effective_cores(1));
+  EXPECT_GT(cpu.effective_cores(4), cpu.effective_cores(2));
+  // ...then *decreasing* beyond it (the paper's 8-thread regression, Fig 11).
+  EXPECT_LT(cpu.effective_cores(8), cpu.effective_cores(4));
+  EXPECT_LT(cpu.effective_cores(16), cpu.effective_cores(8));
+  // Sublinear scaling: 4 cores with cache contention < 4x one core.
+  EXPECT_LT(cpu.effective_cores(4), 4.0);
+}
+
+TEST(CpuPool, NoPenaltiesMeansLinearUpToCores) {
+  Engine eng;
+  CpuPool cpu(eng, CpuSpec{.cores = 4}, "c");
+  EXPECT_DOUBLE_EQ(cpu.effective_cores(1), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.effective_cores(4), 4.0);
+  EXPECT_DOUBLE_EQ(cpu.effective_cores(100), 4.0);
+}
+
+Proc<void> burn(CpuPool& cpu, double cpu_ns, SimTime& done_at, Engine& eng) {
+  co_await cpu.consume(cpu_ns);
+  done_at = eng.now();
+}
+
+TEST(CpuPool, SingleTaskRunsAtOneCore) {
+  Engine eng;
+  CpuPool cpu(eng, CpuSpec{.cores = 4}, "c");
+  SimTime done = -1;
+  eng.spawn(burn(cpu, 1000.0, done, eng));
+  eng.run();
+  EXPECT_EQ(done, 1000);  // 1000 cpu-ns at 1 core
+}
+
+TEST(CpuPool, TasksWithinCoreCountRunInParallel) {
+  Engine eng;
+  CpuPool cpu(eng, CpuSpec{.cores = 4}, "c");
+  std::vector<SimTime> done(4, -1);
+  for (auto& d : done) eng.spawn(burn(cpu, 1000.0, d, eng));
+  eng.run();
+  for (auto d : done) EXPECT_EQ(d, 1000);
+}
+
+TEST(CpuPool, OversubscriptionSerializes) {
+  Engine eng;
+  CpuPool cpu(eng, CpuSpec{.cores = 2}, "c");
+  std::vector<SimTime> done(4, -1);
+  for (auto& d : done) eng.spawn(burn(cpu, 1000.0, d, eng));
+  eng.run();
+  // 4 tasks x 1000 cpu-ns on 2 cores = 2000 ns wall (fair sharing, no
+  // penalties).
+  for (auto d : done) EXPECT_EQ(d, 2000);
+}
+
+TEST(CpuPool, SwitchPenaltySlowsOversubscribed) {
+  Engine eng;
+  CpuSpec spec;
+  spec.cores = 2;
+  spec.switch_penalty = 0.25;
+  spec.switch_saturation = 8.0;
+  CpuPool cpu(eng, spec, "c");
+  std::vector<SimTime> done(4, -1);
+  for (auto& d : done) eng.spawn(burn(cpu, 1000.0, d, eng));
+  eng.run();
+  // excess = 2, saturating overhead = 0.25*2/(1+2/8) = 0.4
+  // -> capacity 2/1.4 cores -> 4000 cpu-ns take 2800 ns.
+  for (auto d : done) EXPECT_EQ(d, 2800);
+}
+
+TEST(CpuPool, SwitchPenaltySaturates) {
+  Engine eng;
+  CpuSpec spec;
+  spec.cores = 4;
+  spec.switch_penalty = 0.05;
+  spec.switch_saturation = 8.0;
+  CpuPool cpu(eng, spec, "c");
+  // The loss approaches switch_penalty * saturation = 40% asymptotically.
+  const double floor = 4.0 / (1.0 + 0.05 * 8.0);
+  EXPECT_GT(cpu.effective_cores(1000), floor * 0.99);
+  EXPECT_LT(cpu.effective_cores(1000), 4.0);
+  // Still monotone decreasing in the oversubscribed regime.
+  EXPECT_GT(cpu.effective_cores(8), cpu.effective_cores(16));
+  EXPECT_GT(cpu.effective_cores(16), cpu.effective_cores(64));
+}
+
+// Property: the fluid model conserves work — total served equals the sum of
+// all demands, for any arrival pattern and capacity curve.
+class FluidConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidConservation, TotalServedEqualsTotalDemand) {
+  Engine eng;
+  // A wobbly capacity curve exercises the recompute paths.
+  FluidResource r(
+      eng, [](int n) { return 2.0 / (1.0 + 0.05 * n); }, "r");
+  iofwd::Rng rng(GetParam());
+  double demand = 0;
+  std::vector<SimTime> done(40, -1);
+  for (int i = 0; i < 40; ++i) {
+    const double units = 1.0 + static_cast<double>(rng.below(5000));
+    const auto start = static_cast<SimTime>(rng.below(20000));
+    demand += units;
+    eng.spawn([](Engine& e, FluidResource& res, SimTime at, double u,
+                 SimTime& d) -> Proc<void> {
+      co_await Delay{e, at};
+      co_await res.consume(u);
+      d = e.now();
+    }(eng, r, start, units, done[i]));
+  }
+  eng.run();
+  for (auto d : done) EXPECT_GE(d, 0) << "every flow must complete";
+  EXPECT_NEAR(r.total_served(), demand, 1e-3);
+  EXPECT_EQ(r.active(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidConservation, ::testing::Values(1u, 2u, 3u, 99u, 12345u));
+
+}  // namespace
+}  // namespace iofwd::sim

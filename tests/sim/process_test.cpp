@@ -1,0 +1,135 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::sim {
+namespace {
+
+Proc<void> simple_delay(Engine& eng, SimTime d, std::vector<SimTime>& out) {
+  co_await Delay{eng, d};
+  out.push_back(eng.now());
+}
+
+TEST(Process, DetachedProcessRunsAndRecordsTime) {
+  Engine eng;
+  std::vector<SimTime> out;
+  eng.spawn(simple_delay(eng, 42, out));
+  eng.run();
+  EXPECT_EQ(out, (std::vector<SimTime>{42}));
+}
+
+TEST(Process, ZeroDelayIsReady) {
+  Engine eng;
+  std::vector<SimTime> out;
+  eng.spawn(simple_delay(eng, 0, out));
+  eng.run();
+  EXPECT_EQ(out, (std::vector<SimTime>{0}));
+}
+
+Proc<int> returns_value(Engine& eng) {
+  co_await Delay{eng, 5};
+  co_return 99;
+}
+
+Proc<void> awaits_child(Engine& eng, int& result) {
+  result = co_await returns_value(eng);
+}
+
+TEST(Process, AwaitedChildReturnsValue) {
+  Engine eng;
+  int result = 0;
+  eng.spawn(awaits_child(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 99);
+  EXPECT_EQ(eng.now(), 5);
+}
+
+Proc<int> thrower(Engine& eng) {
+  co_await Delay{eng, 1};
+  throw std::runtime_error("boom");
+}
+
+Proc<void> catches_child(Engine& eng, bool& caught) {
+  try {
+    (void)co_await thrower(eng);
+  } catch (const std::runtime_error& e) {
+    caught = std::string(e.what()) == "boom";
+  }
+}
+
+TEST(Process, ChildExceptionPropagatesToParent) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(catches_child(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+Proc<void> nested_inner(Engine& eng, std::vector<int>& order) {
+  order.push_back(1);
+  co_await Delay{eng, 10};
+  order.push_back(3);
+}
+
+Proc<void> nested_outer(Engine& eng, std::vector<int>& order) {
+  co_await nested_inner(eng, order);
+  order.push_back(4);
+}
+
+TEST(Process, NestedCallsRunInline) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn(nested_outer(eng, order));
+  order.push_back(0);  // spawn is lazy: nothing ran yet
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 4}));
+}
+
+Proc<std::string> deep3(Engine& eng) {
+  co_await Delay{eng, 1};
+  co_return "deep";
+}
+Proc<std::string> deep2(Engine& eng) { co_return co_await deep3(eng) + "-2"; }
+Proc<std::string> deep1(Engine& eng) { co_return co_await deep2(eng) + "-1"; }
+Proc<void> deep_root(Engine& eng, std::string& out) { out = co_await deep1(eng); }
+
+TEST(Process, DeepNestingPropagatesValues) {
+  Engine eng;
+  std::string out;
+  eng.spawn(deep_root(eng, out));
+  eng.run();
+  EXPECT_EQ(out, "deep-2-1");
+}
+
+Proc<void> concurrent_worker(Engine& eng, SimTime d, int id, std::vector<int>& order) {
+  co_await Delay{eng, d};
+  order.push_back(id);
+}
+
+TEST(Process, ConcurrentProcessesInterleaveByTime) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn(concurrent_worker(eng, 30, 3, order));
+  eng.spawn(concurrent_worker(eng, 10, 1, order));
+  eng.spawn(concurrent_worker(eng, 20, 2, order));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Process, ManySpawnsAllComplete) {
+  Engine eng;
+  std::vector<SimTime> out;
+  for (int i = 0; i < 1000; ++i) eng.spawn(simple_delay(eng, i, out));
+  eng.run();
+  EXPECT_EQ(out.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+}  // namespace
+}  // namespace iofwd::sim

@@ -1,0 +1,58 @@
+#include "wl/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd::wl {
+namespace {
+
+CheckpointParams quick() {
+  CheckpointParams p;
+  p.cycles = 5;
+  p.compute_ns = 50'000'000;
+  return p;
+}
+
+TEST(Checkpoint, TotalTimeExceedsComputeLowerBound) {
+  const auto r = run_checkpoint(proto::Mechanism::zoid, bgp::MachineConfig::intrepid(), {},
+                                quick());
+  EXPECT_GT(r.total_time_s, r.compute_time_s);
+  EXPECT_GT(r.io_overhead_pct, 0);
+  EXPECT_GT(r.aggregate_mib_s, 0);
+}
+
+TEST(Checkpoint, MechanismLadderUnderBarriers) {
+  // Bulk-synchronous cycles: CIOD/ZOID stall for the full checkpoint; the
+  // scheduled mechanisms cut the stall; async staging cuts it the most.
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const auto p = quick();
+  const auto zoid = run_checkpoint(proto::Mechanism::zoid, cfg, {}, p);
+  const auto sched = run_checkpoint(proto::Mechanism::zoid_sched, cfg, {}, p);
+  const auto async = run_checkpoint(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  EXPECT_LT(sched.io_overhead_pct, zoid.io_overhead_pct);
+  EXPECT_LT(async.io_overhead_pct, sched.io_overhead_pct + 1e-9);
+}
+
+TEST(Checkpoint, BarrierCostsTimeForSyncMechanisms) {
+  // Without barriers, synchronous I/O lets ranks drift and stream; with
+  // them, everyone waits for the slowest rank each cycle.
+  const auto cfg = bgp::MachineConfig::intrepid();
+  auto p = quick();
+  p.cycles = 8;
+  p.barrier = false;
+  const auto free_run = run_checkpoint(proto::Mechanism::zoid_sched, cfg, {}, p);
+  p.barrier = true;
+  const auto lockstep = run_checkpoint(proto::Mechanism::zoid_sched, cfg, {}, p);
+  EXPECT_GE(lockstep.total_time_s, free_run.total_time_s * 0.99);
+}
+
+TEST(Checkpoint, MoreCyclesTakeLonger) {
+  const auto cfg = bgp::MachineConfig::intrepid();
+  auto p = quick();
+  const auto short_run = run_checkpoint(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  p.cycles = 10;
+  const auto long_run = run_checkpoint(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  EXPECT_GT(long_run.total_time_s, short_run.total_time_s * 1.5);
+}
+
+}  // namespace
+}  // namespace iofwd::wl

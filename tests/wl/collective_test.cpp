@@ -1,0 +1,83 @@
+#include "wl/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/machine.hpp"
+#include "sim/sync.hpp"
+
+namespace iofwd::wl {
+namespace {
+
+CollectiveParams quick() {
+  CollectiveParams p;
+  p.cns = 32;
+  p.aggregators = 4;
+  p.pieces_per_cn = 8;
+  return p;
+}
+
+TEST(Collective, IndependentForwardsOnePiecePerOp) {
+  const auto p = quick();
+  auto r = run_collective(proto::Mechanism::zoid, IoMode::independent,
+                          bgp::MachineConfig::intrepid(), {}, p);
+  EXPECT_EQ(r.forwarded_ops, 32u * 8);
+  EXPECT_EQ(r.exchange_s, 0.0);
+  EXPECT_GT(r.throughput_mib_s, 0);
+}
+
+TEST(Collective, CollectiveForwardsFewLargeOps) {
+  const auto p = quick();
+  auto r = run_collective(proto::Mechanism::zoid, IoMode::collective,
+                          bgp::MachineConfig::intrepid(), {}, p);
+  // total = 32*8*64 KiB = 16 MiB over 4 aggregators in 4 MiB stripes = 4 ops.
+  EXPECT_EQ(r.forwarded_ops, 4u);
+  EXPECT_GT(r.exchange_s, 0.0);
+}
+
+TEST(Collective, CollectiveBeatsIndependentOnBaselines) {
+  const auto p = quick();
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const auto ind =
+      run_collective(proto::Mechanism::ciod, IoMode::independent, cfg, {}, p);
+  const auto col =
+      run_collective(proto::Mechanism::ciod, IoMode::collective, cfg, {}, p);
+  EXPECT_GT(col.throughput_mib_s, 1.5 * ind.throughput_mib_s)
+      << "small strided pieces must hurt CIOD badly";
+}
+
+TEST(Collective, WorkQueueForwardingClosesTheGap) {
+  const auto p = quick();
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const auto ind =
+      run_collective(proto::Mechanism::zoid_sched_async, IoMode::independent, cfg, {}, p);
+  const auto col =
+      run_collective(proto::Mechanism::zoid_sched_async, IoMode::collective, cfg, {}, p);
+  // Within ~20% of each other: the forwarding layer absorbs small ops.
+  EXPECT_LT(col.throughput_mib_s / ind.throughput_mib_s, 1.2);
+  EXPECT_GT(col.throughput_mib_s / ind.throughput_mib_s, 0.8);
+}
+
+TEST(Collective, TotalBytesInvariant) {
+  const auto p = quick();
+  EXPECT_EQ(p.total_bytes(), 32ull * 8 * 64 * 1024);
+}
+
+sim::Proc<void> torus_move(bgp::Machine& m, std::uint64_t bytes, sim::SimTime& done) {
+  co_await m.pset(0).torus().transfer(bytes);
+  done = m.engine().now();
+}
+
+TEST(Torus, PerFlowCapAndAggregateCapacity) {
+  sim::Engine eng;
+  auto cfg = bgp::MachineConfig::intrepid();
+  cfg.torus_latency_ns = 0;
+  bgp::Machine m(eng, cfg);
+  // One flow is capped at the per-node rate, far below the aggregate.
+  sim::SimTime done = -1;
+  eng.spawn(torus_move(m, 1200ull << 20, done));  // 1200 MiB at 1200 MiB/s
+  eng.run();
+  EXPECT_NEAR(sim::to_seconds(done), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace iofwd::wl

@@ -1,0 +1,100 @@
+#include "wl/madbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd::wl {
+namespace {
+
+MadbenchParams small() {
+  MadbenchParams p;
+  p.nodes = 64;
+  p.npix = 4096;
+  p.n_matrices = 32;
+  return p;
+}
+
+TEST(Madbench, PerOpSizeMatchesPaper) {
+  // 64 nodes, NPIX 4096 -> 2 MiB per op; 256 nodes, NPIX 8192 -> 2 MiB.
+  MadbenchParams p64;
+  p64.nodes = 64;
+  p64.npix = 4096;
+  EXPECT_EQ(p64.bytes_per_op(), 2_MiB);
+  MadbenchParams p256;
+  p256.nodes = 256;
+  p256.npix = 8192;
+  EXPECT_EQ(p256.bytes_per_op(), 2_MiB);
+}
+
+TEST(Madbench, TotalBytesMatchPaper) {
+  // 1024 matrices: 128 GiB at NPIX 4096, 512 GiB at NPIX 8192.
+  MadbenchParams p;
+  p.npix = 4096;
+  p.n_matrices = 1024;
+  EXPECT_EQ(p.total_bytes(), 128_GiB);
+  p.npix = 8192;
+  EXPECT_EQ(p.total_bytes(), 512_GiB);
+}
+
+TEST(Madbench, DeliversAllBytes) {
+  const auto p = small();
+  auto r = run_madbench(proto::Mechanism::zoid, bgp::MachineConfig::intrepid(), {}, p);
+  EXPECT_EQ(r.bytes, p.total_bytes());
+  EXPECT_GT(r.throughput_mib_s, 0);
+}
+
+TEST(Madbench, PhaseMixIsHalfReadsHalfWrites) {
+  const auto p = small();
+  auto r = run_madbench(proto::Mechanism::zoid_sched_async, bgp::MachineConfig::intrepid(), {}, p);
+  // S: 1/4 writes; W: half of 1/2 each; C: 1/4 reads => 50/50 overall.
+  EXPECT_EQ(r.reads + r.writes, static_cast<std::uint64_t>(p.nodes) * p.n_matrices);
+  EXPECT_EQ(r.reads, r.writes);
+}
+
+TEST(Madbench, MechanismLadderHolds) {
+  const auto p = small();
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const double ciod = run_madbench(proto::Mechanism::ciod, cfg, {}, p).throughput_mib_s;
+  const double zoid = run_madbench(proto::Mechanism::zoid, cfg, {}, p).throughput_mib_s;
+  const double async =
+      run_madbench(proto::Mechanism::zoid_sched_async, cfg, {}, p).throughput_mib_s;
+  EXPECT_LT(ciod, zoid);
+  EXPECT_GT(async / ciod, 1.2) << "paper: +53% at 64 nodes";
+  EXPECT_GT(async / zoid, 1.1) << "paper: +40% at 64 nodes";
+}
+
+TEST(Madbench, MultiPsetScalesOut) {
+  auto p = small();
+  p.n_matrices = 16;
+  const auto cfg = bgp::MachineConfig::intrepid();
+  const auto r64 = run_madbench(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  p.nodes = 256;
+  p.npix = 8192;
+  const auto r256 = run_madbench(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  // 4x the IONs and 4x the data: aggregate throughput should grow ~4x.
+  EXPECT_GT(r256.throughput_mib_s, 3.0 * r64.throughput_mib_s);
+}
+
+TEST(Madbench, RmodLimitsConcurrentReaders) {
+  auto p = small();
+  p.rmod = 64;  // only one reader at a time
+  auto r = run_madbench(proto::Mechanism::zoid, bgp::MachineConfig::intrepid(), {}, p);
+  p.rmod = 1;
+  auto r_all = run_madbench(proto::Mechanism::zoid, bgp::MachineConfig::intrepid(), {}, p);
+  EXPECT_EQ(r.bytes, r_all.bytes);
+  EXPECT_LT(r.throughput_mib_s, r_all.throughput_mib_s);
+}
+
+TEST(Madbench, BusyworkSlowsWallClock) {
+  auto p = small();
+  p.n_matrices = 8;
+  auto fast = run_madbench(proto::Mechanism::zoid_sched_async, bgp::MachineConfig::intrepid(),
+                           {}, p);
+  p.busywork_ns_per_op = 300'000'000;  // 300 ms compute per op, serial per process
+  auto slow = run_madbench(proto::Mechanism::zoid_sched_async, bgp::MachineConfig::intrepid(),
+                           {}, p);
+  // 8 ops x 300 ms of per-process compute cannot be fully hidden behind I/O.
+  EXPECT_GT(slow.elapsed_s, fast.elapsed_s + 1.0);
+}
+
+}  // namespace
+}  // namespace iofwd::wl

@@ -1,0 +1,35 @@
+// Quick calibration driver (not installed): prints throughput for a sweep.
+#include <cstdio>
+#include "wl/stream.hpp"
+using namespace iofwd;
+int main() {
+  bgp::MachineConfig mc = bgp::MachineConfig::intrepid();
+  proto::ForwarderConfig fc;
+  printf("end_to_end_bound=%.1f tree_peak=%.1f ext4=%.1f ext1=%.1f ext8=%.1f\n",
+         mc.end_to_end_bound_mib_s(), mc.tree_effective_peak_mib_s(),
+         mc.external_peak_mib_s(4), mc.external_peak_mib_s(1), mc.external_peak_mib_s(8));
+  wl::StreamParams p;
+  p.iterations = 200;
+  for (int ncn : {1, 2, 4, 8, 16, 32, 64}) {
+    p.cns_per_pset = ncn;
+    printf("ncn=%2d :", ncn);
+    for (auto m : {proto::Mechanism::ciod, proto::Mechanism::zoid, proto::Mechanism::zoid_sched,
+                   proto::Mechanism::zoid_sched_async}) {
+      auto r = wl::run_stream(m, mc, fc, p);
+      printf("  %s=%6.1f", proto::to_string(m).c_str(), r.throughput_mib_s);
+    }
+    printf("\n");
+    fflush(stdout);
+  }
+  // dev_null (fig4 shape)
+  printf("-- dev_null (collective network only) --\n");
+  p.sink = proto::SinkTarget::Kind::dev_null;
+  for (int ncn : {1, 2, 4, 8, 16, 32, 64}) {
+    p.cns_per_pset = ncn;
+    auto rc = wl::run_stream(proto::Mechanism::ciod, mc, fc, p);
+    auto rz = wl::run_stream(proto::Mechanism::zoid, mc, fc, p);
+    printf("ncn=%2d : ciod=%6.1f zoid=%6.1f\n", ncn, rc.throughput_mib_s, rz.throughput_mib_s);
+    fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include <cstdio>
+#include "wl/checkpoint.hpp"
+using namespace iofwd;
+int main() {
+  auto cfg = bgp::MachineConfig::intrepid();
+  wl::CheckpointParams p;
+  p.cycles = 5;
+  for (auto m : {proto::Mechanism::zoid, proto::Mechanism::zoid_sched,
+                 proto::Mechanism::zoid_sched_async}) {
+    auto r = wl::run_checkpoint(m, cfg, {}, p);
+    printf("%-18s total=%.2fs compute=%.2fs ovh=%.0f%% rate=%.0f MiB/s\n",
+           proto::to_string(m).c_str(), r.total_time_s, r.compute_time_s, r.io_overhead_pct,
+           r.aggregate_mib_s);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Diagnostic: run one streaming configuration and show where the bottleneck
+// sits — per-resource utilization sparklines sampled by sim::Telemetry.
+//
+//   diag [ncn] [mech 0..3] [msg_kib]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bgp/machine.hpp"
+#include "proto/forwarder.hpp"
+#include "sim/sync.hpp"
+#include "sim/telemetry.hpp"
+
+using namespace iofwd;
+
+namespace {
+
+sim::Proc<void> cn_app(proto::Forwarder& fwd, int cn, proto::SinkTarget sink, std::uint64_t bytes,
+                       int iters) {
+  for (int i = 0; i < iters; ++i) (void)co_await fwd.write(cn, -1, bytes, sink);
+}
+
+sim::Proc<void> driver(bgp::Machine& m, proto::Forwarder& fwd, sim::Telemetry& tm, int ncn,
+                       std::uint64_t msg, int iters) {
+  std::vector<sim::Proc<void>> apps;
+  proto::SinkTarget sink;
+  sink.kind = proto::SinkTarget::Kind::da_memory;
+  for (int c = 0; c < ncn; ++c) apps.push_back(cn_app(fwd, c, sink, msg, iters));
+  co_await sim::when_all(m.engine(), std::move(apps));
+  co_await fwd.drain();
+  tm.stop();
+  fwd.shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ncn = argc > 1 ? atoi(argv[1]) : 64;
+  const int mech = argc > 2 ? atoi(argv[2]) : 3;
+  const std::uint64_t msg = (argc > 3 ? static_cast<std::uint64_t>(atoi(argv[3])) : 1024) << 10;
+
+  sim::Engine eng;
+  bgp::Machine m(eng, bgp::MachineConfig::intrepid());
+  proto::RunMetrics metrics;
+  auto fwd = proto::make_forwarder(static_cast<proto::Mechanism>(mech), m, m.pset(0), metrics, {});
+
+  sim::Telemetry tm(eng, 20'000'000);  // 20 ms windows
+  tm.track_link("tree", m.pset(0).tree());
+  tm.track_cpu("ion.cpu", m.pset(0).ion().cpu());
+  tm.track_link("ion.nic", m.pset(0).ion().nic());
+  tm.track_link("da.nic", m.da(0).nic());
+  tm.start();
+
+  eng.spawn(driver(m, *fwd, tm, ncn, msg, 200));
+  eng.run();
+
+  const auto el = metrics.last_delivery;
+  std::printf("mech=%s ncn=%d msg=%llu KiB -> %.1f MiB/s over %.3f simulated s\n\n",
+              proto::to_string(static_cast<proto::Mechanism>(mech)).c_str(), ncn,
+              static_cast<unsigned long long>(msg >> 10), metrics.throughput_mib_s(0, el),
+              sim::to_seconds(el));
+  std::printf("%s\n", tm.render().c_str());
+  std::printf("(each cell = one 20 ms window; @ = saturated, . = idle)\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// iofwd_sim: the standalone simulator CLI.
+//
+// Runs a named workload on the simulated machine with any knob overridden
+// from key=value arguments or IOFWD_* environment variables:
+//
+//   iofwd_sim stream mech=async cns=64 msg_kib=1024 iters=500
+//   iofwd_sim stream machine.ion_cores=8 forwarder.workers=8
+//   iofwd_sim madbench nodes=64 matrices=256
+//   iofwd_sim ior pattern=strided direction=write+read segments=32
+//   iofwd_sim checkpoint cycles=20
+//
+// Mechanisms: ciod | zoid | sched | async.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/config.hpp"
+#include "proto/config_io.hpp"
+#include "wl/checkpoint.hpp"
+#include "wl/ior.hpp"
+#include "wl/madbench.hpp"
+#include "wl/stream.hpp"
+
+using namespace iofwd;
+
+namespace {
+
+proto::Mechanism parse_mech(const std::string& s) {
+  if (s == "ciod") return proto::Mechanism::ciod;
+  if (s == "zoid") return proto::Mechanism::zoid;
+  if (s == "sched") return proto::Mechanism::zoid_sched;
+  return proto::Mechanism::zoid_sched_async;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <stream|madbench|ior|checkpoint> [key=value ...]\n"
+               "  common: mech=ciod|zoid|sched|async, machine.*, forwarder.*\n"
+               "  stream:     cns= msg_kib= iters= sink=da|null trace=FILE.json\n"
+               "  madbench:   nodes= npix= matrices=\n"
+               "  ior:        cns= pattern=sequential|strided|random\n"
+               "              direction=write|read|write+read segments= xfer_kib= shared=0|1\n"
+               "  checkpoint: cns= cycles= compute_ms= ckpt_kib=\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string workload = argv[1];
+
+  Config cfg;
+  for (int i = 2; i < argc; ++i) {
+    if (!cfg.parse_override(argv[i])) {
+      std::fprintf(stderr, "bad argument: %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  auto machine = proto::apply_machine_config(cfg, bgp::MachineConfig::intrepid());
+  if (!machine.is_ok()) {
+    std::fprintf(stderr, "%s\n", machine.status().to_string().c_str());
+    return 2;
+  }
+  auto fwd = proto::apply_forwarder_config(cfg, {});
+  if (!fwd.is_ok()) {
+    std::fprintf(stderr, "%s\n", fwd.status().to_string().c_str());
+    return 2;
+  }
+  const auto mech = parse_mech(cfg.get("mech", "async"));
+
+  if (workload == "stream") {
+    wl::StreamParams p;
+    p.cns_per_pset = static_cast<int>(cfg.get_int("cns", 64));
+    p.message_bytes = static_cast<std::uint64_t>(cfg.get_int("msg_kib", 1024)) << 10;
+    p.iterations = static_cast<int>(cfg.get_int("iters", 500));
+    p.sink = cfg.get("sink", "da") == "null" ? proto::SinkTarget::Kind::dev_null
+                                             : proto::SinkTarget::Kind::da_memory;
+    p.trace_path = cfg.get("trace", "");
+    const auto r = wl::run_stream(mech, machine.value(), fwd.value(), p);
+    std::printf("stream %s: %.1f MiB/s (%llu ops, %.3f s simulated, %llu events)\n",
+                proto::to_string(mech).c_str(), r.throughput_mib_s,
+                static_cast<unsigned long long>(r.metrics.ops_completed),
+                sim::to_seconds(r.elapsed), static_cast<unsigned long long>(r.sim_events));
+    return 0;
+  }
+  if (workload == "madbench") {
+    wl::MadbenchParams p;
+    p.nodes = static_cast<int>(cfg.get_int("nodes", 64));
+    p.npix = static_cast<std::uint64_t>(cfg.get_int("npix", 4096));
+    p.n_matrices = static_cast<int>(cfg.get_int("matrices", 1024));
+    const auto r = wl::run_madbench(mech, machine.value(), fwd.value(), p);
+    std::printf("madbench %s: %.1f MiB/s (%.1f GiB in %.1f s; %llu writes, %llu reads)\n",
+                proto::to_string(mech).c_str(), r.throughput_mib_s,
+                static_cast<double>(r.bytes) / (1ull << 30), r.elapsed_s,
+                static_cast<unsigned long long>(r.writes),
+                static_cast<unsigned long long>(r.reads));
+    return 0;
+  }
+  if (workload == "ior") {
+    wl::IorParams p;
+    p.cns = static_cast<int>(cfg.get_int("cns", 64));
+    p.segments = static_cast<int>(cfg.get_int("segments", 64));
+    p.transfer_bytes = static_cast<std::uint64_t>(cfg.get_int("xfer_kib", 1024)) << 10;
+    p.shared_file = cfg.get_bool("shared", true);
+    const std::string pat = cfg.get("pattern", "sequential");
+    p.pattern = pat == "strided"  ? wl::IorPattern::strided
+                : pat == "random" ? wl::IorPattern::random
+                                  : wl::IorPattern::sequential;
+    const std::string dir = cfg.get("direction", "write");
+    p.direction = dir == "read"         ? wl::IorDirection::read_only
+                  : dir == "write+read" ? wl::IorDirection::write_then_read
+                                        : wl::IorDirection::write_only;
+    const auto r = wl::run_ior(mech, machine.value(), fwd.value(), p);
+    std::printf("ior %s %s %s: write %.1f MiB/s, read %.1f MiB/s (%.3f s)\n",
+                proto::to_string(mech).c_str(), wl::to_string(p.pattern),
+                wl::to_string(p.direction), r.write_mib_s, r.read_mib_s, r.elapsed_s);
+    return 0;
+  }
+  if (workload == "checkpoint") {
+    wl::CheckpointParams p;
+    p.cns = static_cast<int>(cfg.get_int("cns", 64));
+    p.cycles = static_cast<int>(cfg.get_int("cycles", 20));
+    p.compute_ns = cfg.get_int("compute_ms", 400) * 1'000'000;
+    p.checkpoint_bytes = static_cast<std::uint64_t>(cfg.get_int("ckpt_kib", 4096)) << 10;
+    const auto r = wl::run_checkpoint(mech, machine.value(), fwd.value(), p);
+    std::printf("checkpoint %s: total %.2f s, compute %.2f s, I/O overhead %.0f%%\n",
+                proto::to_string(mech).c_str(), r.total_time_s, r.compute_time_s,
+                r.io_overhead_pct);
+    return 0;
+  }
+  return usage(argv[0]);
+}
