@@ -2,11 +2,12 @@
 // UNIX-domain socket — the deployment shape of CIOD/ZOID on a real I/O node.
 //
 //   $ ./ion_daemon /tmp/iofwd.sock [exec=async|queue|thread] [workers=4]
-//                  [root=/tmp/iofwd_data] [bml_mib=256]
+//                  [root=/tmp/iofwd_data] [bml_mib=256] [bb_mib=0]
 //                  [aggregate_kib=0] [downsample=0] [rle=0]
 //   $ ./ion_daemon tcp:9090 ...          # listen on TCP port instead
 //
 // aggregate_kib=N   coalesce sequential writes into N-KiB backend writes
+// bb_mib=N          burst-buffer staging cache of N MiB (DESIGN.md §9)
 // downsample=K      keep every K-th 8-byte element (in-situ data reduction)
 // rle=1             zero-run-length-encode payloads before storage
 //
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <socket-path> [exec=async|queue|thread] [workers=N] "
-                 "[root=DIR] [bml_mib=N]\n",
+                 "[root=DIR] [bml_mib=N] [bb_mib=N]\n",
                  argv[0]);
     return 2;
   }
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
   cfg.workers = std::atoi(arg(argc, argv, "workers", "4").c_str());
   cfg.bml_bytes = static_cast<std::uint64_t>(std::atoi(arg(argc, argv, "bml_mib", "256").c_str()))
                   << 20;
+  cfg.bb_bytes = static_cast<std::uint64_t>(std::atoi(arg(argc, argv, "bb_mib", "0").c_str()))
+                 << 20;
   if (exec == "thread") {
     cfg.exec = rt::ExecModel::thread_per_client;
   } else if (exec == "queue") {
@@ -100,8 +103,9 @@ int main(int argc, char** argv) {
   if (!filters.empty()) server.set_filter_chain(std::move(filters));
 
   server.serve_listener(std::move(listener));
-  std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s)\n", sock_path.c_str(),
-              rt::to_string(cfg.exec), cfg.workers, root.c_str());
+  std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s, bb=%llu MiB)\n",
+              sock_path.c_str(), rt::to_string(cfg.exec), cfg.workers, root.c_str(),
+              static_cast<unsigned long long>(cfg.bb_bytes >> 20));
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -115,6 +119,11 @@ int main(int argc, char** argv) {
               static_cast<double>(s.bytes_in) / (1 << 20),
               static_cast<double>(s.bytes_out) / (1 << 20),
               static_cast<unsigned long long>(s.deferred_errors));
+  if (cfg.bb_bytes > 0) {
+    std::printf("burst buffer: %.0f%% hit rate, %.1fx coalesce, %.1f MiB flushed\n",
+                100.0 * s.bb_hit_rate, s.bb_coalesce_ratio,
+                static_cast<double>(s.bb_flushed_bytes) / (1 << 20));
+  }
   server.stop();
   return 0;
 }

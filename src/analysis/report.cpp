@@ -105,6 +105,57 @@ Status FigureReport::write_csv(const std::string& path) const {
   return f.good() ? Status::ok() : Status(Errc::io_error, "short write to " + path);
 }
 
+DiagTable::DiagTable(std::string title) : title_(std::move(title)) {}
+
+void DiagTable::add(const std::string& label, const std::string& value,
+                    const std::string& note) {
+  rows_.push_back(Row{label, value, note});
+}
+
+void DiagTable::add(const std::string& label, double value, const std::string& note) {
+  add(label, Table::num(value, 2), note);
+}
+
+std::optional<std::string> DiagTable::get(const std::string& label) const {
+  for (const auto& r : rows_) {
+    if (r.label == label) return r.value;
+  }
+  return std::nullopt;
+}
+
+std::string DiagTable::render() const {
+  std::string out = "-- " + title_ + " --\n";
+  bool any_note = false;
+  for (const auto& r : rows_) any_note |= !r.note.empty();
+  Table t(any_note ? std::vector<std::string>{"stat", "value", "note"}
+                   : std::vector<std::string>{"stat", "value"});
+  for (const auto& r : rows_) {
+    std::vector<std::string> row{r.label, r.value};
+    if (any_note) row.push_back(r.note);
+    t.add_row(std::move(row));
+  }
+  out += t.render();
+  return out;
+}
+
+DiagTable burst_buffer_table(const BurstBufferDiag& d) {
+  DiagTable t("burst-buffer cache");
+  t.add("hit rate", Table::pct(100.0 * d.hit_rate), "read bytes served from cached extents");
+  t.add("coalesce ratio", d.coalesce_ratio, "incoming writes per backend write");
+  t.add("flushed", Table::num(static_cast<double>(d.flushed_bytes) / (1024.0 * 1024.0), 1) + " MiB",
+        "drained to the backend");
+  const double occ = d.capacity_bytes > 0 ? 100.0 * static_cast<double>(d.cached_high_watermark) /
+                                                static_cast<double>(d.capacity_bytes)
+                                          : 0.0;
+  t.add("peak occupancy", Table::pct(occ), "high watermark over bb_bytes");
+  t.add("writer stalls", Table::num(static_cast<double>(d.stall_ns) / 1e6, 2) + " ms",
+        "waiting for cache space");
+  t.add("evictions", static_cast<double>(d.evictions), "clean extents reclaimed");
+  t.add("deferred errors", static_cast<double>(d.deferred_errors),
+        "flush failures surfaced on later ops");
+  return t;
+}
+
 std::string emit(const FigureReport& report) {
   std::string rendered = report.render();
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);

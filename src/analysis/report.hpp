@@ -2,6 +2,7 @@
 // figure next to the measured reproduction, and to persist the data as CSV.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,5 +55,45 @@ class FigureReport {
 // Convenience used by every bench main(): render to stdout and drop the CSV
 // under results/ (created on demand). Returns the CSV path.
 std::string emit(const FigureReport& report);
+
+// A small titled label/value/note table for diagnostics that are not a
+// figure grid (counter dumps, cache stats). Rows render in insertion order.
+class DiagTable {
+ public:
+  explicit DiagTable(std::string title);
+
+  void add(const std::string& label, const std::string& value, const std::string& note = "");
+  void add(const std::string& label, double value, const std::string& note = "");
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& label) const;
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::string value;
+    std::string note;
+  };
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+// Burst-buffer cache counters in table-ready form. Plain numbers rather than
+// the bb::BurstBufferStats struct keep analysis/ independent of the runtime
+// layers; callers copy the fields across.
+struct BurstBufferDiag {
+  double hit_rate = 0.0;        // fraction of read bytes served from cache
+  double coalesce_ratio = 0.0;  // incoming writes per backend write
+  std::uint64_t flushed_bytes = 0;
+  std::uint64_t cached_high_watermark = 0;
+  std::uint64_t capacity_bytes = 0;
+  std::uint64_t stall_ns = 0;  // writer time spent waiting for cache space
+  std::uint64_t evictions = 0;
+  std::uint64_t deferred_errors = 0;
+};
+
+// Render the standard burst-buffer diagnostics table ("where bursts are
+// absorbed"): hit rate, coalesce ratio, flushed bytes, occupancy, stalls.
+DiagTable burst_buffer_table(const BurstBufferDiag& d);
 
 }  // namespace iofwd::analysis

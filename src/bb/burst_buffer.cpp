@@ -1,0 +1,429 @@
+#include "bb/burst_buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+namespace iofwd::bb {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
+                                       BurstBufferConfig cfg)
+    : inner_(std::move(inner)),
+      cfg_(cfg),
+      pool_(cfg.capacity_bytes, cfg.min_class_bytes, cfg.policy) {
+  assert(inner_ && "BurstBufferBackend needs an inner backend");
+  if (cfg_.write_through_bytes == 0) {
+    cfg_.write_through_bytes = std::max<std::uint64_t>(cfg_.capacity_bytes / 4, 1);
+  }
+  cfg_.high_watermark = std::clamp(cfg_.high_watermark, 0.0, 1.0);
+  cfg_.low_watermark = std::clamp(cfg_.low_watermark, 0.0, cfg_.high_watermark);
+  const int n = std::max(1, cfg_.flushers);
+  flushers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    flushers_.emplace_back([this] { flusher_loop(); });
+  }
+}
+
+BurstBufferBackend::~BurstBufferBackend() {
+  drain_all();
+  stop_.store(true);
+  {
+    std::scoped_lock lk(flush_mu_);
+    flush_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  flushers_.clear();  // jthread joins on destruction
+}
+
+bool BurstBufferBackend::over_high() const {
+  return pool_.in_use() >=
+         static_cast<std::uint64_t>(cfg_.high_watermark * static_cast<double>(pool_.capacity()));
+}
+
+bool BurstBufferBackend::over_low() const {
+  return pool_.in_use() >
+         static_cast<std::uint64_t>(cfg_.low_watermark * static_cast<double>(pool_.capacity()));
+}
+
+std::shared_ptr<BurstBufferBackend::Desc> BurstBufferBackend::find_desc(int fd) const {
+  std::shared_lock lk(descs_mu_);
+  auto it = descs_.find(fd);
+  return it != descs_.end() ? it->second : nullptr;
+}
+
+Status BurstBufferBackend::consume_deferred(int fd) {
+  std::scoped_lock lk(db_mu_);
+  Status st = db_.consume_pending_error(fd);
+  if (st.code() == Errc::bad_descriptor) return Status::ok();  // unknown to the db: pass through
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// IoBackend surface
+// ---------------------------------------------------------------------------
+
+Status BurstBufferBackend::open(int fd, const std::string& path) {
+  if (Status st = inner_->open(fd, path); !st.is_ok()) return st;
+  {
+    std::unique_lock lk(descs_mu_);
+    descs_[fd] = std::make_shared<Desc>();
+  }
+  std::scoped_lock lk(db_mu_);
+  (void)db_.open_descriptor(fd);
+  return Status::ok();
+}
+
+Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
+                                                std::span<const std::byte> data) {
+  auto d = find_desc(fd);
+  if (!d) return inner_->write(fd, offset, data);  // not opened through us
+  if (Status st = consume_deferred(fd); !st.is_ok()) return st;
+  if (data.size() >= cfg_.write_through_bytes) return write_through(fd, d, offset, data);
+
+  bool stalled = false;
+  std::uint64_t stall_start = 0;
+  for (;;) {
+    bool too_large = false;
+    {
+      std::scoped_lock lk(d->mu);
+      const std::uint64_t d0 = d->index.dirty_bytes();
+      auto r = d->index.insert(offset, data, pool_);
+      if (r.is_ok()) {
+        dirty_total_ += d->index.dirty_bytes() - d0;
+        std::scoped_lock slk(stats_mu_);
+        ++stats_.writes_in;
+        stats_.bytes_in += data.size();
+        if (r.value() != ExtentIndex::Insert::fresh) ++stats_.writes_absorbed;
+        break;
+      }
+      if (r.code() == Errc::message_too_large) {
+        too_large = true;
+      } else if (r.code() != Errc::would_block) {
+        return r.status();
+      }
+    }
+    if (too_large) return write_through(fd, d, offset, data);
+
+    // Cache full: kick the flushers, reclaim one run ourselves if possible,
+    // otherwise wait briefly for background progress. All stall time is
+    // charged to this writer.
+    if (!stalled) {
+      stalled = true;
+      stall_start = now_ns();
+    }
+    {
+      std::scoped_lock lk(flush_mu_);
+      flush_cv_.notify_all();
+    }
+    if (!flush_one_step()) {
+      std::unique_lock lk(flush_mu_);
+      space_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+  }
+  if (stalled) {
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.stalls;
+    stats_.stall_ns += now_ns() - stall_start;
+  }
+  if (over_high()) {
+    std::scoped_lock lk(flush_mu_);
+    flush_cv_.notify_all();
+  }
+  return static_cast<std::uint64_t>(data.size());
+}
+
+Result<std::uint64_t> BurstBufferBackend::write_through(int fd, const std::shared_ptr<Desc>& d,
+                                                        std::uint64_t offset,
+                                                        std::span<const std::byte> data) {
+  std::scoped_lock lk(d->mu);
+  // Any cached extents under the new range are superseded; dirty ones must
+  // land first so the bypassing write wins.
+  const std::uint64_t d0 = d->index.dirty_bytes();
+  auto taken = d->index.take_overlapping(offset, data.size());
+  dirty_total_ -= d0 - d->index.dirty_bytes();
+  std::uint64_t extra_writes = 0;
+  for (auto& e : taken) {
+    if (!e.dirty) continue;
+    auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf.data(), e.len));
+    ++extra_writes;
+    if (!r.is_ok()) {
+      std::optional<std::uint64_t> seq;
+      {
+        std::scoped_lock dlk(db_mu_);
+        seq = db_.begin_op(fd);
+        if (seq) (void)db_.complete_op(fd, *seq, r.status());
+      }
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.deferred_errors;
+    }
+  }
+  auto r = inner_->write(fd, offset, data);
+  {
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.writes_in;
+    stats_.bytes_in += data.size();
+    stats_.backend_writes += extra_writes + 1;
+    stats_.write_through_bytes += data.size();
+    if (!taken.empty()) stats_.flushed_bytes += d0 - d->index.dirty_bytes();
+  }
+  return r;
+}
+
+Result<std::uint64_t> BurstBufferBackend::read(int fd, std::uint64_t offset,
+                                               std::span<std::byte> out) {
+  auto d = find_desc(fd);
+  if (!d) return inner_->read(fd, offset, out);
+  if (Status st = consume_deferred(fd); !st.is_ok()) return st;
+
+  std::scoped_lock lk(d->mu);
+  const auto segs = d->index.segments(offset, out.size());
+  std::uint64_t produced = 0;
+  std::uint64_t hit = 0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const auto& seg = segs[i];
+    auto slice = out.subspan(static_cast<std::size_t>(seg.offset - offset),
+                             static_cast<std::size_t>(seg.len));
+    if (seg.ext != nullptr) {
+      std::memcpy(slice.data(), seg.ext->buf.data() + (seg.offset - seg.ext->start), seg.len);
+      hit += seg.len;
+      produced = seg.offset + seg.len - offset;
+      continue;
+    }
+    auto r = inner_->read(fd, seg.offset, slice);
+    if (!r.is_ok()) return r.status();
+    if (r.value() < seg.len) {
+      // Short read inside a hole: past EOF. Interior holes (cached data
+      // further right) read as zeros; a trailing hole ends the read.
+      std::fill(slice.begin() + static_cast<std::ptrdiff_t>(r.value()), slice.end(),
+                std::byte{0});
+      if (i + 1 == segs.size()) {
+        produced = (seg.offset - offset) + r.value();
+        break;
+      }
+    }
+    produced = seg.offset + seg.len - offset;
+  }
+  {
+    std::scoped_lock slk(stats_mu_);
+    stats_.read_bytes += produced;
+    stats_.read_hit_bytes += hit;
+  }
+  return produced;
+}
+
+Status BurstBufferBackend::fsync(int fd) {
+  auto d = find_desc(fd);
+  if (!d) return inner_->fsync(fd);
+  // Deferred-error gate first: a pending error bounces the op unexecuted.
+  if (Status st = consume_deferred(fd); !st.is_ok()) return st;
+  {
+    std::scoped_lock lk(d->mu);
+    drain_locked(fd, *d);
+  }
+  // Errors produced by this drain surface on the fsync itself (the barrier).
+  if (Status st = consume_deferred(fd); !st.is_ok()) return st;
+  return inner_->fsync(fd);
+}
+
+Status BurstBufferBackend::close(int fd) {
+  std::shared_ptr<Desc> d;
+  {
+    std::unique_lock lk(descs_mu_);
+    auto it = descs_.find(fd);
+    if (it != descs_.end()) {
+      d = it->second;
+      descs_.erase(it);  // flushers can no longer pick this descriptor
+    }
+  }
+  if (!d) return inner_->close(fd);
+  {
+    std::scoped_lock lk(d->mu);
+    drain_locked(fd, *d);
+    d->index.clear();  // releases every lease — nothing may leak past close
+  }
+  Status deferred;
+  {
+    std::scoped_lock lk(db_mu_);
+    deferred = db_.close_descriptor(fd);
+  }
+  Status be = inner_->close(fd);
+  if (!deferred.is_ok() && deferred.code() != Errc::bad_descriptor) return deferred;
+  return be;
+}
+
+Result<std::uint64_t> BurstBufferBackend::size(int fd) {
+  auto d = find_desc(fd);
+  if (!d) return inner_->size(fd);
+  if (Status st = consume_deferred(fd); !st.is_ok()) return st;
+  auto s = inner_->size(fd);
+  if (!s.is_ok()) return s;
+  std::scoped_lock lk(d->mu);
+  return std::max(s.value(), d->index.max_end());
+}
+
+// ---------------------------------------------------------------------------
+// Flushing
+// ---------------------------------------------------------------------------
+
+void BurstBufferBackend::flush_extent(int fd, Desc& d, Extent& e) {
+  std::optional<std::uint64_t> seq;
+  {
+    std::scoped_lock lk(db_mu_);
+    seq = db_.begin_op(fd);
+  }
+  auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf.data(), e.len));
+  const Status st = r.is_ok() ? Status::ok() : r.status();
+  {
+    std::scoped_lock lk(db_mu_);
+    if (seq) (void)db_.complete_op(fd, *seq, st);
+  }
+  dirty_total_ -= e.len;
+  {
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.backend_writes;
+    if (st.is_ok()) {
+      stats_.flushed_bytes += e.len;
+    } else {
+      ++stats_.deferred_errors;
+    }
+  }
+  if (st.is_ok()) {
+    d.index.mark_clean(e);
+  } else {
+    // The data is lost either way; dropping the lease keeps the error from
+    // also leaking pool capacity. The recorded status surfaces on the next
+    // operation on this descriptor.
+    d.index.evict(e.start);
+  }
+}
+
+void BurstBufferBackend::drain_locked(int fd, Desc& d) {
+  while (Extent* e = d.index.largest_dirty()) {
+    flush_extent(fd, d, *e);
+  }
+  std::scoped_lock slk(stats_mu_);
+  ++stats_.drains;
+}
+
+void BurstBufferBackend::drain(int fd) {
+  auto d = find_desc(fd);
+  if (!d) return;
+  std::scoped_lock lk(d->mu);
+  drain_locked(fd, *d);
+}
+
+void BurstBufferBackend::drain_all() {
+  std::vector<std::pair<int, std::shared_ptr<Desc>>> snap;
+  {
+    std::shared_lock lk(descs_mu_);
+    snap.assign(descs_.begin(), descs_.end());
+  }
+  for (auto& [fd, d] : snap) {
+    std::scoped_lock lk(d->mu);
+    drain_locked(fd, *d);
+  }
+}
+
+bool BurstBufferBackend::flush_one_step() {
+  std::vector<std::pair<int, std::shared_ptr<Desc>>> snap;
+  {
+    std::shared_lock lk(descs_mu_);
+    snap.assign(descs_.begin(), descs_.end());
+  }
+
+  // Largest-dirty-run-first across all descriptors.
+  int best_fd = -1;
+  std::shared_ptr<Desc> best;
+  std::uint64_t best_len = 0;
+  for (auto& [fd, d] : snap) {
+    std::scoped_lock lk(d->mu);
+    if (Extent* e = d->index.largest_dirty(); e != nullptr && e->len > best_len) {
+      best_fd = fd;
+      best = d;
+      best_len = e->len;
+    }
+  }
+  if (best) {
+    std::scoped_lock lk(best->mu);
+    if (Extent* e = best->index.largest_dirty()) {
+      const std::uint64_t start = e->start;
+      flush_extent(best_fd, *best, *e);
+      // Under memory pressure a flushed run is also evicted — write-back
+      // then reclaim, not just write-back.
+      best->index.evict(start);
+    }
+    return true;
+  }
+
+  // Nothing dirty anywhere: reclaim the largest clean (read-cache) extent.
+  best = nullptr;
+  best_len = 0;
+  for (auto& [fd, d] : snap) {
+    std::scoped_lock lk(d->mu);
+    if (Extent* e = d->index.largest_clean(); e != nullptr && e->len > best_len) {
+      best = d;
+      best_len = e->len;
+    }
+  }
+  if (best) {
+    std::scoped_lock lk(best->mu);
+    if (Extent* e = best->index.largest_clean()) {
+      best->index.evict(e->start);
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.evictions;
+      return true;
+    }
+  }
+  return false;
+}
+
+void BurstBufferBackend::flusher_loop() {
+  for (;;) {
+    {
+      std::unique_lock lk(flush_mu_);
+      flush_cv_.wait(lk, [&] { return stop_.load() || over_high(); });
+      if (stop_.load()) return;
+    }
+    bool progressed = false;
+    while (!stop_.load() && over_low()) {
+      if (!flush_one_step()) break;
+      progressed = true;
+      std::scoped_lock lk(flush_mu_);
+      space_cv_.notify_all();
+    }
+    {
+      std::scoped_lock lk(flush_mu_);
+      space_cv_.notify_all();
+    }
+    if (!progressed) {
+      // Over the watermark with nothing flushable is transient (extents
+      // mid-mutation); back off instead of spinning on the predicate.
+      std::unique_lock lk(flush_mu_);
+      flush_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] { return stop_.load(); });
+    }
+  }
+}
+
+BurstBufferStats BurstBufferBackend::stats() const {
+  BurstBufferStats s;
+  {
+    std::scoped_lock lk(stats_mu_);
+    s = stats_;
+  }
+  s.cached_bytes = pool_.in_use();
+  s.cached_high_watermark = pool_.high_watermark();
+  s.dirty_bytes = dirty_total_.load();
+  return s;
+}
+
+}  // namespace iofwd::bb

@@ -1,0 +1,150 @@
+// Burst-buffer subsystem: an ION-side write-back staging cache.
+//
+// Sits between the server's execution models and any IoBackend as a
+// decorator (like AggregatingBackend) but absorbs what the sequential
+// aggregation window cannot: non-contiguous and out-of-order checkpoint
+// bursts. Writes land in per-descriptor extent indexes backed by a capped
+// rt::BufferPool; a small background flusher pool — decoupled from the
+// request workers — drains dirty extents largest-run-first whenever cached
+// bytes cross the high watermark, and stops once below the low watermark.
+//
+// Semantics (mirroring the server's documented async-staging guarantees):
+//   * Read-your-writes is served directly from cached extents; reads never
+//     force a flush barrier (holes read through to the inner backend).
+//   * A flush error is recorded in a proto::DescriptorDb and surfaces as a
+//     deferred error on the next operation on that descriptor — which then
+//     does NOT execute — exactly once; the failed extent's lease is released
+//     either way, so errors never leak pool capacity.
+//   * fsync/close drain only that descriptor; destruction drains everything.
+//   * A write that cannot lease cache space stalls (measured) until the
+//     flushers or an inline flush of the caller free capacity; writes larger
+//     than `write_through_bytes` bypass the cache after invalidating any
+//     overlapping extents.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "bb/extent_index.hpp"
+#include "proto/descriptor_db.hpp"
+#include "rt/backend.hpp"
+#include "rt/bml.hpp"
+
+namespace iofwd::bb {
+
+struct BurstBufferConfig {
+  std::uint64_t capacity_bytes = 64ull << 20;  // total staging cache (bb_bytes)
+  double high_watermark = 0.75;  // fraction of capacity that wakes the flushers
+  double low_watermark = 0.50;   // flushers drain until cached bytes fall below
+  int flushers = 2;              // background flusher threads
+  // Writes at least this large bypass the cache (0 = capacity / 4).
+  std::uint64_t write_through_bytes = 0;
+  std::uint64_t min_class_bytes = 4096;
+  rt::SizeClassPolicy policy = rt::SizeClassPolicy::pow2;
+};
+
+struct BurstBufferStats {
+  std::uint64_t writes_in = 0;         // write() calls accepted into the cache
+  std::uint64_t writes_absorbed = 0;   // coalesced into an existing extent
+  std::uint64_t backend_writes = 0;    // write ops issued to the inner backend
+  std::uint64_t bytes_in = 0;
+  std::uint64_t flushed_bytes = 0;     // dirty bytes written back
+  std::uint64_t write_through_bytes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t read_hit_bytes = 0;    // served from cached extents
+  std::uint64_t evictions = 0;         // clean extents dropped for space
+  std::uint64_t stall_ns = 0;          // writer time blocked on a full cache
+  std::uint64_t stalls = 0;
+  std::uint64_t deferred_errors = 0;   // flush failures recorded for later
+  std::uint64_t drains = 0;            // fsync/close/shutdown drain passes
+  std::uint64_t cached_bytes = 0;      // pool bytes leased right now
+  std::uint64_t cached_high_watermark = 0;
+  std::uint64_t dirty_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return read_bytes ? static_cast<double>(read_hit_bytes) / static_cast<double>(read_bytes)
+                      : 0.0;
+  }
+  // Ingested writes per backend write: >1 means bursts were coalesced.
+  [[nodiscard]] double coalesce_ratio() const {
+    return backend_writes ? static_cast<double>(writes_in) / static_cast<double>(backend_writes)
+                          : static_cast<double>(writes_in);
+  }
+};
+
+class BurstBufferBackend final : public rt::IoBackend {
+ public:
+  BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner, BurstBufferConfig cfg);
+  ~BurstBufferBackend() override;  // drains everything, joins the flushers
+
+  Status open(int fd, const std::string& path) override;
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override;
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override;
+  Status fsync(int fd) override;
+  Status close(int fd) override;
+  Result<std::uint64_t> size(int fd) override;
+
+  // Flush this descriptor's dirty extents (kept cached as clean). Errors are
+  // recorded as deferred, not returned.
+  void drain(int fd);
+  // Flush every descriptor (shutdown barrier). Idempotent.
+  void drain_all();
+
+  [[nodiscard]] BurstBufferStats stats() const;
+  [[nodiscard]] const BurstBufferConfig& config() const { return cfg_; }
+  [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
+
+ private:
+  struct Desc {
+    std::mutex mu;
+    ExtentIndex index;
+  };
+
+  [[nodiscard]] std::shared_ptr<Desc> find_desc(int fd) const;
+  // Deferred-error gate: non-ok means the op must bounce without executing.
+  Status consume_deferred(int fd);
+
+  // Flush one extent to the inner backend; desc->mu must be held. The extent
+  // is marked clean on success and evicted on failure (error deferred).
+  void flush_extent(int fd, Desc& d, Extent& e);
+  void drain_locked(int fd, Desc& d);
+  // One step of capacity reclaim: flush the globally largest dirty run, or
+  // evict the largest clean extent when nothing is dirty. False = no work.
+  bool flush_one_step();
+  void flusher_loop();
+  [[nodiscard]] bool over_high() const;
+  [[nodiscard]] bool over_low() const;
+
+  Result<std::uint64_t> write_through(int fd, const std::shared_ptr<Desc>& d,
+                                      std::uint64_t offset, std::span<const std::byte> data);
+
+  std::unique_ptr<rt::IoBackend> inner_;
+  BurstBufferConfig cfg_;
+  rt::BufferPool pool_;
+
+  mutable std::shared_mutex descs_mu_;  // guards the map, not the Descs
+  std::map<int, std::shared_ptr<Desc>> descs_;
+
+  std::mutex db_mu_;
+  proto::DescriptorDb db_;
+
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;  // flushers wait here
+  std::condition_variable space_cv_;  // stalled writers wait here
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> dirty_total_{0};
+  std::vector<std::jthread> flushers_;
+
+  mutable std::mutex stats_mu_;
+  BurstBufferStats stats_;
+};
+
+}  // namespace iofwd::bb

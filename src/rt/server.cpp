@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "bb/burst_buffer.hpp"
 #include "core/log.hpp"
 
 namespace iofwd::rt {
@@ -23,6 +24,16 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
       pool_(cfg.bml_bytes, cfg.bml_min_class, cfg.bml_policy),
       queue_(cfg.workers) {
   assert(backend_ && "IonServer needs a backend");
+  if (cfg_.bb_bytes > 0) {
+    bb::BurstBufferConfig bcfg;
+    bcfg.capacity_bytes = cfg_.bb_bytes;
+    bcfg.high_watermark = cfg_.bb_high_watermark;
+    bcfg.low_watermark = cfg_.bb_low_watermark;
+    bcfg.flushers = cfg_.bb_flushers;
+    auto wrapped = std::make_unique<bb::BurstBufferBackend>(std::move(backend_), bcfg);
+    bb_ = wrapped.get();
+    backend_ = std::move(wrapped);
+  }
   if (cfg_.exec != ExecModel::thread_per_client) {
     std::scoped_lock lock(threads_mu_);
     for (int i = 0; i < cfg_.workers; ++i) {
@@ -76,6 +87,7 @@ void IonServer::stop() {
     to_join.swap(threads_);
   }
   to_join.clear();  // jthread joins on destruction
+  if (bb_) bb_->drain_all();  // shutdown drains every descriptor's extents
 }
 
 ServerStats IonServer::stats() const {
@@ -85,6 +97,15 @@ ServerStats IonServer::stats() const {
   s.queue_max_depth = queue_.max_depth();
   s.bml_blocked = pool_.blocked_acquires();
   s.bml_high_watermark = pool_.high_watermark();
+  if (bb_) {
+    const bb::BurstBufferStats b = bb_->stats();
+    s.bb_cached_bytes = b.cached_bytes;
+    s.bb_flushed_bytes = b.flushed_bytes;
+    s.bb_backend_writes = b.backend_writes;
+    s.bb_stall_ns = b.stall_ns;
+    s.bb_hit_rate = b.hit_rate();
+    s.bb_coalesce_ratio = b.coalesce_ratio();
+  }
   return s;
 }
 

@@ -20,6 +20,11 @@
 //     order (as with POSIX AIO).
 //   * A deferred error is returned by the next operation on the
 //     descriptor, which is then NOT executed; the error is consumed.
+//   * With the burst buffer enabled (ServerConfig::bb_bytes > 0), staged
+//     writes additionally land in a write-back extent cache (src/bb/) that
+//     serves read-your-writes directly from cached extents and drains to the
+//     inner backend in the background; its flush errors follow the same
+//     deferred-error rules.
 #pragma once
 
 #include <atomic>
@@ -38,6 +43,11 @@
 #include "rt/transport.hpp"
 #include "rt/wire.hpp"
 
+namespace iofwd::bb {
+class BurstBufferBackend;
+struct BurstBufferStats;
+}  // namespace iofwd::bb
+
 namespace iofwd::rt {
 
 enum class ExecModel { thread_per_client, work_queue, work_queue_async };
@@ -52,6 +62,13 @@ struct ServerConfig {
   std::uint64_t bml_bytes = 256ull << 20;
   std::uint64_t bml_min_class = 4096;
   SizeClassPolicy bml_policy = SizeClassPolicy::pow2;
+  // Burst-buffer staging cache (src/bb/): when bb_bytes > 0 the backend is
+  // wrapped in a write-back extent cache with its own flusher pool, which
+  // absorbs non-sequential checkpoint bursts and drains in the background.
+  std::uint64_t bb_bytes = 0;  // 0 = disabled
+  double bb_high_watermark = 0.75;
+  double bb_low_watermark = 0.50;
+  int bb_flushers = 2;
 };
 
 struct ServerStats {
@@ -66,6 +83,13 @@ struct ServerStats {
   // Data-filtering offload: payload bytes before/after the filter chain.
   std::uint64_t filter_bytes_in = 0;
   std::uint64_t filter_bytes_out = 0;
+  // Burst-buffer cache (populated when ServerConfig::bb_bytes > 0).
+  std::uint64_t bb_cached_bytes = 0;
+  std::uint64_t bb_flushed_bytes = 0;
+  std::uint64_t bb_backend_writes = 0;
+  std::uint64_t bb_stall_ns = 0;
+  double bb_hit_rate = 0.0;
+  double bb_coalesce_ratio = 0.0;
 };
 
 class IonServer {
@@ -92,6 +116,9 @@ class IonServer {
 
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+  // The burst-buffer cache wrapping the backend, or nullptr when disabled.
+  [[nodiscard]] const bb::BurstBufferBackend* burst_buffer() const { return bb_; }
 
  private:
   struct ClientConn {
@@ -129,6 +156,7 @@ class IonServer {
   void note_completed(int fd, std::uint64_t seq, const Status& st);
 
   std::unique_ptr<IoBackend> backend_;
+  bb::BurstBufferBackend* bb_ = nullptr;  // owned via backend_ when enabled
   ServerConfig cfg_;
   FilterChain filters_;
   BufferPool pool_;

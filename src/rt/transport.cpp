@@ -80,7 +80,15 @@ InProcTransport::make_pair(std::size_t capacity) {
 // SocketTransport
 // ---------------------------------------------------------------------------
 
-SocketTransport::~SocketTransport() { close(); }
+SocketTransport::~SocketTransport() {
+  close();
+  // The fd itself is released only here, once no thread can still be blocked
+  // inside read(2)/write(2) on it (callers join I/O threads before dropping
+  // the stream). Closing it in close() instead would race with those
+  // syscalls and risk the kernel reusing the fd number under them.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
 
 Result<std::pair<std::unique_ptr<SocketTransport>, std::unique_ptr<SocketTransport>>>
 SocketTransport::make_socketpair() {
@@ -141,7 +149,7 @@ Status SocketTransport::read_exact(void* buf, std::size_t n) {
   auto* p = static_cast<std::byte*>(buf);
   std::size_t got = 0;
   while (got < n) {
-    const ssize_t r = ::read(fd_, p + got, n - got);
+    const ssize_t r = ::read(fd_.load(), p + got, n - got);
     if (r == 0) return Status(Errc::shutdown, "peer closed");
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -156,7 +164,7 @@ Status SocketTransport::write_all(const void* buf, std::size_t n) {
   const auto* p = static_cast<const std::byte*>(buf);
   std::size_t put = 0;
   while (put < n) {
-    const ssize_t r = ::write(fd_, p + put, n - put);
+    const ssize_t r = ::write(fd_.load(), p + put, n - put);
     if (r < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE) return Status(Errc::shutdown, "peer closed");
@@ -168,19 +176,23 @@ Status SocketTransport::write_all(const void* buf, std::size_t n) {
 }
 
 void SocketTransport::close() {
-  std::scoped_lock lock(close_mu_);
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Wake any thread blocked in read_exact/write_all: they see EOF/EPIPE and
+  // return shutdown. The fd stays valid until the destructor.
+  const int fd = fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 // ---------------------------------------------------------------------------
 // TcpListener
 // ---------------------------------------------------------------------------
 
-TcpListener::~TcpListener() { close(); }
+TcpListener::~TcpListener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);  // deferred from close(): accept() may still be blocked there
+    fd_ = -1;
+  }
+}
 
 Result<std::unique_ptr<TcpListener>> TcpListener::bind(std::uint16_t port,
                                                        const std::string& bind_addr) {
@@ -223,18 +235,23 @@ Result<std::unique_ptr<SocketTransport>> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // shutdown(2) on a listening socket wakes a blocked accept(2) with EINVAL
+  // (Linux); the fd is released in the destructor, after the accept loop
+  // has exited.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 // ---------------------------------------------------------------------------
 // UnixListener
 // ---------------------------------------------------------------------------
 
-UnixListener::~UnixListener() { close(); }
+UnixListener::~UnixListener() {
+  close();
+  if (fd_ >= 0) {
+    ::close(fd_);  // deferred from close(): accept() may still be blocked there
+    fd_ = -1;
+  }
+}
 
 Result<std::unique_ptr<UnixListener>> UnixListener::bind(const std::string& path) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -268,8 +285,6 @@ Result<std::unique_ptr<SocketTransport>> UnixListener::accept() {
 void UnixListener::close() {
   if (fd_ >= 0) {
     ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
     if (!path_.empty()) ::unlink(path_.c_str());
   }
 }

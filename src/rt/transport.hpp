@@ -16,6 +16,7 @@
 // reply path each hold their own write mutex).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -112,11 +113,12 @@ class SocketTransport final : public ByteStream {
   Status write_all(const void* buf, std::size_t n) override;
   void close() override;
 
-  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] int fd() const { return fd_.load(); }
 
  private:
-  int fd_ = -1;
-  std::mutex close_mu_;
+  // Atomic: close() (e.g. from the server's stop path) races with blocked
+  // read_exact/write_all calls on receiver threads by design.
+  std::atomic<int> fd_{-1};
 };
 
 // Abstract listener: the server accepts clients from either flavor.

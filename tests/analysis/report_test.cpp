@@ -71,5 +71,40 @@ TEST(FigureReport, CsvToBadPathFails) {
   EXPECT_FALSE(r.write_csv("/nonexistent_dir_xyz/file.csv").is_ok());
 }
 
+TEST(DiagTable, RowsRenderInInsertionOrderWithNotes) {
+  DiagTable t("cache");
+  t.add("hits", 12.0, "served locally");
+  t.add("misses", "3");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("cache"), std::string::npos);
+  EXPECT_NE(out.find("hits"), std::string::npos);
+  EXPECT_NE(out.find("served locally"), std::string::npos);
+  EXPECT_LT(out.find("hits"), out.find("misses"));
+  EXPECT_EQ(t.get("hits"), "12.00");
+  EXPECT_EQ(t.get("nope"), std::nullopt);
+}
+
+TEST(DiagTable, NoteColumnOmittedWhenUnused) {
+  DiagTable t("plain");
+  t.add("a", 1.0);
+  EXPECT_EQ(t.render().find("note"), std::string::npos);
+}
+
+TEST(DiagTable, BurstBufferTableShowsTheHeadlineStats) {
+  BurstBufferDiag d;
+  d.hit_rate = 0.95;
+  d.coalesce_ratio = 16.0;
+  d.flushed_bytes = 32ull << 20;
+  d.cached_high_watermark = 48ull << 20;
+  d.capacity_bytes = 64ull << 20;
+  const auto t = burst_buffer_table(d);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("burst-buffer"), std::string::npos);
+  EXPECT_NE(out.find("95%"), std::string::npos) << out;
+  EXPECT_NE(out.find("16.00"), std::string::npos) << out;
+  EXPECT_NE(out.find("32.0 MiB"), std::string::npos) << out;
+  EXPECT_NE(out.find("75%"), std::string::npos) << out;  // 48/64 occupancy
+}
+
 }  // namespace
 }  // namespace iofwd::analysis

@@ -6,6 +6,7 @@
 
 #include <atomic>
 
+#include "bb/burst_buffer.hpp"
 #include "core/rng.hpp"
 #include "core/units.hpp"
 #include "rt/client.hpp"
@@ -139,6 +140,90 @@ TEST(FaultInjection, RepeatedBadClientsDoNotExhaustServer) {
   ASSERT_TRUE(good.write(99, 0, data).is_ok());
   ASSERT_TRUE(good.fsync(99).is_ok());
   EXPECT_TRUE(good.close(99).is_ok());
+}
+
+// --- Burst-buffer flush faults -------------------------------------------
+// With the staging cache enabled, a write is acknowledged before the backend
+// sees it; a backend failure at flush time must follow the deferred-error
+// contract: surface exactly once on the next op on that descriptor, leave the
+// op unexecuted, and leak no cache buffers.
+
+struct BbFaultFixture {
+  MemBackend* mem = nullptr;
+  IonServer server;
+
+  BbFaultFixture()
+      : server(
+            [this] {
+              auto m = std::make_unique<MemBackend>();
+              mem = m.get();
+              return m;
+            }(),
+            [] {
+              ServerConfig cfg;
+              cfg.exec = ExecModel::work_queue_async;
+              cfg.bb_bytes = 4_MiB;
+              cfg.bb_high_watermark = 1.0;  // flush only on explicit drains
+              cfg.bb_low_watermark = 1.0;
+              return cfg;
+            }()) {}
+};
+
+TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
+  BbFaultFixture fx;
+  auto [se, ce] = InProcTransport::make_pair();
+  fx.server.serve(std::move(se));
+  Client client(std::move(ce));
+  ASSERT_TRUE(client.open(1, "x").is_ok());
+
+  const auto data = pattern(64_KiB, 21);
+  ASSERT_TRUE(client.write(1, 0, data).is_ok());  // ack'd: staged in the cache
+  fx.mem->set_write_fault_hook(
+      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "flush fault"); });
+
+  // fsync forces the drain; the flush failure surfaces on this very call.
+  Status st = client.fsync(1);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::io_error);
+
+  // Exactly once: with the fault cleared the descriptor is healthy again.
+  fx.mem->set_write_fault_hook(nullptr);
+  EXPECT_TRUE(client.fsync(1).is_ok());
+
+  // The failed extent's lease was dropped, not leaked: a fresh write of the
+  // same data lands cleanly end-to-end.
+  ASSERT_TRUE(client.write(1, 0, data).is_ok());
+  ASSERT_TRUE(client.fsync(1).is_ok());
+  EXPECT_EQ(fx.mem->snapshot("x"), data);
+  ASSERT_TRUE(client.close(1).is_ok());
+  ASSERT_NE(fx.server.burst_buffer(), nullptr);
+  EXPECT_EQ(fx.server.burst_buffer()->stats().cached_bytes, 0u) << "cache leaked a lease";
+  EXPECT_EQ(fx.server.burst_buffer()->stats().deferred_errors, 1u);
+}
+
+TEST(FaultInjection, BurstBufferFlushErrorAtCloseIsReported) {
+  BbFaultFixture fx;
+  auto [se, ce] = InProcTransport::make_pair();
+  fx.server.serve(std::move(se));
+  Client client(std::move(ce));
+  ASSERT_TRUE(client.open(1, "x").is_ok());
+  ASSERT_TRUE(client.write(1, 0, pattern(32_KiB, 22)).is_ok());
+  fx.mem->set_write_fault_hook(
+      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "flush fault"); });
+
+  // close() drains; the flush failure must not vanish silently.
+  EXPECT_FALSE(client.close(1).is_ok());
+  fx.mem->set_write_fault_hook(nullptr);
+  EXPECT_EQ(fx.server.burst_buffer()->stats().cached_bytes, 0u)
+      << "close must release every lease even when the drain fails";
+
+  // The descriptor is gone and the server keeps serving.
+  ASSERT_TRUE(client.open(2, "y").is_ok());
+  const auto data = pattern(16_KiB, 23);
+  ASSERT_TRUE(client.write(2, 0, data).is_ok());
+  ASSERT_TRUE(client.fsync(2).is_ok());
+  EXPECT_EQ(fx.mem->snapshot("y"), data);
+  EXPECT_TRUE(client.close(2).is_ok());
 }
 
 }  // namespace

@@ -115,6 +115,76 @@ TEST(TaskQueue, StatsTrackDepthAndBatches) {
   EXPECT_EQ(q.batches(), 1u);
 }
 
+TEST(TaskQueue, ShutdownRaceNeverLosesAcceptedTasks) {
+  // close() racing with concurrent push(): every task whose push() returned
+  // true must still be delivered to some consumer, and none twice.
+  constexpr int kRounds = 25;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    TaskQueue<int> q(3);
+    std::atomic<bool> go{false};
+    std::mutex mu;
+    std::set<int> accepted;
+    std::set<int> delivered;
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+      consumers.emplace_back([&] {
+        while (true) {
+          auto batch = q.pop_batch(8, /*balanced=*/false);
+          if (batch.empty()) return;  // closed and drained
+          std::scoped_lock lock(mu);
+          for (int v : batch) EXPECT_TRUE(delivered.insert(v).second) << "duplicate " << v;
+        }
+      });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < kPerProducer; ++i) {
+          const int v = p * kPerProducer + i;
+          if (q.push(v)) {
+            std::scoped_lock lock(mu);
+            accepted.insert(v);
+          }
+        }
+      });
+    }
+    std::thread closer([&] {
+      while (!go.load()) std::this_thread::yield();
+      // Land the close somewhere inside the producers' burst.
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * (round % 5)));
+      q.close();
+    });
+    go = true;
+    for (auto& t : producers) t.join();
+    closer.join();
+    for (auto& t : consumers) t.join();  // close must wake every waiter
+
+    std::scoped_lock lock(mu);
+    EXPECT_EQ(delivered, accepted) << "round " << round
+                                   << ": accepted tasks lost or invented at shutdown";
+  }
+}
+
+TEST(TaskQueue, CloseWakesAllBlockedConsumers) {
+  TaskQueue<int> q(4);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      EXPECT_TRUE(q.pop_batch(4).empty());
+      ++woke;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
 TEST(TaskQueue, MoveOnlyTasks) {
   TaskQueue<std::unique_ptr<int>> q(1);
   q.push(std::make_unique<int>(3));
