@@ -4,12 +4,21 @@
 //   $ ./ion_daemon /tmp/iofwd.sock [exec=async|queue|thread] [workers=4]
 //                  [root=/tmp/iofwd_data] [bml_mib=256] [bb_mib=0]
 //                  [aggregate_kib=0] [downsample=0] [rle=0]
+//                  [retry=0] [bml_wait_ms=100] [degraded_high=0]
+//                  [degraded_low=0] [bb_stall_ms=100]
 //   $ ./ion_daemon tcp:9090 ...          # listen on TCP port instead
 //
 // aggregate_kib=N   coalesce sequential writes into N-KiB backend writes
 // bb_mib=N          burst-buffer staging cache of N MiB (DESIGN.md §9)
 // downsample=K      keep every K-th 8-byte element (in-situ data reduction)
 // rle=1             zero-run-length-encode payloads before storage
+//
+// Resilience knobs (DESIGN.md §10):
+// retry=N           wrap the backend in fault::RetryingBackend, N attempts
+// bml_wait_ms=N     bounded BML wait before degraded pass-through (0=block)
+// degraded_high=N   queue depth that switches async staging to synchronous
+// degraded_low=N    queue depth that switches back (hysteresis)
+// bb_stall_ms=N     burst-buffer stall bound before write-through (0=block)
 //
 // Any process may then connect with rt::SocketTransport::connect_unix and
 // drive it through rt::Client (see examples/quickstart.cpp for the calls).
@@ -19,6 +28,8 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/report.hpp"
+#include "fault/retry.hpp"
 #include "rt/aggregator.hpp"
 #include "rt/server.hpp"
 
@@ -66,6 +77,14 @@ int main(int argc, char** argv) {
   } else {
     cfg.exec = rt::ExecModel::work_queue_async;
   }
+  cfg.bml_wait_ms =
+      static_cast<std::uint32_t>(std::atoi(arg(argc, argv, "bml_wait_ms", "100").c_str()));
+  cfg.bb_max_stall_ms =
+      static_cast<std::uint32_t>(std::atoi(arg(argc, argv, "bb_stall_ms", "100").c_str()));
+  cfg.degraded_high_watermark =
+      static_cast<std::size_t>(std::atoi(arg(argc, argv, "degraded_high", "0").c_str()));
+  cfg.degraded_low_watermark =
+      static_cast<std::size_t>(std::atoi(arg(argc, argv, "degraded_low", "0").c_str()));
 
   std::unique_ptr<rt::Listener> listener;
   if (sock_path.rfind("tcp:", 0) == 0) {
@@ -94,6 +113,15 @@ int main(int argc, char** argv) {
     backend = std::make_unique<rt::AggregatingBackend>(std::move(backend),
                                                        static_cast<std::uint64_t>(agg_kib) << 10);
   }
+  const int retry = std::atoi(arg(argc, argv, "retry", "0").c_str());
+  fault::RetryingBackend* retrier = nullptr;  // stats pointer; server owns it
+  if (retry > 0) {
+    fault::RetryPolicy policy;
+    policy.max_attempts = retry;
+    auto wrapped = std::make_unique<fault::RetryingBackend>(std::move(backend), policy);
+    retrier = wrapped.get();
+    backend = std::move(wrapped);
+  }
   rt::IonServer server(std::move(backend), cfg);
 
   rt::FilterChain filters;
@@ -102,19 +130,27 @@ int main(int argc, char** argv) {
   if (arg(argc, argv, "rle", "0") == "1") filters.add(std::make_shared<rt::ZeroRleFilter>());
   if (!filters.empty()) server.set_filter_chain(std::move(filters));
 
+  // Install the handlers before serving starts so a signal racing startup
+  // still lands on a clean shutdown path instead of the default handler.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   server.serve_listener(std::move(listener));
   std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s, bb=%llu MiB)\n",
               sock_path.c_str(), rt::to_string(cfg.exec), cfg.workers, root.c_str(),
               static_cast<unsigned long long>(cfg.bb_bytes >> 20));
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
   while (g_stop == 0) {
     ::pause();
   }
 
+  // Drain first: stop() quiesces workers and flushes the burst buffer, so
+  // the stats below include everything that was still in flight.
+  std::printf("\nsignal received, draining...\n");
+  server.stop();
+
   const auto s = server.stats();
-  std::printf("\nshutting down: %llu ops, %.1f MiB in, %.1f MiB out, %llu deferred errors\n",
+  std::printf("shut down: %llu ops, %.1f MiB in, %.1f MiB out, %llu deferred errors\n",
               static_cast<unsigned long long>(s.ops),
               static_cast<double>(s.bytes_in) / (1 << 20),
               static_cast<double>(s.bytes_out) / (1 << 20),
@@ -124,6 +160,22 @@ int main(int argc, char** argv) {
                 100.0 * s.bb_hit_rate, s.bb_coalesce_ratio,
                 static_cast<double>(s.bb_flushed_bytes) / (1 << 20));
   }
-  server.stop();
+
+  analysis::ResilienceDiag rd;
+  if (retrier != nullptr) {
+    const auto rs = retrier->stats();
+    rd.retry_attempts = rs.attempts;
+    rd.retries = rs.retries;
+    rd.retry_giveups = rs.giveups;
+    rd.backoff_ns = rs.backoff_ns;
+  }
+  rd.deadline_expired = s.deadline_expired;
+  rd.bml_timeouts = s.bml_timeouts;
+  rd.degraded_passthrough = s.degraded_passthrough_ops;
+  rd.degraded_sync_writes = s.degraded_sync_writes;
+  rd.degraded_enters = s.degraded_enters;
+  rd.degraded_ns = s.degraded_ns;
+  rd.bb_degraded_writes = s.bb_degraded_writes;
+  std::fputs(analysis::resilience_table(rd).render().c_str(), stdout);
   return 0;
 }

@@ -156,6 +156,34 @@ DiagTable burst_buffer_table(const BurstBufferDiag& d) {
   return t;
 }
 
+DiagTable resilience_table(const ResilienceDiag& d) {
+  DiagTable t("resilience");
+  t.add("retry attempts", static_cast<double>(d.retry_attempts),
+        "backend ops issued, incl. retries");
+  t.add("retries", static_cast<double>(d.retries), "re-issues after a transient error");
+  t.add("retry giveups", static_cast<double>(d.retry_giveups), "retry budget exhausted");
+  t.add("backoff", Table::num(static_cast<double>(d.backoff_ns) / 1e6, 2) + " ms",
+        "slept between attempts");
+  t.add("deadline expired", static_cast<double>(d.deadline_expired),
+        "ops bounced with timed_out, unexecuted");
+  t.add("bml timeouts", static_cast<double>(d.bml_timeouts),
+        "pool waits past bml_wait_ms");
+  t.add("degraded pass-through", static_cast<double>(d.degraded_passthrough),
+        "writes served without a BML lease");
+  t.add("degraded sync writes", static_cast<double>(d.degraded_sync_writes),
+        "staged writes forced synchronous");
+  t.add("degraded spans", static_cast<double>(d.degraded_enters),
+        Table::num(static_cast<double>(d.degraded_ns) / 1e6, 2) + " ms total");
+  t.add("bb degraded writes", static_cast<double>(d.bb_degraded_writes),
+        "cache stalls that wrote through");
+  t.add("reconnects", static_cast<double>(d.reconnects), "client redials that succeeded");
+  t.add("replays", static_cast<double>(d.replays), "ops completed on a retry connection");
+  t.add("client timeouts", static_cast<double>(d.client_timeouts),
+        "roundtrips killed by the watchdog");
+  t.add("client giveups", static_cast<double>(d.giveups), "reconnect budget exhausted");
+  return t;
+}
+
 std::string emit(const FigureReport& report) {
   std::string rendered = report.render();
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);

@@ -96,4 +96,32 @@ struct BurstBufferDiag {
 // absorbed"): hit rate, coalesce ratio, flushed bytes, occupancy, stalls.
 DiagTable burst_buffer_table(const BurstBufferDiag& d);
 
+// Resilience counters in table-ready form (DESIGN.md §10). Like
+// BurstBufferDiag, plain numbers so analysis/ stays independent of rt/,
+// bb/ and fault/; callers copy the fields they have and leave the rest 0.
+struct ResilienceDiag {
+  // Retry/backoff (fault::RetryingBackend).
+  std::uint64_t retry_attempts = 0;   // backend ops issued, incl. retries
+  std::uint64_t retries = 0;          // re-issues after a transient error
+  std::uint64_t retry_giveups = 0;    // ops that exhausted the retry budget
+  std::uint64_t backoff_ns = 0;       // time spent sleeping between attempts
+  // Server-side (rt::ServerStats).
+  std::uint64_t deadline_expired = 0;     // ops bounced past their deadline
+  std::uint64_t bml_timeouts = 0;         // pool waits past bml_wait_ms
+  std::uint64_t degraded_passthrough = 0; // writes served without a BML lease
+  std::uint64_t degraded_sync_writes = 0; // staged writes forced synchronous
+  std::uint64_t degraded_enters = 0;      // high-watermark crossings
+  std::uint64_t degraded_ns = 0;          // time spent in degraded mode
+  std::uint64_t bb_degraded_writes = 0;   // bb stalls that fell back to write-through
+  // Client-side (rt::ClientStats).
+  std::uint64_t reconnects = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t client_timeouts = 0;
+  std::uint64_t giveups = 0;
+};
+
+// Render the standard resilience diagnostics table ("how faults were
+// absorbed"): retries, giveups, deadline bounces, degradation, reconnects.
+DiagTable resilience_table(const ResilienceDiag& d);
+
 }  // namespace iofwd::analysis

@@ -120,12 +120,29 @@ Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
     if (!stalled) {
       stalled = true;
       stall_start = now_ns();
+    } else if (cfg_.max_stall_ms > 0 &&
+               now_ns() - stall_start > std::uint64_t(cfg_.max_stall_ms) * 1'000'000ull) {
+      // Bounded stall: degrade to a synchronous write-through rather than
+      // blocking this writer indefinitely on cache space.
+      {
+        std::scoped_lock slk(stats_mu_);
+        ++stats_.stalls;
+        ++stats_.degraded_writes;
+        stats_.stall_ns += now_ns() - stall_start;
+      }
+      return write_through(fd, d, offset, data);
     }
     {
       std::scoped_lock lk(flush_mu_);
       flush_cv_.notify_all();
     }
-    if (!flush_one_step()) {
+    if (cfg_.max_stall_ms > 0) {
+      // Bounded mode: an inline flush can block this writer for a whole
+      // backend round-trip, blowing the stall budget. Wait for background
+      // flusher progress instead; the deadline check above degrades us.
+      std::unique_lock lk(flush_mu_);
+      space_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    } else if (!flush_one_step()) {
       std::unique_lock lk(flush_mu_);
       space_cv_.wait_for(lk, std::chrono::milliseconds(1));
     }

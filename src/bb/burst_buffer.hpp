@@ -48,6 +48,10 @@ struct BurstBufferConfig {
   std::uint64_t write_through_bytes = 0;
   std::uint64_t min_class_bytes = 4096;
   rt::SizeClassPolicy policy = rt::SizeClassPolicy::pow2;
+  // Graceful degradation: a writer stalled on a full cache for longer than
+  // this falls back to a synchronous write-through instead of waiting
+  // indefinitely (0 = unbounded stall, the pre-resilience behavior).
+  std::uint32_t max_stall_ms = 100;
 };
 
 struct BurstBufferStats {
@@ -62,6 +66,7 @@ struct BurstBufferStats {
   std::uint64_t evictions = 0;         // clean extents dropped for space
   std::uint64_t stall_ns = 0;          // writer time blocked on a full cache
   std::uint64_t stalls = 0;
+  std::uint64_t degraded_writes = 0;   // stalled past max_stall_ms: wrote through
   std::uint64_t deferred_errors = 0;   // flush failures recorded for later
   std::uint64_t drains = 0;            // fsync/close/shutdown drain passes
   std::uint64_t cached_bytes = 0;      // pool bytes leased right now

@@ -22,6 +22,14 @@ std::string_view errc_name(Errc e) {
   return "unknown";
 }
 
+std::optional<Errc> errc_from_name(std::string_view name) {
+  for (std::int32_t c = 0; c < kErrcCount; ++c) {
+    const auto e = static_cast<Errc>(c);
+    if (errc_name(e) == name) return e;
+  }
+  return std::nullopt;
+}
+
 std::string Status::to_string() const {
   std::string s{errc_name(code_)};
   if (!message_.empty()) {

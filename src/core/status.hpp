@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -34,6 +35,13 @@ enum class Errc : std::int32_t {
 };
 
 std::string_view errc_name(Errc e);
+
+// Inverse of errc_name (config files, fault plans, CLI knobs). nullopt for
+// anything errc_name would not produce.
+std::optional<Errc> errc_from_name(std::string_view name);
+
+// One past the last enumerator: lets tests and tables sweep every code.
+inline constexpr std::int32_t kErrcCount = static_cast<std::int32_t>(Errc::internal) + 1;
 
 // A status: an error code plus an optional human-readable message.
 class Status {

@@ -1,0 +1,108 @@
+#include "fault/decorators.hpp"
+
+#include <cassert>
+#include <thread>
+
+namespace iofwd::fault {
+
+// ---------------------------------------------------------------------------
+// FaultyBackend
+// ---------------------------------------------------------------------------
+
+FaultyBackend::FaultyBackend(std::unique_ptr<rt::IoBackend> inner,
+                             std::shared_ptr<FaultPlan> plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  assert(inner_ && "FaultyBackend needs an inner backend");
+  if (!plan_) plan_ = std::make_shared<FaultPlan>();
+}
+
+Status FaultyBackend::gate(OpKind k) {
+  Injection inj = plan_->next(k);
+  if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
+  return inj.status;
+}
+
+Status FaultyBackend::open(int fd, const std::string& path) {
+  if (Status st = gate(OpKind::open); !st.is_ok()) return st;
+  return inner_->open(fd, path);
+}
+
+Result<std::uint64_t> FaultyBackend::write(int fd, std::uint64_t offset,
+                                           std::span<const std::byte> data) {
+  if (Status st = gate(OpKind::write); !st.is_ok()) return st;
+  return inner_->write(fd, offset, data);
+}
+
+Result<std::uint64_t> FaultyBackend::read(int fd, std::uint64_t offset,
+                                          std::span<std::byte> out) {
+  if (Status st = gate(OpKind::read); !st.is_ok()) return st;
+  return inner_->read(fd, offset, out);
+}
+
+Status FaultyBackend::fsync(int fd) {
+  if (Status st = gate(OpKind::fsync); !st.is_ok()) return st;
+  return inner_->fsync(fd);
+}
+
+Status FaultyBackend::close(int fd) {
+  if (Status st = gate(OpKind::close); !st.is_ok()) return st;
+  return inner_->close(fd);
+}
+
+Result<std::uint64_t> FaultyBackend::size(int fd) {
+  if (Status st = gate(OpKind::size); !st.is_ok()) return st;
+  return inner_->size(fd);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyStream
+// ---------------------------------------------------------------------------
+
+FaultyStream::FaultyStream(std::unique_ptr<rt::ByteStream> inner,
+                           std::shared_ptr<FaultPlan> plan, StreamFaultConfig cfg)
+    : inner_(std::move(inner)), plan_(std::move(plan)), cfg_(cfg) {
+  assert(inner_ && "FaultyStream needs an inner stream");
+  if (!plan_) plan_ = std::make_shared<FaultPlan>();
+}
+
+FaultyStream::FaultyStream(std::unique_ptr<rt::ByteStream> inner,
+                           std::uint64_t cut_after_write_bytes)
+    : FaultyStream(std::move(inner), nullptr,
+                   StreamFaultConfig{.cut_after_write_bytes = cut_after_write_bytes}) {}
+
+Status FaultyStream::read_exact(void* buf, std::size_t n) {
+  Injection inj = plan_->next(OpKind::stream_read);
+  if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
+  if (!inj.status.is_ok()) {
+    inner_->close();
+    return inj.status;
+  }
+  return inner_->read_exact(buf, n);
+}
+
+Status FaultyStream::write_all(const void* buf, std::size_t n) {
+  Injection inj = plan_->next(OpKind::stream_write);
+  if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
+  if (!inj.status.is_ok()) {
+    inner_->close();
+    return inj.status;
+  }
+  if (cfg_.cut_after_write_bytes > 0) {
+    std::scoped_lock lock(mu_);
+    if (cut_) return Status(Errc::shutdown, "injected cut");
+    if (written_ + n >= cfg_.cut_after_write_bytes) {
+      // Deliver the prefix that fits the budget, then drop the line.
+      const std::uint64_t budget = cfg_.cut_after_write_bytes - written_;
+      (void)inner_->write_all(buf, static_cast<std::size_t>(std::min<std::uint64_t>(budget, n)));
+      inner_->close();
+      cut_ = true;
+      return Status(Errc::shutdown, "injected cut");
+    }
+    written_ += n;
+  }
+  return inner_->write_all(buf, n);
+}
+
+void FaultyStream::close() { inner_->close(); }
+
+}  // namespace iofwd::fault

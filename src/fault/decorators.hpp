@@ -1,0 +1,74 @@
+// FaultPlan-driven decorators for the two fault domains of the runtime:
+//
+//   * FaultyBackend : rt::IoBackend — injects backend faults (EIO at flush
+//     time, slow storage) below the server/burst-buffer stack.
+//   * FaultyStream : rt::ByteStream — injects transport faults: connections
+//     cut after a byte budget (the old test-local CuttingStream), dropped
+//     mid-roundtrip, or slowed down.
+//
+// Both consult a shared FaultPlan, so one seeded schedule can coordinate
+// transport and backend faults in a single chaos run. These replace the
+// ad-hoc per-test helpers (CuttingStream, MemBackend::FaultHook).
+#pragma once
+
+#include <memory>
+
+#include "fault/plan.hpp"
+#include "rt/backend.hpp"
+#include "rt/transport.hpp"
+
+namespace iofwd::fault {
+
+class FaultyBackend final : public rt::IoBackend {
+ public:
+  FaultyBackend(std::unique_ptr<rt::IoBackend> inner, std::shared_ptr<FaultPlan> plan);
+
+  Status open(int fd, const std::string& path) override;
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override;
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override;
+  Status fsync(int fd) override;
+  Status close(int fd) override;
+  Result<std::uint64_t> size(int fd) override;
+
+  [[nodiscard]] FaultPlan& plan() { return *plan_; }
+  [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
+
+ private:
+  // Consult the plan; sleeps injected latency. Non-ok = bounce the op.
+  Status gate(OpKind k);
+
+  std::unique_ptr<rt::IoBackend> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+struct StreamFaultConfig {
+  // Kill the connection once this end has written >= this many bytes
+  // (CuttingStream semantics: the prefix is delivered, then the line drops).
+  // 0 = no byte budget.
+  std::uint64_t cut_after_write_bytes = 0;
+};
+
+class FaultyStream final : public rt::ByteStream {
+ public:
+  FaultyStream(std::unique_ptr<rt::ByteStream> inner, std::shared_ptr<FaultPlan> plan,
+               StreamFaultConfig cfg = {});
+  // Byte-budget-only convenience (the old CuttingStream constructor).
+  FaultyStream(std::unique_ptr<rt::ByteStream> inner, std::uint64_t cut_after_write_bytes);
+
+  Status read_exact(void* buf, std::size_t n) override;
+  Status write_all(const void* buf, std::size_t n) override;
+  void close() override;
+
+  [[nodiscard]] FaultPlan& plan() { return *plan_; }
+
+ private:
+  std::unique_ptr<rt::ByteStream> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+  StreamFaultConfig cfg_;
+  std::mutex mu_;
+  std::uint64_t written_ = 0;
+  bool cut_ = false;
+};
+
+}  // namespace iofwd::fault

@@ -1,0 +1,106 @@
+#include "fault/plan.hpp"
+
+namespace iofwd::fault {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::open: return "open";
+    case OpKind::write: return "write";
+    case OpKind::read: return "read";
+    case OpKind::fsync: return "fsync";
+    case OpKind::close: return "close";
+    case OpKind::size: return "size";
+    case OpKind::stream_read: return "stream_read";
+    case OpKind::stream_write: return "stream_write";
+    case OpKind::any: return "any";
+  }
+  return "?";
+}
+
+void FaultPlan::add(FaultRule rule) {
+  std::scoped_lock lock(mu_);
+  RuleState s;
+  s.rule = rule;
+  rules_.push_back(s);
+}
+
+void FaultPlan::clear() {
+  std::scoped_lock lock(mu_);
+  rules_.clear();
+  fired_total_ = 0;
+  for (auto& c : fired_by_kind_) c = 0;
+  for (auto& c : calls_by_kind_) c = 0;
+}
+
+void FaultPlan::fail_always(OpKind op, Errc error) {
+  FaultRule r;
+  r.op = op;
+  r.probability = 1.0;
+  r.transient = false;
+  r.error = error;
+  add(r);
+}
+
+Injection FaultPlan::next(OpKind k) {
+  std::scoped_lock lock(mu_);
+  ++calls_by_kind_[static_cast<std::size_t>(k)];
+  Injection inj;
+  for (auto& s : rules_) {
+    if (s.expired) continue;
+    if (s.rule.op != OpKind::any && s.rule.op != k) continue;
+    ++s.seen;
+
+    bool fire = false;
+    if (s.latched) {
+      fire = true;  // permanent rule already triggered
+    } else if (s.burst_left > 0) {
+      fire = true;  // transient rule mid-burst
+      --s.burst_left;
+      if (s.burst_left == 0 && s.rule.nth > 0) s.expired = true;
+    } else if (s.rule.nth > 0) {
+      if (s.seen == s.rule.nth) {
+        fire = true;
+        if (s.rule.transient) {
+          s.burst_left = s.rule.burst > 0 ? s.rule.burst - 1 : 0;
+          if (s.burst_left == 0) s.expired = true;
+        } else {
+          s.latched = true;
+        }
+      }
+    } else if (s.rule.probability > 0.0 && rng_.uniform01() < s.rule.probability) {
+      fire = true;
+      if (s.rule.transient) {
+        s.burst_left = s.rule.burst > 0 ? s.rule.burst - 1 : 0;
+      } else {
+        s.latched = true;
+      }
+    }
+    if (!fire) continue;
+
+    inj.latency = s.rule.latency;
+    if (s.rule.error != Errc::ok) {
+      inj.status = Status(s.rule.error, "injected fault");
+      ++fired_total_;
+      ++fired_by_kind_[static_cast<std::size_t>(k)];
+    }
+    break;  // first matching rule wins
+  }
+  return inj;
+}
+
+std::uint64_t FaultPlan::fired() const {
+  std::scoped_lock lock(mu_);
+  return fired_total_;
+}
+
+std::uint64_t FaultPlan::fired(OpKind k) const {
+  std::scoped_lock lock(mu_);
+  return fired_by_kind_[static_cast<std::size_t>(k)];
+}
+
+std::uint64_t FaultPlan::calls(OpKind k) const {
+  std::scoped_lock lock(mu_);
+  return calls_by_kind_[static_cast<std::size_t>(k)];
+}
+
+}  // namespace iofwd::fault

@@ -1,0 +1,102 @@
+// Deterministic, seeded fault injection for the forwarding runtime.
+//
+// A FaultPlan is a thread-safe schedule of FaultRules. Decorators
+// (FaultyBackend, FaultyStream) ask the plan before every operation whether
+// to inject a fault and/or latency; the plan decides from per-rule op
+// counters and a seeded Rng, so a chaos run is reproducible bit-for-bit
+// from its seed. Rules distinguish transient faults (fire for a bounded
+// burst of matching calls, then clear) from permanent ones (once triggered,
+// fire forever) — mirroring the retry classifier's worldview.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/status.hpp"
+
+namespace iofwd::fault {
+
+// The operation classes decorators report to the plan.
+enum class OpKind : std::uint8_t {
+  open = 0,
+  write,
+  read,
+  fsync,
+  close,
+  size,
+  stream_read,   // ByteStream::read_exact
+  stream_write,  // ByteStream::write_all
+  any,           // rule wildcard: matches every op
+};
+
+[[nodiscard]] const char* to_string(OpKind k);
+inline constexpr std::size_t kOpKinds = 9;
+
+struct FaultRule {
+  OpKind op = OpKind::any;
+  // Trigger (pick one): fire starting at the nth matching call (1-based),
+  // or independently per call with `probability` (seeded).
+  std::uint64_t nth = 0;
+  double probability = 0.0;
+  // Transient rules fire for `burst` consecutive matching calls once
+  // triggered, then clear (nth rules expire; probability rules re-arm).
+  // Permanent rules latch: once triggered they fire on every later call.
+  bool transient = true;
+  std::uint64_t burst = 1;
+  Errc error = Errc::io_error;
+  // Injected latency applies whenever the rule fires (and also with
+  // error == Errc::ok, which makes a pure slow-down rule).
+  std::chrono::microseconds latency{0};
+};
+
+// What a decorator should do for one operation.
+struct Injection {
+  Status status;  // ok = execute the real operation
+  std::chrono::microseconds latency{0};
+
+  [[nodiscard]] bool fired() const { return !status.is_ok() || latency.count() > 0; }
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0x1005d) : rng_(seed) {}
+
+  void add(FaultRule rule);
+  // Drop every rule and reset counters (test disarm).
+  void clear();
+  // Convenience arming used by tests: fail every matching call until
+  // clear() — a permanent rule with probability 1.
+  void fail_always(OpKind op, Errc error);
+
+  // Decide for the next operation of kind `k`. Thread-safe; at most one
+  // rule fires per call (first match in insertion order wins).
+  Injection next(OpKind k);
+
+  // Total faults injected (non-ok decisions) since construction/clear().
+  [[nodiscard]] std::uint64_t fired() const;
+  // Faults injected for a specific op kind.
+  [[nodiscard]] std::uint64_t fired(OpKind k) const;
+  // Matching calls seen for a specific op kind (fired or not).
+  [[nodiscard]] std::uint64_t calls(OpKind k) const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t seen = 0;      // matching calls observed by this rule
+    std::uint64_t burst_left = 0;  // transient: remaining consecutive fires
+    bool latched = false;        // permanent: triggered at least once
+    bool expired = false;        // transient nth rule fully consumed
+  };
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<RuleState> rules_;
+  std::uint64_t fired_total_ = 0;
+  std::uint64_t fired_by_kind_[kOpKinds] = {};
+  std::uint64_t calls_by_kind_[kOpKinds] = {};
+};
+
+}  // namespace iofwd::fault

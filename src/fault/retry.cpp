@@ -1,0 +1,115 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace iofwd::fault {
+
+bool is_transient(Errc e) {
+  switch (e) {
+    case Errc::io_error:      // congested/ flaky storage: worth another try
+    case Errc::timed_out:     // deadline pressure may clear
+    case Errc::would_block:   // resource momentarily unavailable
+      return true;
+    case Errc::ok:
+    case Errc::bad_descriptor:
+    case Errc::invalid_argument:
+    case Errc::no_memory:
+    case Errc::not_connected:
+    case Errc::message_too_large:
+    case Errc::protocol_error:
+    case Errc::shutdown:
+    case Errc::deferred_io_error:
+    case Errc::unsupported:
+    case Errc::internal:
+      return false;
+  }
+  return false;
+}
+
+RetryingBackend::RetryingBackend(std::unique_ptr<rt::IoBackend> inner, RetryPolicy policy)
+    : inner_(std::move(inner)), policy_(policy), rng_(policy.seed) {
+  assert(inner_ && "RetryingBackend needs an inner backend");
+  policy_.max_attempts = std::max(1, policy_.max_attempts);
+  policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+}
+
+std::chrono::nanoseconds RetryingBackend::backoff_for(int attempt) {
+  auto backoff = std::chrono::duration_cast<std::chrono::microseconds>(
+      policy_.base_backoff * (1ll << std::min(attempt - 1, 20)));
+  backoff = std::min(backoff, policy_.max_backoff);
+  double scale = 1.0;
+  if (policy_.jitter > 0.0) {
+    std::scoped_lock lock(rng_mu_);
+    scale = 1.0 - policy_.jitter + 2.0 * policy_.jitter * rng_.uniform01();
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::micro>(
+          static_cast<double>(backoff.count()) * scale));
+}
+
+template <typename Op>
+auto RetryingBackend::with_retries(Op&& op) -> decltype(op()) {
+  for (int attempt = 1;; ++attempt) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    auto r = op();
+    const Errc code = r.is_ok() ? Errc::ok : r.status().code();
+    if (code == Errc::ok || !is_transient(code)) return r;
+    if (attempt >= policy_.max_attempts) {
+      giveups_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    }
+    const auto delay = backoff_for(attempt);
+    std::this_thread::sleep_for(delay);
+    backoff_ns_.fetch_add(static_cast<std::uint64_t>(delay.count()),
+                          std::memory_order_relaxed);
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+// Adapter so with_retries can treat Status like Result (status()/is_ok()).
+struct StatusLike {
+  Status st;
+  [[nodiscard]] bool is_ok() const { return st.is_ok(); }
+  [[nodiscard]] Status status() const { return st; }
+};
+}  // namespace
+
+Status RetryingBackend::open(int fd, const std::string& path) {
+  return with_retries([&] { return StatusLike{inner_->open(fd, path)}; }).st;
+}
+
+Result<std::uint64_t> RetryingBackend::write(int fd, std::uint64_t offset,
+                                             std::span<const std::byte> data) {
+  return with_retries([&] { return inner_->write(fd, offset, data); });
+}
+
+Result<std::uint64_t> RetryingBackend::read(int fd, std::uint64_t offset,
+                                            std::span<std::byte> out) {
+  return with_retries([&] { return inner_->read(fd, offset, out); });
+}
+
+Status RetryingBackend::fsync(int fd) {
+  return with_retries([&] { return StatusLike{inner_->fsync(fd)}; }).st;
+}
+
+Status RetryingBackend::close(int fd) {
+  return with_retries([&] { return StatusLike{inner_->close(fd)}; }).st;
+}
+
+Result<std::uint64_t> RetryingBackend::size(int fd) {
+  return with_retries([&] { return inner_->size(fd); });
+}
+
+RetryStats RetryingBackend::stats() const {
+  RetryStats s;
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.giveups = giveups_.load(std::memory_order_relaxed);
+  s.backoff_ns = backoff_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace iofwd::fault

@@ -1,0 +1,80 @@
+// Retry with capped exponential backoff for transient backend failures.
+//
+// The paper's deferred-error design (Sec. IV) reports asynchronous failures
+// on a later operation — but a transient EIO from a congested file system
+// should never get that far. RetryingBackend sits between the executing
+// layer (server workers, burst-buffer flushers) and the terminal backend
+// and retries operations whose error the classifier deems transient, with
+// capped exponential backoff, seeded jitter (so a thundering herd of
+// workers desynchronizes deterministically), and a per-op attempt budget.
+// Permanent errors (bad descriptor, invalid argument) surface immediately.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/rng.hpp"
+#include "rt/backend.hpp"
+
+namespace iofwd::fault {
+
+// Error classifier: transient errors are worth retrying (the same call may
+// succeed a moment later); permanent ones never will.
+[[nodiscard]] bool is_transient(Errc e);
+
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries per op, including the first (1 = no retry)
+  std::chrono::microseconds base_backoff{100};
+  std::chrono::microseconds max_backoff{20'000};
+  double jitter = 0.5;        // backoff scaled by uniform [1-jitter, 1+jitter]
+  std::uint64_t seed = 0x5eed;  // jitter rng stream
+};
+
+struct RetryStats {
+  std::uint64_t attempts = 0;   // operations issued to the inner backend
+  std::uint64_t retries = 0;    // re-issues after a transient failure
+  std::uint64_t giveups = 0;    // ops that exhausted the attempt budget
+  std::uint64_t backoff_ns = 0;  // total time slept between attempts
+};
+
+class RetryingBackend final : public rt::IoBackend {
+ public:
+  RetryingBackend(std::unique_ptr<rt::IoBackend> inner, RetryPolicy policy = {});
+
+  Status open(int fd, const std::string& path) override;
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override;
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override;
+  Status fsync(int fd) override;
+  Status close(int fd) override;
+  Result<std::uint64_t> size(int fd) override;
+
+  [[nodiscard]] RetryStats stats() const;
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
+
+ private:
+  // Retry loop shared by every op: calls `op` up to max_attempts times,
+  // backing off between transient failures.
+  template <typename Op>
+  auto with_retries(Op&& op) -> decltype(op());
+
+  // Backoff for the attempt that just failed (1-based), jittered.
+  [[nodiscard]] std::chrono::nanoseconds backoff_for(int attempt);
+
+  std::unique_ptr<rt::IoBackend> inner_;
+  RetryPolicy policy_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> giveups_{0};
+  std::atomic<std::uint64_t> backoff_ns_{0};
+};
+
+}  // namespace iofwd::fault

@@ -29,17 +29,12 @@ Status MemBackend::open(int fd, const std::string& path) {
 
 Result<std::uint64_t> MemBackend::write(int fd, std::uint64_t offset,
                                         std::span<const std::byte> data) {
-  FaultHook hook;
   std::shared_ptr<File> file;
   {
     std::shared_lock lock(mu_);
     auto it = open_.find(fd);
     if (it == open_.end()) return Status(Errc::bad_descriptor, "unknown fd");
     file = it->second;
-    hook = write_fault_;
-  }
-  if (hook) {
-    if (Status st = hook(fd, offset, data.size()); !st.is_ok()) return st;
   }
   std::unique_lock lock(mu_);  // file data guarded by the same lock
   if (file->data.size() < offset + data.size()) file->data.resize(offset + data.size());
@@ -73,11 +68,6 @@ Result<std::uint64_t> MemBackend::size(int fd) {
   auto it = open_.find(fd);
   if (it == open_.end()) return Status(Errc::bad_descriptor, "unknown fd");
   return static_cast<std::uint64_t>(it->second->data.size());
-}
-
-void MemBackend::set_write_fault_hook(FaultHook hook) {
-  std::unique_lock lock(mu_);
-  write_fault_ = std::move(hook);
 }
 
 std::vector<std::byte> MemBackend::snapshot(const std::string& path) const {

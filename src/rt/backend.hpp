@@ -7,7 +7,8 @@
 //   * NullBackend — /dev/null semantics (the Fig. 4 microbenchmark).
 //
 // Backends are called concurrently from worker threads and must be
-// thread-safe. A fault hook supports the failure-injection tests.
+// thread-safe. Failure injection lives in fault/decorators.hpp
+// (fault::FaultyBackend), which wraps any of these.
 #pragma once
 
 #include <cstdint>
@@ -55,8 +56,6 @@ class NullBackend final : public IoBackend {
 
 class MemBackend final : public IoBackend {
  public:
-  using FaultHook = std::function<Status(int fd, std::uint64_t offset, std::uint64_t len)>;
-
   Status open(int fd, const std::string& path) override;
   Result<std::uint64_t> write(int fd, std::uint64_t offset,
                               std::span<const std::byte> data) override;
@@ -64,10 +63,6 @@ class MemBackend final : public IoBackend {
   Status fsync(int fd) override;
   Status close(int fd) override;
   Result<std::uint64_t> size(int fd) override;
-
-  // Failure injection for the deferred-error tests: invoked before every
-  // write; a non-ok result becomes the operation's status.
-  void set_write_fault_hook(FaultHook hook);
 
   // Test inspection: a copy of the file content (empty if unknown path).
   [[nodiscard]] std::vector<std::byte> snapshot(const std::string& path) const;
@@ -80,7 +75,6 @@ class MemBackend final : public IoBackend {
   mutable std::shared_mutex mu_;
   std::map<int, std::shared_ptr<File>> open_;
   std::map<std::string, std::shared_ptr<File>> by_path_;
-  FaultHook write_fault_;
 };
 
 class FileBackend final : public IoBackend {

@@ -91,6 +91,21 @@ Result<Buffer> BufferPool::acquire(std::uint64_t bytes) {
   return Buffer(this, p, cls);
 }
 
+Result<Buffer> BufferPool::acquire_for(std::uint64_t bytes, std::chrono::milliseconds timeout) {
+  const std::uint64_t cls = size_class(bytes);
+  if (cls > total_) return Status(Errc::no_memory, "request exceeds BML pool capacity");
+  std::unique_lock lock(mu_);
+  if (in_use_ + cls > total_) {
+    ++blocked_;
+    if (!cv_.wait_for(lock, timeout, [&] { return in_use_ + cls <= total_; })) {
+      return Status(Errc::timed_out, "BML pool exhausted past deadline");
+    }
+  }
+  in_use_ += cls;
+  high_watermark_ = std::max(high_watermark_, in_use_);
+  return Buffer(this, take_storage(cls), cls);
+}
+
 Result<Buffer> BufferPool::try_acquire(std::uint64_t bytes) {
   const std::uint64_t cls = size_class(bytes);
   if (cls > total_) return Status(Errc::no_memory, "request exceeds BML pool capacity");

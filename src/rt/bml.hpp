@@ -7,6 +7,7 @@
 // manager on a memory-constrained ION.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <array>
 #include <cstddef>
@@ -70,6 +71,9 @@ class BufferPool {
   Result<Buffer> acquire(std::uint64_t bytes);
   // Non-blocking; would_block if the pool cannot serve the request now.
   Result<Buffer> try_acquire(std::uint64_t bytes);
+  // Bounded wait: blocks up to `timeout`, then fails with timed_out so an
+  // exhausted pool becomes a degraded-mode fallback instead of a hang.
+  Result<Buffer> acquire_for(std::uint64_t bytes, std::chrono::milliseconds timeout);
 
   [[nodiscard]] std::uint64_t capacity() const { return total_; }
   [[nodiscard]] SizeClassPolicy policy() const { return policy_; }

@@ -1,46 +1,205 @@
 #include "rt/client.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 
 namespace iofwd::rt {
 
-Client::Client(std::unique_ptr<ByteStream> stream) : stream_(std::move(stream)) {}
+Client::Client(std::unique_ptr<ByteStream> stream, ClientConfig cfg, StreamFactory factory)
+    : stream_(std::move(stream)), cfg_(cfg), factory_(std::move(factory)) {
+  cfg_.reconnect_attempts = std::max(0, cfg_.reconnect_attempts);
+  if (cfg_.roundtrip_timeout_ms > 0) {
+    wd_thread_ = std::thread([this] { watchdog_loop(); });
+  }
+}
 
 Client::~Client() {
+  if (wd_thread_.joinable()) {
+    {
+      std::scoped_lock lock(wd_mu_);
+      wd_quit_ = true;
+    }
+    wd_cv_.notify_all();
+    wd_thread_.join();
+  }
   if (stream_) stream_->close();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: bounds a roundtrip by closing the stream from the outside, which
+// unblocks the reader with `shutdown` (both transports guarantee this).
+// ---------------------------------------------------------------------------
+
+void Client::watchdog_loop() {
+  std::unique_lock lock(wd_mu_);
+  for (;;) {
+    wd_cv_.wait(lock, [&] { return wd_quit_ || wd_armed_; });
+    if (wd_quit_) return;
+    if (wd_cv_.wait_until(lock, wd_deadline_, [&] { return wd_quit_ || !wd_armed_; })) {
+      if (wd_quit_) return;
+      continue;  // disarmed in time
+    }
+    // Deadline passed with the roundtrip still in flight: kill the stream.
+    wd_fired_ = true;
+    wd_armed_ = false;
+    if (wd_target_ != nullptr) wd_target_->close();
+  }
+}
+
+void Client::watchdog_arm() {
+  if (cfg_.roundtrip_timeout_ms == 0) return;
+  {
+    std::scoped_lock lock(wd_mu_);
+    wd_armed_ = true;
+    wd_fired_ = false;
+    wd_deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(cfg_.roundtrip_timeout_ms);
+    wd_target_ = stream_.get();
+  }
+  wd_cv_.notify_all();
+}
+
+bool Client::watchdog_disarm() {
+  if (cfg_.roundtrip_timeout_ms == 0) return false;
+  bool fired;
+  {
+    std::scoped_lock lock(wd_mu_);
+    wd_armed_ = false;
+    fired = wd_fired_;
+    wd_fired_ = false;
+    wd_target_ = nullptr;
+  }
+  wd_cv_.notify_all();
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrips
+// ---------------------------------------------------------------------------
+
+bool Client::connection_lost(Errc e) {
+  // Transport-level failures: the reply (if any) is unrecoverable on this
+  // connection, but every forwarded op is idempotent, so a fresh connection
+  // may replay it. Protocol violations are not retried.
+  return e == Errc::not_connected || e == Errc::shutdown || e == Errc::io_error ||
+         e == Errc::timed_out;
+}
+
+Result<Client::Reply> Client::roundtrip_once(FrameHeader req, std::span<const std::byte> payload) {
+  req.seq = next_seq_++;
+
+  watchdog_arm();
+  auto finish = [&](Result<Reply> r) -> Result<Reply> {
+    const bool fired = watchdog_disarm();
+    if (fired && !r.is_ok()) {
+      ++stats_.timeouts;  // stats_ is under mu_, which our caller holds
+      return Status(Errc::timed_out, "roundtrip timed out");
+    }
+    return r;
+  };
+
+  std::byte buf[FrameHeader::kWireSize];
+  req.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  if (Status st = stream_->write_all(buf, sizeof buf); !st.is_ok()) return finish(st);
+  if (!payload.empty()) {
+    if (Status st = stream_->write_all(payload.data(), payload.size()); !st.is_ok()) {
+      return finish(st);
+    }
+  }
+
+  std::byte rep_buf[FrameHeader::kWireSize];
+  if (Status st = stream_->read_exact(rep_buf, sizeof rep_buf); !st.is_ok()) return finish(st);
+  auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(rep_buf));
+  if (!hdr.is_ok()) return finish(hdr.status());
+  Reply r;
+  r.header = hdr.value();
+  if (r.header.type != MsgType::reply || r.header.seq != req.seq) {
+    return finish(Status(Errc::protocol_error, "mismatched reply"));
+  }
+  if (r.header.payload_len > 0) {
+    r.payload.resize(r.header.payload_len);
+    if (Status st = stream_->read_exact(r.payload.data(), r.payload.size()); !st.is_ok()) {
+      return finish(st);
+    }
+  }
+  return finish(std::move(r));
+}
+
+Status Client::reconnect_locked(int attempt) {
+  // Capped exponential backoff before dialing again.
+  if (attempt >= 1 && cfg_.reconnect_backoff_ms > 0) {
+    const std::uint64_t shift = static_cast<std::uint64_t>(std::min(attempt - 1, 16));
+    const std::uint64_t backoff =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg_.reconnect_backoff_ms) << shift,
+                                cfg_.reconnect_backoff_max_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+  }
+  auto fresh = factory_();
+  if (!fresh.is_ok()) return fresh.status();
+  stream_ = std::move(fresh).value();
+
+  // Replay the descriptor table. The server's descriptor database survives
+  // the dead connection, so "fd already open" means the descriptor (and any
+  // deferred state) is still there — that is success, not failure.
+  for (const auto& [fd, path] : open_paths_) {
+    FrameHeader req;
+    req.type = MsgType::request;
+    req.op = OpCode::open;
+    req.fd = fd;
+    req.deadline_ms = cfg_.deadline_ms;
+    req.payload_len = path.size();
+    auto r = roundtrip_once(req, std::as_bytes(std::span(path.data(), path.size())));
+    if (!r.is_ok()) {
+      stream_->close();
+      stream_.reset();
+      return r.status();
+    }
+    const auto code = static_cast<Errc>(r.value().header.status);
+    if (code != Errc::ok && code != Errc::invalid_argument) {
+      return Status(code, "open replay failed");
+    }
+  }
+  ++stats_.reconnects;
+  return Status::ok();
 }
 
 Result<Client::Reply> Client::roundtrip(FrameHeader req, std::span<const std::byte> payload) {
   std::scoped_lock lock(mu_);
   req.type = MsgType::request;
-  req.seq = next_seq_++;
+  if (req.deadline_ms == 0) req.deadline_ms = cfg_.deadline_ms;
   // For reads the caller presets payload_len to the requested length and
   // sends no payload; for everything else it is the payload size.
   if (!payload.empty()) req.payload_len = payload.size();
 
-  std::byte buf[FrameHeader::kWireSize];
-  req.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
-  if (Status st = stream_->write_all(buf, sizeof buf); !st.is_ok()) return st;
-  if (!payload.empty()) {
-    if (Status st = stream_->write_all(payload.data(), payload.size()); !st.is_ok()) return st;
-  }
-
-  std::byte rep_buf[FrameHeader::kWireSize];
-  if (Status st = stream_->read_exact(rep_buf, sizeof rep_buf); !st.is_ok()) return st;
-  auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(rep_buf));
-  if (!hdr.is_ok()) return hdr.status();
-  Reply r;
-  r.header = hdr.value();
-  if (r.header.type != MsgType::reply || r.header.seq != req.seq) {
-    return Status(Errc::protocol_error, "mismatched reply");
-  }
-  if (r.header.payload_len > 0) {
-    r.payload.resize(r.header.payload_len);
-    if (Status st = stream_->read_exact(r.payload.data(), r.payload.size()); !st.is_ok()) {
-      return st;
+  const bool reconnectable = factory_ != nullptr && req.op != OpCode::shutdown;
+  const int max_tries = 1 + (reconnectable ? cfg_.reconnect_attempts : 0);
+  Status last(Errc::not_connected, "no stream");
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    if (attempt > 0 || !stream_) {
+      if (!reconnectable) break;
+      if (Status st = reconnect_locked(attempt); !st.is_ok()) {
+        last = st;
+        if (stream_) {
+          stream_->close();
+          stream_.reset();
+        }
+        continue;
+      }
     }
+    auto r = roundtrip_once(req, payload);
+    if (r.is_ok()) {
+      if (attempt > 0) ++stats_.replays;
+      return r;
+    }
+    last = r.status();
+    if (!reconnectable || !connection_lost(last.code())) return last;
+    // The connection is gone; drop it so the next attempt redials.
+    stream_->close();
+    stream_.reset();
   }
-  return r;
+  ++stats_.giveups;
+  return Status(last.code(), "reconnect attempts exhausted: " + last.to_string());
 }
 
 namespace {
@@ -55,7 +214,13 @@ Status Client::open(int fd, const std::string& path) {
   req.op = OpCode::open;
   req.fd = fd;
   auto r = roundtrip(req, std::as_bytes(std::span(path.data(), path.size())));
-  return r.is_ok() ? status_of(r.value().header) : r.status();
+  if (!r.is_ok()) return r.status();
+  Status st = status_of(r.value().header);
+  if (st.is_ok()) {
+    std::scoped_lock lock(mu_);
+    open_paths_[fd] = path;
+  }
+  return st;
 }
 
 Status Client::write(int fd, std::uint64_t offset, std::span<const std::byte> data) {
@@ -107,6 +272,10 @@ Status Client::close(int fd) {
   req.op = OpCode::close;
   req.fd = fd;
   auto r = roundtrip(req, {});
+  {
+    std::scoped_lock lock(mu_);
+    open_paths_.erase(fd);
+  }
   return r.is_ok() ? status_of(r.value().header) : r.status();
 }
 
@@ -115,6 +284,11 @@ Status Client::shutdown() {
   req.op = OpCode::shutdown;
   auto r = roundtrip(req, {});
   return r.is_ok() ? status_of(r.value().header) : r.status();
+}
+
+ClientStats Client::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
 }
 
 }  // namespace iofwd::rt

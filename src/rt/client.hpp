@@ -8,16 +8,31 @@
 // background operations surface on subsequent calls on the same descriptor,
 // on fsync(), or on close() — exactly the paper's semantics.
 //
+// Resilience (DESIGN.md §10): constructed with a StreamFactory, the client
+// survives a dead connection — a roundtrip that fails with a transport
+// error reconnects with capped exponential backoff, replays open() for
+// every descriptor it tracks (the server keeps descriptor state across
+// connections, so an "already open" bounce counts as success), and then
+// replays the failed operation, which is safe because every forwarded op is
+// offset-based and therefore idempotent. A roundtrip_timeout_ms watchdog
+// bounds each roundtrip: a hung ION gets its connection closed from our
+// side, surfacing timed_out instead of blocking the CN forever.
+//
 // Thread safety: a Client serializes its round trips internally, so it may
 // be shared; for concurrency, open one Client per application thread (each
 // with its own transport), mirroring one CN process per connection.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/status.hpp"
@@ -26,9 +41,33 @@
 
 namespace iofwd::rt {
 
+// Produces a fresh connected stream to the server (used for reconnects).
+using StreamFactory = std::function<Result<std::unique_ptr<ByteStream>>()>;
+
+struct ClientConfig {
+  // Stamped into every request header; the server bounces ops still
+  // unexecuted after this many ms with timed_out. 0 = no deadline.
+  std::uint32_t deadline_ms = 0;
+  // Client-side watchdog: a roundtrip without a reply within this budget
+  // closes the connection and fails with timed_out. 0 = wait forever.
+  std::uint32_t roundtrip_timeout_ms = 0;
+  // Reconnect attempts per failed roundtrip (requires a StreamFactory).
+  int reconnect_attempts = 3;
+  std::uint32_t reconnect_backoff_ms = 10;       // base, doubled per attempt
+  std::uint32_t reconnect_backoff_max_ms = 500;  // cap
+};
+
+struct ClientStats {
+  std::uint64_t reconnects = 0;  // successful reconnect + open-replay passes
+  std::uint64_t replays = 0;     // ops that succeeded on a retry connection
+  std::uint64_t timeouts = 0;    // roundtrips killed by the watchdog
+  std::uint64_t giveups = 0;     // ops that exhausted the reconnect budget
+};
+
 class Client {
  public:
-  explicit Client(std::unique_ptr<ByteStream> stream);
+  explicit Client(std::unique_ptr<ByteStream> stream, ClientConfig cfg = {},
+                  StreamFactory factory = nullptr);
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -42,23 +81,53 @@ class Client {
   Result<std::uint64_t> fstat_size(int fd);
   Status close(int fd);
 
-  // Polite disconnect (server releases the connection).
+  // Polite disconnect (server releases the connection). Never reconnects.
   Status shutdown();
 
   // True if the last write() was acknowledged as staged (async mode).
   [[nodiscard]] bool last_write_was_staged() const { return last_staged_; }
+
+  [[nodiscard]] ClientStats stats() const;
 
  private:
   struct Reply {
     FrameHeader header;
     std::vector<std::byte> payload;
   };
+  // Resilient roundtrip: one attempt on the live stream, then up to
+  // reconnect_attempts reconnect+replay passes for connection-level errors.
   Result<Reply> roundtrip(FrameHeader req, std::span<const std::byte> payload);
+  // One framed request/reply exchange on the current stream (mu_ held).
+  Result<Reply> roundtrip_once(FrameHeader req, std::span<const std::byte> payload);
+  // Establish a fresh stream via the factory (with backoff for `attempt`
+  // >= 1) and replay open() for every tracked descriptor. mu_ held.
+  Status reconnect_locked(int attempt);
+  [[nodiscard]] static bool connection_lost(Errc e);
+
+  // Roundtrip watchdog (lazily started when roundtrip_timeout_ms > 0).
+  void watchdog_loop();
+  void watchdog_arm();
+  // Returns true if the watchdog killed the stream since the last arm.
+  bool watchdog_disarm();
 
   std::unique_ptr<ByteStream> stream_;
-  std::mutex mu_;
+  ClientConfig cfg_;
+  StreamFactory factory_;
+
+  mutable std::mutex mu_;
   std::uint64_t next_seq_ = 1;
   bool last_staged_ = false;
+  std::map<int, std::string> open_paths_;  // fd -> path, for reconnect replay
+  ClientStats stats_;
+
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_armed_ = false;
+  bool wd_fired_ = false;
+  bool wd_quit_ = false;
+  std::chrono::steady_clock::time_point wd_deadline_{};
+  ByteStream* wd_target_ = nullptr;
+  std::thread wd_thread_;
 };
 
 }  // namespace iofwd::rt

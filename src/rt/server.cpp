@@ -30,6 +30,7 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     bcfg.high_watermark = cfg_.bb_high_watermark;
     bcfg.low_watermark = cfg_.bb_low_watermark;
     bcfg.flushers = cfg_.bb_flushers;
+    bcfg.max_stall_ms = cfg_.bb_max_stall_ms;
     auto wrapped = std::make_unique<bb::BurstBufferBackend>(std::move(backend_), bcfg);
     bb_ = wrapped.get();
     backend_ = std::move(wrapped);
@@ -97,6 +98,13 @@ ServerStats IonServer::stats() const {
   s.queue_max_depth = queue_.max_depth();
   s.bml_blocked = pool_.blocked_acquires();
   s.bml_high_watermark = pool_.high_watermark();
+  s.bml_in_use = pool_.in_use();
+  if (degraded_mode_) {
+    s.degraded_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             degraded_since_)
+            .count());
+  }
   if (bb_) {
     const bb::BurstBufferStats b = bb_->stats();
     s.bb_cached_bytes = b.cached_bytes;
@@ -105,8 +113,33 @@ ServerStats IonServer::stats() const {
     s.bb_stall_ns = b.stall_ns;
     s.bb_hit_rate = b.hit_rate();
     s.bb_coalesce_ratio = b.coalesce_ratio();
+    s.bb_degraded_writes = b.degraded_writes;
   }
   return s;
+}
+
+bool IonServer::past_deadline(const FrameHeader& req,
+                              std::chrono::steady_clock::time_point arrival) {
+  if (req.deadline_ms == 0) return false;
+  return std::chrono::steady_clock::now() - arrival >= std::chrono::milliseconds(req.deadline_ms);
+}
+
+bool IonServer::degraded_now(std::size_t queue_depth) {
+  if (cfg_.degraded_high_watermark == 0) return false;
+  const auto now = std::chrono::steady_clock::now();
+  std::scoped_lock lock(stats_mu_);
+  if (!degraded_mode_) {
+    if (queue_depth >= cfg_.degraded_high_watermark) {
+      degraded_mode_ = true;
+      degraded_since_ = now;
+      ++stats_.degraded_enters;
+    }
+  } else if (queue_depth <= cfg_.degraded_low_watermark) {
+    degraded_mode_ = false;
+    stats_.degraded_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - degraded_since_).count());
+  }
+  return degraded_mode_;
 }
 
 // ---------------------------------------------------------------------------
@@ -123,6 +156,7 @@ void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
       break;
     }
     const FrameHeader req = hdr.value();
+    const auto arrival = std::chrono::steady_clock::now();
     if (req.type != MsgType::request) {
       IOFWD_LOG_WARN("unexpected frame type from client");
       break;
@@ -136,16 +170,16 @@ void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
         handle_open(*conn, req);
         break;
       case OpCode::write:
-        handle_write(conn, req);
+        handle_write(conn, req, arrival);
         break;
       case OpCode::read:
-        handle_read(conn, req);
+        handle_read(conn, req, arrival);
         break;
       case OpCode::fsync:
-        handle_fsync(*conn, req);
+        handle_fsync(*conn, req, arrival);
         break;
       case OpCode::fstat:
-        handle_fstat(*conn, req);
+        handle_fstat(*conn, req, arrival);
         break;
       case OpCode::close:
         handle_close(*conn, req);
@@ -245,21 +279,40 @@ void IonServer::handle_close(ClientConn& conn, const FrameHeader& req) {
   (void)send_reply(conn, req, deferred.is_ok() ? be : deferred);
 }
 
-void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req) {
+void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
+                             std::chrono::steady_clock::time_point arrival) {
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
     (void)send_reply(conn, req, deferred);
     return;
   }
+  if (past_deadline(req, arrival)) {
+    // The drain barrier outlived the op's budget: bounce without executing.
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.deadline_expired;
+    }
+    (void)send_reply(conn, req, Status(Errc::timed_out, "deadline expired in drain"));
+    return;
+  }
   (void)send_reply(conn, req, backend_->fsync(req.fd));
 }
 
-void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req) {
+void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
+                             std::chrono::steady_clock::time_point arrival) {
   // Attribute queries are synchronous (Sec. IV): drain in-flight async
   // writes so the size is accurate, surface deferred errors first.
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
     (void)send_reply(conn, req, deferred);
+    return;
+  }
+  if (past_deadline(req, arrival)) {
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.deadline_expired;
+    }
+    (void)send_reply(conn, req, Status(Errc::timed_out, "deadline expired in drain"));
     return;
   }
   auto sz = backend_->size(req.fd);
@@ -273,10 +326,41 @@ void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req) {
   (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
 }
 
-void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req) {
+void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
+                             std::chrono::steady_clock::time_point arrival) {
   // The payload always follows the header; it must be consumed from the
-  // stream even if the operation is going to bounce.
-  auto buf = pool_.acquire(req.payload_len);
+  // stream even if the operation is going to bounce. Staging space comes
+  // from the BML pool under a bounded wait: exhaustion degrades to a
+  // BML-less synchronous pass-through instead of blocking the receiver.
+  auto buf = pool_.try_acquire(req.payload_len);
+  if (!buf.is_ok() && buf.code() == Errc::would_block) {
+    buf = cfg_.bml_wait_ms > 0
+              ? pool_.acquire_for(req.payload_len, std::chrono::milliseconds(cfg_.bml_wait_ms))
+              : pool_.acquire(req.payload_len);
+  }
+  if (!buf.is_ok() && buf.code() == Errc::timed_out) {
+    // Degraded mode: receive into plain heap memory and execute inline,
+    // synchronously — slower, but bounded and correct.
+    std::vector<std::byte> heap(req.payload_len);
+    if (req.payload_len > 0 &&
+        !conn->stream->read_exact(heap.data(), heap.size()).is_ok()) {
+      return;
+    }
+    {
+      std::scoped_lock lock(stats_mu_);
+      stats_.bytes_in += req.payload_len;
+      ++stats_.bml_timeouts;
+      ++stats_.degraded_passthrough_ops;
+    }
+    if (cfg_.exec == ExecModel::work_queue_async) {
+      if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
+        (void)send_reply(*conn, req, deferred);
+        return;
+      }
+    }
+    (void)send_reply(*conn, req, do_write(req, heap));
+    return;
+  }
   if (!buf.is_ok()) {
     // Oversize request: swallow the payload in pieces and bounce.
     std::vector<std::byte> sink(1 << 16);
@@ -312,8 +396,18 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
   t.conn = conn;
   t.req = req;
   t.payload = std::move(payload);
+  t.arrival = arrival;
 
-  switch (cfg_.exec) {
+  // Overload hysteresis: past the queue-depth high watermark, staged writes
+  // are acknowledged at completion (sync staging) so clients self-throttle.
+  ExecModel exec = cfg_.exec;
+  if (exec == ExecModel::work_queue_async && degraded_now(queue_.size())) {
+    exec = ExecModel::work_queue;
+    std::scoped_lock lock(stats_mu_);
+    ++stats_.degraded_sync_writes;
+  }
+
+  switch (exec) {
     case ExecModel::thread_per_client:
       execute_task(t);  // inline, synchronous
       break;
@@ -348,7 +442,8 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
   }
 }
 
-void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req) {
+void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
+                            std::chrono::steady_clock::time_point arrival) {
   if (cfg_.exec == ExecModel::work_queue_async) {
     // Read barrier: in-flight writes on this descriptor land first.
     drain_descriptor(req.fd);
@@ -361,6 +456,7 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
   t.conn = conn;
   t.req = req;
   t.reply_on_completion = true;
+  t.arrival = arrival;
   if (cfg_.exec == ExecModel::thread_per_client) {
     execute_task(t);
   } else if (!queue_.push(std::move(t))) {
@@ -380,30 +476,53 @@ void IonServer::worker_loop() {
   }
 }
 
+Status IonServer::do_write(const FrameHeader& req, std::span<const std::byte> data) {
+  if (!filters_.empty()) {
+    // Data-filtering offload: transform on the ION's otherwise idle cycles,
+    // then write the (possibly reduced) payload at the mapped offset.
+    std::vector<std::byte> transformed(data.begin(), data.end());
+    const std::uint64_t before = transformed.size();
+    Status st = filters_.apply(req.fd, req.offset, transformed);
+    if (!st.is_ok()) return st;
+    {
+      std::scoped_lock slock(stats_mu_);
+      stats_.filter_bytes_in += before;
+      stats_.filter_bytes_out += transformed.size();
+    }
+    auto r = backend_->write(req.fd, filters_.map_offset(req.offset), transformed);
+    return r.is_ok() ? Status::ok() : r.status();
+  }
+  auto r = backend_->write(req.fd, req.offset, data);
+  return r.is_ok() ? Status::ok() : r.status();
+}
+
 void IonServer::execute_task(Task& t) {
+  // Deadline enforcement: an op whose budget ran out while queued bounces
+  // with timed_out without touching the backend. For async-staged writes the
+  // bounce follows the deferred-error path (the staged ack already went out).
+  if (past_deadline(t.req, t.arrival)) {
+    t.payload.release();
+    {
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.deadline_expired;
+    }
+    const Status st(Errc::timed_out, "deadline expired in queue");
+    if (t.record_in_db) note_completed(t.req.fd, t.db_seq, st);
+    if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
+      (void)send_reply(*t.conn, t.req, st);
+    }
+    return;
+  }
   if (t.req.op == OpCode::write) {
     Status st;
     if (!filters_.empty()) {
-      // Data-filtering offload: transform on the ION's otherwise idle
-      // cycles, then write the (possibly reduced) payload at the mapped
-      // offset.
+      // The filter path copies out of BML anyway; release the lease early.
       std::vector<std::byte> data(t.payload.data(), t.payload.data() + t.req.payload_len);
       t.payload.release();
-      const std::uint64_t before = data.size();
-      st = filters_.apply(t.req.fd, t.req.offset, data);
-      if (st.is_ok()) {
-        {
-          std::scoped_lock slock(stats_mu_);
-          stats_.filter_bytes_in += before;
-          stats_.filter_bytes_out += data.size();
-        }
-        auto r = backend_->write(t.req.fd, filters_.map_offset(t.req.offset), data);
-        if (!r.is_ok()) st = r.status();
-      }
+      st = do_write(t.req, data);
     } else {
-      auto r = backend_->write(t.req.fd, t.req.offset,
-                               std::span<const std::byte>(t.payload.data(), t.req.payload_len));
-      st = r.is_ok() ? Status::ok() : r.status();
+      st = do_write(t.req,
+                    std::span<const std::byte>(t.payload.data(), t.req.payload_len));
       t.payload.release();  // back to the BML pool as early as possible
     }
     if (t.record_in_db) {

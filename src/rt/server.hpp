@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -69,6 +70,18 @@ struct ServerConfig {
   double bb_high_watermark = 0.75;
   double bb_low_watermark = 0.50;
   int bb_flushers = 2;
+  // Graceful degradation (DESIGN.md §10). A writer that cannot lease BML
+  // staging space within bml_wait_ms falls back to synchronous pass-through
+  // execution on the receiver thread instead of blocking forever (0 = wait
+  // forever, the pre-resilience behavior). A burst-buffer writer stalled
+  // longer than bb_max_stall_ms bypasses the cache the same way.
+  std::uint32_t bml_wait_ms = 100;
+  std::uint32_t bb_max_stall_ms = 100;
+  // Async staging switches to synchronous staging when the task-queue depth
+  // reaches degraded_high_watermark and back once it falls to
+  // degraded_low_watermark (0 = never degrade).
+  std::uint64_t degraded_high_watermark = 0;
+  std::uint64_t degraded_low_watermark = 0;
 };
 
 struct ServerStats {
@@ -90,6 +103,15 @@ struct ServerStats {
   std::uint64_t bb_stall_ns = 0;
   double bb_hit_rate = 0.0;
   double bb_coalesce_ratio = 0.0;
+  // Resilience counters (DESIGN.md §10).
+  std::uint64_t deadline_expired = 0;        // ops bounced with timed_out
+  std::uint64_t bml_timeouts = 0;            // bounded BML waits that expired
+  std::uint64_t degraded_passthrough_ops = 0;  // writes executed BML-less, inline
+  std::uint64_t degraded_sync_writes = 0;    // staged writes forced synchronous
+  std::uint64_t degraded_enters = 0;         // async->sync staging transitions
+  std::uint64_t degraded_ns = 0;             // time spent in sync-staging mode
+  std::uint64_t bml_in_use = 0;              // leased BML bytes right now
+  std::uint64_t bb_degraded_writes = 0;      // cache writes that fell through
 };
 
 class IonServer {
@@ -133,19 +155,33 @@ class IonServer {
     bool reply_on_completion = false;  // sync staging
     bool record_in_db = false;         // async staging
     std::uint64_t db_seq = 0;
+    // Arrival time at the server; the req.deadline_ms budget counts from
+    // here while the task waits in the queue.
+    std::chrono::steady_clock::time_point arrival{};
   };
 
   void receiver_loop(std::shared_ptr<ClientConn> conn);
   void worker_loop();
   void execute_task(Task& t);
+  // Apply the filter chain (if any) and issue the backend write.
+  Status do_write(const FrameHeader& req, std::span<const std::byte> data);
+  // True if the op's deadline budget has run out (deadline_ms > 0 only).
+  [[nodiscard]] static bool past_deadline(const FrameHeader& req,
+                                          std::chrono::steady_clock::time_point arrival);
+  // Queue-depth hysteresis: decides (and accounts) sync-staging degradation.
+  bool degraded_now(std::size_t queue_depth);
 
   // Inline op handlers (receiver thread).
   void handle_open(ClientConn& conn, const FrameHeader& req);
   void handle_close(ClientConn& conn, const FrameHeader& req);
-  void handle_fsync(ClientConn& conn, const FrameHeader& req);
-  void handle_fstat(ClientConn& conn, const FrameHeader& req);
-  void handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req);
-  void handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req);
+  void handle_fsync(ClientConn& conn, const FrameHeader& req,
+                    std::chrono::steady_clock::time_point arrival);
+  void handle_fstat(ClientConn& conn, const FrameHeader& req,
+                    std::chrono::steady_clock::time_point arrival);
+  void handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
+                    std::chrono::steady_clock::time_point arrival);
+  void handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
+                   std::chrono::steady_clock::time_point arrival);
 
   Status send_reply(ClientConn& conn, const FrameHeader& req, Status status,
                     std::span<const std::byte> payload = {}, bool staged = false);
@@ -174,6 +210,9 @@ class IonServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+  // Sync-staging degradation state (guarded by stats_mu_).
+  bool degraded_mode_ = false;
+  std::chrono::steady_clock::time_point degraded_since_{};
 };
 
 }  // namespace iofwd::rt

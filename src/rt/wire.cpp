@@ -31,6 +31,7 @@ void FrameHeader::encode(std::span<std::byte, kWireSize> out) const {
   put(p, seq);
   put(p, offset);
   put(p, payload_len);
+  put(p, deadline_ms);
 }
 
 Result<FrameHeader> FrameHeader::decode(std::span<const std::byte, kWireSize> in) {
@@ -50,6 +51,7 @@ Result<FrameHeader> FrameHeader::decode(std::span<const std::byte, kWireSize> in
   h.seq = take<std::uint64_t>(p);
   h.offset = take<std::uint64_t>(p);
   h.payload_len = take<std::uint64_t>(p);
+  h.deadline_ms = take<std::uint32_t>(p);
   if (h.payload_len > kMaxPayload) return Status(Errc::message_too_large, "payload too large");
   return h;
 }

@@ -44,6 +44,9 @@ struct FrameHeader {
   std::uint64_t seq = 0;          // client-assigned request id
   std::uint64_t offset = 0;       // file offset for read/write
   std::uint64_t payload_len = 0;  // bytes following the header
+  // Per-op deadline budget in ms, counted from arrival at the server; an op
+  // still unexecuted when it expires bounces with timed_out. 0 = none.
+  std::uint32_t deadline_ms = 0;
 
   static constexpr std::uint16_t kFlagStaged = 1;
 

@@ -11,6 +11,7 @@
 
 #include "core/rng.hpp"
 #include "core/units.hpp"
+#include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
 
@@ -49,6 +50,9 @@ class RefBackend final : public rt::IoBackend {
 
 struct Fixture {
   MemBackend* mem = nullptr;
+  // Faults are injected through the shared plan (fault::FaultyBackend sits
+  // between the burst buffer and the MemBackend).
+  std::shared_ptr<fault::FaultPlan> plan = std::make_shared<fault::FaultPlan>();
   BurstBufferBackend bbuf;
 
   explicit Fixture(BurstBufferConfig cfg)
@@ -56,7 +60,7 @@ struct Fixture {
             [this] {
               auto m = std::make_unique<MemBackend>();
               mem = m.get();
-              return m;
+              return std::make_unique<fault::FaultyBackend>(std::move(m), plan);
             }(),
             cfg) {}
 };
@@ -233,13 +237,12 @@ TEST(BurstBuffer, FlushErrorIsDeferredSurfacesOnceAndDoesNotLeak) {
   Fixture fx(quiet_config());
   ASSERT_TRUE(fx.bbuf.open(1, "f").is_ok());
   ASSERT_TRUE(fx.bbuf.write(1, 0, pattern(8_KiB, 10)).is_ok());
-  fx.mem->set_write_fault_hook(
-      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "disk on fire"); });
+  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
   // The drain inside fsync fails; the error surfaces on the fsync itself.
   Status st = fx.bbuf.fsync(1);
   EXPECT_EQ(st.code(), Errc::io_error);
   // Exactly once: the failed extent was dropped and the error consumed.
-  fx.mem->set_write_fault_hook(nullptr);
+  fx.plan->clear();
   EXPECT_TRUE(fx.bbuf.fsync(1).is_ok());
   EXPECT_EQ(fx.bbuf.stats().cached_bytes, 0u) << "failed extent leaked its lease";
   EXPECT_EQ(fx.bbuf.stats().deferred_errors, 1u);
@@ -255,15 +258,14 @@ TEST(BurstBuffer, BackgroundFlushErrorBouncesNextOp) {
   cfg.write_through_bytes = 256_KiB;
   Fixture fx(cfg);
   ASSERT_TRUE(fx.bbuf.open(1, "f").is_ok());
-  fx.mem->set_write_fault_hook(
-      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "bad sector"); });
+  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
   ASSERT_TRUE(fx.bbuf.write(1, 0, pattern(128_KiB, 11)).is_ok());  // over the watermark
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (fx.bbuf.stats().deferred_errors == 0 && std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   ASSERT_GT(fx.bbuf.stats().deferred_errors, 0u) << "background flush never failed";
-  fx.mem->set_write_fault_hook(nullptr);
+  fx.plan->clear();
   // Next op on the descriptor bounces with the recorded error, unexecuted...
   auto r = fx.bbuf.write(1, 1_MiB, pattern(4_KiB, 12));
   ASSERT_FALSE(r.is_ok());

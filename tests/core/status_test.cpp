@@ -26,9 +26,41 @@ TEST(Status, EqualityIgnoresMessage) {
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(Errc::internal); ++c) {
+  for (int c = 0; c < kErrcCount; ++c) {
     EXPECT_NE(errc_name(static_cast<Errc>(c)), "unknown") << "code " << c;
   }
+}
+
+TEST(Status, ErrcNameRoundTripsEveryEnumerator) {
+  for (std::int32_t c = 0; c < kErrcCount; ++c) {
+    const auto e = static_cast<Errc>(c);
+    const auto back = errc_from_name(errc_name(e));
+    ASSERT_TRUE(back.has_value()) << "no inverse for " << errc_name(e);
+    EXPECT_EQ(*back, e) << "round-trip mismatch for " << errc_name(e);
+  }
+}
+
+TEST(Status, ErrcNamesAreUnique) {
+  // A copy-pasted case label in errc_name would alias two codes; the
+  // round-trip above would then still "succeed" for one of them.
+  for (std::int32_t a = 0; a < kErrcCount; ++a) {
+    for (std::int32_t b = a + 1; b < kErrcCount; ++b) {
+      EXPECT_NE(errc_name(static_cast<Errc>(a)), errc_name(static_cast<Errc>(b)))
+          << "codes " << a << " and " << b << " share a name";
+    }
+  }
+}
+
+TEST(Status, ErrcFromNameRejectsUnknown) {
+  EXPECT_FALSE(errc_from_name("").has_value());
+  EXPECT_FALSE(errc_from_name("unknown").has_value());
+  EXPECT_FALSE(errc_from_name("IO_ERROR").has_value()) << "lookup is case-sensitive";
+  EXPECT_FALSE(errc_from_name("io_error ").has_value());
+}
+
+TEST(Status, ToStringOmitsSeparatorWithoutMessage) {
+  EXPECT_EQ(Status(Errc::timed_out, "").to_string(), "timed_out");
+  EXPECT_EQ(Status::ok().to_string(), "ok");
 }
 
 TEST(Result, HoldsValue) {
@@ -62,6 +94,23 @@ TEST(Result, MoveOutValue) {
 TEST(Result, ValueOrReturnsValueWhenOk) {
   Result<int> r = 7;
   EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, StatusPropagatesMessageThroughLayers) {
+  // The common decorator pattern: a Result error is rewrapped as a Status
+  // and back; code and message must survive every hop.
+  Result<int> inner = Status(Errc::io_error, "sector 12 unreadable");
+  Status hop = inner.status();
+  Result<std::string> outer = hop;
+  EXPECT_EQ(outer.code(), Errc::io_error);
+  EXPECT_EQ(outer.status().message(), "sector 12 unreadable");
+  EXPECT_EQ(outer.status().to_string(), "io_error: sector 12 unreadable");
+}
+
+TEST(Result, OkResultYieldsOkStatusWithEmptyMessage) {
+  Result<int> r = 3;
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_TRUE(r.status().message().empty());
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Graceful degradation: bounded BML waits that fall back to pass-through
+// execution, burst-buffer stall bounds that fall back to write-through, and
+// the queue-depth hysteresis that switches async staging to sync staging.
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "bb/burst_buffer.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "fault/decorators.hpp"
+#include "rt/async_client.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+
+namespace iofwd::fault {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& x : v) x = static_cast<std::byte>(rng.next());
+  return v;
+}
+
+TEST(Degradation, BmlExhaustionFallsBackToPassThrough) {
+  // The pool holds exactly one 64 KiB buffer. The first write leases it and
+  // then sits in a 400ms-slow backend write; the second write cannot lease
+  // within bml_wait_ms and must execute inline, BML-less, instead of
+  // blocking until the first completes.
+  auto plan = std::make_shared<FaultPlan>();
+  rt::ServerConfig cfg;
+  cfg.exec = rt::ExecModel::work_queue_async;
+  cfg.bml_bytes = 64_KiB;
+  cfg.bml_wait_ms = 20;
+  auto faulty = std::make_unique<FaultyBackend>(std::make_unique<rt::MemBackend>(), plan);
+  auto* mem = static_cast<rt::MemBackend*>(&faulty->inner());
+  rt::IonServer server(std::move(faulty), cfg);
+
+  auto [s, c] = rt::InProcTransport::make_pair();
+  server.serve(std::move(s));
+  rt::Client client(std::move(c));
+
+  ASSERT_TRUE(client.open(1, "f").is_ok());
+  plan->add({.op = OpKind::write, .nth = 1, .error = Errc::ok, .latency = 400'000us});
+  const auto a = pattern(64_KiB, 1);
+  const auto b = pattern(64_KiB, 2);
+  ASSERT_TRUE(client.write(1, 0, a).is_ok());  // staged; flush is slow
+  ASSERT_TRUE(client.write(1, a.size(), b).is_ok()) << "degraded write must still succeed";
+
+  ASSERT_TRUE(client.fsync(1).is_ok());
+  const auto st = server.stats();
+  EXPECT_GE(st.bml_timeouts, 1u);
+  EXPECT_GE(st.degraded_passthrough_ops, 1u);
+
+  // Data integrity across both paths.
+  const auto all = mem->snapshot("f");
+  ASSERT_EQ(all.size(), a.size() + b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), all.begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), all.begin() + static_cast<std::ptrdiff_t>(a.size())));
+  EXPECT_TRUE(client.close(1).is_ok());
+}
+
+TEST(Degradation, OversizeWriteStillBouncesNoMemory) {
+  // The degraded path must not swallow the documented oversize bounce.
+  rt::ServerConfig cfg;
+  cfg.exec = rt::ExecModel::work_queue_async;
+  cfg.bml_bytes = 64_KiB;
+  cfg.bml_wait_ms = 10;
+  rt::IonServer server(std::make_unique<rt::MemBackend>(), cfg);
+  auto [s, c] = rt::InProcTransport::make_pair();
+  server.serve(std::move(s));
+  rt::Client client(std::move(c));
+  ASSERT_TRUE(client.open(1, "f").is_ok());
+  EXPECT_EQ(client.write(1, 0, pattern(1_MiB, 3)).code(), Errc::no_memory);
+}
+
+TEST(Degradation, BurstBufferStallBoundWritesThrough) {
+  // Inner writes are slowed to 100ms, so the flushers cannot free capacity
+  // within the 10ms stall bound; a writer facing a full cache must fall back
+  // to a synchronous write-through instead of stalling indefinitely.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add({.op = OpKind::write,
+             .probability = 1.0,
+             .transient = false,
+             .error = Errc::ok,
+             .latency = 100'000us});
+  bb::BurstBufferConfig cfg;
+  cfg.capacity_bytes = 64_KiB;
+  cfg.high_watermark = 1.0;  // only stall pressure drives flushing
+  cfg.low_watermark = 1.0;
+  cfg.write_through_bytes = 1_MiB;  // never bypass by size
+  cfg.max_stall_ms = 10;
+  cfg.flushers = 1;
+
+  auto faulty = std::make_unique<FaultyBackend>(std::make_unique<rt::MemBackend>(), plan);
+  auto* mem = static_cast<rt::MemBackend*>(&faulty->inner());
+  bb::BurstBufferBackend bbuf(std::move(faulty), cfg);
+
+  ASSERT_TRUE(bbuf.open(1, "f").is_ok());
+  const auto a = pattern(48_KiB, 4);
+  const auto b = pattern(48_KiB, 5);
+  // Disjoint, non-adjacent runs: the second cannot merge with the first, so
+  // it needs its own lease from a pool the first already exhausted.
+  const std::uint64_t off_b = 1_MiB;
+  ASSERT_TRUE(bbuf.write(1, 0, a).is_ok());  // fits the cache
+  // No lease available: stalls, gives up after max_stall_ms, writes through.
+  ASSERT_TRUE(bbuf.write(1, off_b, b).is_ok());
+  EXPECT_GE(bbuf.stats().degraded_writes, 1u);
+
+  ASSERT_TRUE(bbuf.fsync(1).is_ok());
+  const auto all = mem->snapshot("f");
+  ASSERT_EQ(all.size(), off_b + b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), all.begin()));
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), all.begin() + static_cast<std::ptrdiff_t>(off_b)));
+  EXPECT_TRUE(bbuf.close(1).is_ok());
+}
+
+TEST(Degradation, QueueDepthWatermarkForcesSyncStaging) {
+  // One worker, 30ms per backend write, 24 pipelined writes: the queue depth
+  // crosses the high watermark, so later writes must be staged synchronously
+  // (acknowledged only on completion) until the queue drains below the low
+  // watermark.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add({.op = OpKind::write,
+             .probability = 1.0,
+             .transient = false,
+             .error = Errc::ok,
+             .latency = 30'000us});
+  rt::ServerConfig cfg;
+  cfg.exec = rt::ExecModel::work_queue_async;
+  cfg.workers = 1;
+  cfg.degraded_high_watermark = 4;
+  cfg.degraded_low_watermark = 1;
+  rt::IonServer server(
+      std::make_unique<FaultyBackend>(std::make_unique<rt::MemBackend>(), plan), cfg);
+
+  auto [s, c] = rt::InProcTransport::make_pair();
+  server.serve(std::move(s));
+  rt::AsyncClient client(std::move(c), /*window=*/32);
+
+  ASSERT_TRUE(client.open(1, "q").get().is_ok());
+  const auto data = pattern(4_KiB, 6);
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(client.write(1, static_cast<std::uint64_t>(i) * data.size(), data));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().is_ok());
+  ASSERT_TRUE(client.fsync(1).get().is_ok());
+
+  const auto st = server.stats();
+  EXPECT_GE(st.degraded_enters, 1u) << "queue depth never crossed the watermark";
+  EXPECT_GE(st.degraded_sync_writes, 1u);
+  EXPECT_GT(st.degraded_ns, 0u);
+  EXPECT_TRUE(client.close_fd(1).get().is_ok());
+}
+
+}  // namespace
+}  // namespace iofwd::fault

@@ -1,0 +1,138 @@
+// FaultPlan semantics: deterministic seeded schedules, nth/probability
+// triggers, transient bursts vs permanent latching, latency injection.
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iofwd::fault {
+namespace {
+
+TEST(FaultPlan, EmptyPlanNeverFires) {
+  FaultPlan plan;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  }
+  EXPECT_EQ(plan.fired(), 0u);
+  EXPECT_EQ(plan.calls(OpKind::write), 100u);
+}
+
+TEST(FaultPlan, NthRuleFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::write, .nth = 3, .error = Errc::io_error});
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  EXPECT_EQ(plan.next(OpKind::write).status.code(), Errc::io_error);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(plan.next(OpKind::write).status.is_ok()) << "transient nth rule must expire";
+  }
+  EXPECT_EQ(plan.fired(OpKind::write), 1u);
+}
+
+TEST(FaultPlan, NthRuleIgnoresOtherOpKinds) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::fsync, .nth = 1, .error = Errc::io_error});
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  EXPECT_TRUE(plan.next(OpKind::read).status.is_ok());
+  EXPECT_EQ(plan.next(OpKind::fsync).status.code(), Errc::io_error);
+}
+
+TEST(FaultPlan, TransientBurstFiresForConsecutiveCalls) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::write, .nth = 2, .burst = 3, .error = Errc::timed_out});
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  EXPECT_EQ(plan.next(OpKind::write).status.code(), Errc::timed_out);
+  EXPECT_EQ(plan.next(OpKind::write).status.code(), Errc::timed_out);
+  EXPECT_EQ(plan.next(OpKind::write).status.code(), Errc::timed_out);
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  EXPECT_EQ(plan.fired(OpKind::write), 3u);
+}
+
+TEST(FaultPlan, PermanentNthRuleLatches) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::write, .nth = 2, .transient = false, .error = Errc::io_error});
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(plan.next(OpKind::write).status.code(), Errc::io_error)
+        << "permanent rule must keep firing once triggered";
+  }
+}
+
+TEST(FaultPlan, WildcardMatchesEveryKind) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::any, .probability = 1.0, .transient = false, .error = Errc::io_error});
+  EXPECT_FALSE(plan.next(OpKind::open).status.is_ok());
+  EXPECT_FALSE(plan.next(OpKind::stream_read).status.is_ok());
+  EXPECT_FALSE(plan.next(OpKind::size).status.is_ok());
+}
+
+TEST(FaultPlan, ProbabilityScheduleIsDeterministicForASeed) {
+  auto run = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.add({.op = OpKind::write, .probability = 0.3, .error = Errc::io_error});
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) fired.push_back(!plan.next(OpKind::write).status.is_ok());
+    return fired;
+  };
+  EXPECT_EQ(run(42), run(42)) << "same seed must reproduce the schedule bit-for-bit";
+  EXPECT_NE(run(42), run(43)) << "different seeds should differ";
+}
+
+TEST(FaultPlan, ProbabilityRoughlyMatchesRate) {
+  FaultPlan plan(7);
+  plan.add({.op = OpKind::write, .probability = 0.25, .error = Errc::io_error});
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) (void)plan.next(OpKind::write);
+  const double rate = static_cast<double>(plan.fired(OpKind::write)) / n;
+  EXPECT_NEAR(rate, 0.25, 0.05);
+}
+
+TEST(FaultPlan, FirstMatchingRuleWins) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::write, .nth = 1, .error = Errc::timed_out});
+  plan.add({.op = OpKind::write, .nth = 1, .error = Errc::io_error});
+  EXPECT_EQ(plan.next(OpKind::write).status.code(), Errc::timed_out);
+}
+
+TEST(FaultPlan, LatencyOnlyRuleSlowsWithoutFailing) {
+  FaultPlan plan;
+  plan.add({.op = OpKind::read,
+            .nth = 1,
+            .error = Errc::ok,
+            .latency = std::chrono::microseconds(500)});
+  Injection inj = plan.next(OpKind::read);
+  EXPECT_TRUE(inj.status.is_ok());
+  EXPECT_EQ(inj.latency.count(), 500);
+  EXPECT_TRUE(inj.fired());
+  EXPECT_EQ(plan.fired(), 0u) << "pure latency is not an injected error";
+}
+
+TEST(FaultPlan, ClearDisarmsAndResetsCounters) {
+  FaultPlan plan;
+  plan.fail_always(OpKind::write, Errc::io_error);
+  EXPECT_FALSE(plan.next(OpKind::write).status.is_ok());
+  plan.clear();
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+  EXPECT_EQ(plan.fired(), 0u);
+  EXPECT_EQ(plan.calls(OpKind::write), 1u) << "calls restart after clear()";
+}
+
+TEST(FaultPlan, FailAlwaysFiresUntilCleared) {
+  FaultPlan plan;
+  plan.fail_always(OpKind::fsync, Errc::io_error);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(plan.next(OpKind::fsync).status.code(), Errc::io_error);
+  }
+  EXPECT_TRUE(plan.next(OpKind::write).status.is_ok());
+}
+
+TEST(FaultPlan, OpKindNamesAreDistinct) {
+  for (std::size_t a = 0; a < kOpKinds; ++a) {
+    for (std::size_t b = a + 1; b < kOpKinds; ++b) {
+      EXPECT_STRNE(to_string(static_cast<OpKind>(a)), to_string(static_cast<OpKind>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iofwd::fault

@@ -1,0 +1,150 @@
+// Client reconnect with idempotent replay: a connection cut mid-burst is
+// redialed through the StreamFactory, descriptors are re-opened, and the
+// failed op replays transparently.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "fault/decorators.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+
+namespace iofwd::fault {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& x : v) x = static_cast<std::byte>(rng.next());
+  return v;
+}
+
+// Dials a fresh in-process connection into `server` on every call.
+rt::StreamFactory factory_for(rt::IonServer& server) {
+  return [&server]() -> Result<std::unique_ptr<rt::ByteStream>> {
+    auto [s, c] = rt::InProcTransport::make_pair();
+    server.serve(std::move(s));
+    return std::unique_ptr<rt::ByteStream>(std::move(c));
+  };
+}
+
+struct Fx {
+  rt::MemBackend* mem = nullptr;
+  std::unique_ptr<rt::IonServer> server;
+
+  explicit Fx(rt::ServerConfig cfg = {}) {
+    auto m = std::make_unique<rt::MemBackend>();
+    mem = m.get();
+    server = std::make_unique<rt::IonServer>(std::move(m), cfg);
+  }
+};
+
+TEST(Reconnect, MidBurstCutReplaysTransparently) {
+  Fx fx;
+  // First connection dies once this end has written ~1.5 frames of a
+  // 16 KiB-per-write burst; the cut lands mid-payload.
+  auto [s0, c0] = rt::InProcTransport::make_pair();
+  fx.server->serve(std::move(s0));
+  auto cut = std::make_unique<FaultyStream>(
+      std::move(c0), rt::FrameHeader::kWireSize * 2 + 16_KiB + 8_KiB);
+
+  rt::Client client(std::move(cut), {}, factory_for(*fx.server));
+  ASSERT_TRUE(client.open(1, "burst").is_ok());
+
+  const auto data = pattern(16_KiB, 11);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok())
+        << "write " << i << " did not survive the cut";
+  }
+  ASSERT_TRUE(client.fsync(1).is_ok());
+  ASSERT_TRUE(client.close(1).is_ok());
+
+  // Every byte of every burst landed, including the cut-then-replayed one.
+  const auto all = fx.mem->snapshot("burst");
+  ASSERT_EQ(all.size(), 8 * data.size());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(std::equal(data.begin(), data.end(),
+                           all.begin() + static_cast<std::ptrdiff_t>(i * data.size())))
+        << "burst " << i << " corrupted";
+  }
+  const auto cs = client.stats();
+  EXPECT_GE(cs.reconnects, 1u);
+  EXPECT_GE(cs.replays, 1u);
+  EXPECT_EQ(cs.giveups, 0u);
+}
+
+TEST(Reconnect, ReplayedReadAfterReconnectSeesEarlierWrites) {
+  Fx fx;
+  auto [s0, c0] = rt::InProcTransport::make_pair();
+  fx.server->serve(std::move(s0));
+  // Budget: open + first write survive; the read request later hits the cut.
+  auto cut = std::make_unique<FaultyStream>(std::move(c0),
+                                            rt::FrameHeader::kWireSize * 2 + 4_KiB + 10);
+  rt::Client client(std::move(cut), {}, factory_for(*fx.server));
+
+  ASSERT_TRUE(client.open(3, "rr").is_ok());
+  const auto data = pattern(4_KiB, 12);
+  ASSERT_TRUE(client.write(3, 0, data).is_ok());
+  auto r = client.read(3, 0, data.size());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), data);
+  EXPECT_GE(client.stats().reconnects, 1u);
+}
+
+TEST(Reconnect, WithoutFactoryTheCutSurfaces) {
+  Fx fx;
+  auto [s0, c0] = rt::InProcTransport::make_pair();
+  fx.server->serve(std::move(s0));
+  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize + 10);
+  rt::Client client(std::move(cut));  // no StreamFactory
+  ASSERT_TRUE(client.open(1, "x").is_ok());
+  EXPECT_FALSE(client.write(1, 0, pattern(4_KiB, 13)).is_ok());
+}
+
+TEST(Reconnect, BoundedAttemptsThenGiveup) {
+  // The factory always dials a connection that dies immediately, so every
+  // replay fails; the client must stop after its attempt budget.
+  Fx fx;
+  int dials = 0;
+  rt::StreamFactory dead_factory = [&]() -> Result<std::unique_ptr<rt::ByteStream>> {
+    ++dials;
+    auto [s, c] = rt::InProcTransport::make_pair();
+    s->close();  // server side never serves: instant dead line
+    return std::unique_ptr<rt::ByteStream>(std::move(c));
+  };
+  auto [s0, c0] = rt::InProcTransport::make_pair();
+  fx.server->serve(std::move(s0));
+  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize + 5);
+
+  rt::ClientConfig cfg;
+  cfg.reconnect_attempts = 2;
+  cfg.reconnect_backoff_ms = 1;  // keep the test fast
+  rt::Client client(std::move(cut), cfg, std::move(dead_factory));
+
+  ASSERT_TRUE(client.open(1, "x").is_ok());
+  Status st = client.write(1, 0, pattern(4_KiB, 14));
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(dials, 2) << "exactly reconnect_attempts dials";
+  EXPECT_EQ(client.stats().giveups, 1u);
+  EXPECT_EQ(client.stats().replays, 0u);
+}
+
+TEST(Reconnect, ShutdownOpcodeNeverReconnects) {
+  Fx fx;
+  int dials = 0;
+  rt::StreamFactory counting = [&]() -> Result<std::unique_ptr<rt::ByteStream>> {
+    ++dials;
+    auto [s, c] = rt::InProcTransport::make_pair();
+    fx.server->serve(std::move(s));
+    return std::unique_ptr<rt::ByteStream>(std::move(c));
+  };
+  auto [s0, c0] = rt::InProcTransport::make_pair();
+  fx.server->serve(std::move(s0));
+  auto cut = std::make_unique<FaultyStream>(std::move(c0), 1);  // dies on first frame
+  rt::Client client(std::move(cut), {}, std::move(counting));
+  EXPECT_FALSE(client.shutdown().is_ok());
+  EXPECT_EQ(dials, 0) << "a failed polite shutdown must not redial";
+}
+
+}  // namespace
+}  // namespace iofwd::fault

@@ -4,6 +4,7 @@
 
 #include "core/rng.hpp"
 #include "core/units.hpp"
+#include "fault/decorators.hpp"
 #include "rt/server.hpp"
 
 namespace iofwd::rt {
@@ -11,14 +12,16 @@ namespace {
 
 struct Harness {
   MemBackend* mem = nullptr;
+  std::shared_ptr<fault::FaultPlan> plan = std::make_shared<fault::FaultPlan>();
   std::unique_ptr<IonServer> server;
   std::unique_ptr<AsyncClient> client;
 
   explicit Harness(ExecModel exec, int window = 16) {
     ServerConfig cfg;
     cfg.exec = exec;
-    auto backend = std::make_unique<MemBackend>();
-    mem = backend.get();
+    auto inner = std::make_unique<MemBackend>();
+    mem = inner.get();
+    auto backend = std::make_unique<fault::FaultyBackend>(std::move(inner), plan);
     server = std::make_unique<IonServer>(std::move(backend), cfg);
     auto [a, b] = InProcTransport::make_pair();
     server->serve(std::move(a));
@@ -84,13 +87,12 @@ TEST_P(AsyncClientModels, WindowLimitsOutstanding) {
 INSTANTIATE_TEST_SUITE_P(Models, AsyncClientModels,
                          ::testing::Values(ExecModel::thread_per_client, ExecModel::work_queue,
                                            ExecModel::work_queue_async),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(AsyncClient2, DeferredErrorSurfacesOnFsyncFuture) {
   Harness h(ExecModel::work_queue_async);
   ASSERT_TRUE(h.client->open(1, "e").get().is_ok());
-  h.mem->set_write_fault_hook(
-      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "injected"); });
+  h.plan->fail_always(fault::OpKind::write, Errc::io_error);
   const auto data = pattern(4096, 5);
   EXPECT_TRUE(h.client->write(1, 0, data).get().is_ok()) << "staged ack";
   EXPECT_EQ(h.client->fsync(1).get().code(), Errc::io_error);

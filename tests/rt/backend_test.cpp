@@ -5,6 +5,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "fault/decorators.hpp"
+
 namespace iofwd::rt {
 namespace {
 
@@ -101,12 +103,11 @@ TEST(MemBackend, SamePathSharedAcrossFds) {
   EXPECT_EQ(std::memcmp(out.data(), "data", 4), 0);
 }
 
-TEST(MemBackend, WriteFaultHookInjects) {
-  MemBackend be;
+TEST(MemBackend, FaultyBackendInjectsWriteErrors) {
+  auto plan = std::make_shared<fault::FaultPlan>();
+  fault::FaultyBackend be(std::make_unique<MemBackend>(), plan);
   be.open(1, "f");
-  be.set_write_fault_hook([](int, std::uint64_t off, std::uint64_t) {
-    return off == 0 ? Status(Errc::io_error, "boom") : Status::ok();
-  });
+  plan->add({.op = fault::OpKind::write, .nth = 1, .error = Errc::io_error});
   EXPECT_EQ(be.write(1, 0, bytes_of("x")).code(), Errc::io_error);
   EXPECT_TRUE(be.write(1, 8, bytes_of("x")).is_ok());
 }

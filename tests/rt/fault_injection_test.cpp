@@ -9,39 +9,18 @@
 #include "bb/burst_buffer.hpp"
 #include "core/rng.hpp"
 #include "core/units.hpp"
+#include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
 
 namespace iofwd::rt {
 namespace {
 
-// Wraps a stream and kills the connection after `cut_after` bytes written
-// by this end.
-class CuttingStream final : public ByteStream {
- public:
-  CuttingStream(std::unique_ptr<ByteStream> inner, std::size_t cut_after)
-      : inner_(std::move(inner)), budget_(cut_after) {}
-
-  Status read_exact(void* buf, std::size_t n) override { return inner_->read_exact(buf, n); }
-
-  Status write_all(const void* buf, std::size_t n) override {
-    if (n >= budget_) {
-      // Send the prefix, then drop the line.
-      (void)inner_->write_all(buf, budget_);
-      inner_->close();
-      budget_ = 0;
-      return Status(Errc::shutdown, "injected cut");
-    }
-    budget_ -= n;
-    return inner_->write_all(buf, n);
-  }
-
-  void close() override { inner_->close(); }
-
- private:
-  std::unique_ptr<ByteStream> inner_;
-  std::size_t budget_;
-};
+// Kills the connection after a byte budget written by this end (the old
+// test-local CuttingStream, now the shared fault::FaultyStream decorator).
+std::unique_ptr<ByteStream> cutting(std::unique_ptr<ByteStream> inner, std::uint64_t cut_after) {
+  return std::make_unique<fault::FaultyStream>(std::move(inner), cut_after);
+}
 
 std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -60,7 +39,7 @@ TEST_P(FaultModels, CutMidHeaderDoesNotWedgeServer) {
   auto [sa, ca] = InProcTransport::make_pair();
   server.serve(std::move(sa));
   // Client cut after 10 bytes: the server sees a truncated frame header.
-  Client bad(std::make_unique<CuttingStream>(std::move(ca), 10));
+  Client bad(cutting(std::move(ca), 10));
   EXPECT_FALSE(bad.open(1, "x").is_ok());
 
   // A healthy client connected afterwards is fully served.
@@ -83,7 +62,7 @@ TEST_P(FaultModels, CutMidPayloadReleasesStagingBuffer) {
   auto [sa, ca] = InProcTransport::make_pair();
   server.serve(std::move(sa));
   // Header (44 B) goes through; the 256 KiB payload is cut at 50 KiB.
-  Client bad(std::make_unique<CuttingStream>(std::move(ca), FrameHeader::kWireSize + 50 * 1024));
+  Client bad(cutting(std::move(ca), FrameHeader::kWireSize + 50 * 1024));
   (void)bad.open(1, "x");  // open succeeds (small frames)... or dies; both fine
   const auto data = pattern(256_KiB, 2);
   EXPECT_FALSE(bad.write(1, 0, data).is_ok());
@@ -122,14 +101,14 @@ TEST_P(FaultModels, GarbageFrameDropsClientOnly) {
 INSTANTIATE_TEST_SUITE_P(Models, FaultModels,
                          ::testing::Values(ExecModel::thread_per_client, ExecModel::work_queue,
                                            ExecModel::work_queue_async),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(FaultInjection, RepeatedBadClientsDoNotExhaustServer) {
   IonServer server(std::make_unique<MemBackend>(), {});
   for (int i = 0; i < 20; ++i) {
     auto [sa, ca] = InProcTransport::make_pair();
     server.serve(std::move(sa));
-    Client bad(std::make_unique<CuttingStream>(std::move(ca), 5 + static_cast<std::size_t>(i)));
+    Client bad(cutting(std::move(ca), 5 + static_cast<std::uint64_t>(i)));
     (void)bad.open(1, "x");
   }
   auto [sb, cb] = InProcTransport::make_pair();
@@ -150,6 +129,7 @@ TEST(FaultInjection, RepeatedBadClientsDoNotExhaustServer) {
 
 struct BbFaultFixture {
   MemBackend* mem = nullptr;
+  std::shared_ptr<fault::FaultPlan> plan = std::make_shared<fault::FaultPlan>();
   IonServer server;
 
   BbFaultFixture()
@@ -157,7 +137,7 @@ struct BbFaultFixture {
             [this] {
               auto m = std::make_unique<MemBackend>();
               mem = m.get();
-              return m;
+              return std::make_unique<fault::FaultyBackend>(std::move(m), plan);
             }(),
             [] {
               ServerConfig cfg;
@@ -178,8 +158,7 @@ TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
 
   const auto data = pattern(64_KiB, 21);
   ASSERT_TRUE(client.write(1, 0, data).is_ok());  // ack'd: staged in the cache
-  fx.mem->set_write_fault_hook(
-      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "flush fault"); });
+  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
 
   // fsync forces the drain; the flush failure surfaces on this very call.
   Status st = client.fsync(1);
@@ -187,7 +166,7 @@ TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
   EXPECT_EQ(st.code(), Errc::io_error);
 
   // Exactly once: with the fault cleared the descriptor is healthy again.
-  fx.mem->set_write_fault_hook(nullptr);
+  fx.plan->clear();
   EXPECT_TRUE(client.fsync(1).is_ok());
 
   // The failed extent's lease was dropped, not leaked: a fresh write of the
@@ -208,12 +187,11 @@ TEST(FaultInjection, BurstBufferFlushErrorAtCloseIsReported) {
   Client client(std::move(ce));
   ASSERT_TRUE(client.open(1, "x").is_ok());
   ASSERT_TRUE(client.write(1, 0, pattern(32_KiB, 22)).is_ok());
-  fx.mem->set_write_fault_hook(
-      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "flush fault"); });
+  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
 
   // close() drains; the flush failure must not vanish silently.
   EXPECT_FALSE(client.close(1).is_ok());
-  fx.mem->set_write_fault_hook(nullptr);
+  fx.plan->clear();
   EXPECT_EQ(fx.server.burst_buffer()->stats().cached_bytes, 0u)
       << "close must release every lease even when the drain fails";
 

@@ -7,6 +7,7 @@
 
 #include "core/rng.hpp"
 #include "core/units.hpp"
+#include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
 
@@ -14,14 +15,16 @@ namespace iofwd::rt {
 namespace {
 
 struct Harness {
-  MemBackend* mem = nullptr;  // owned by server
+  MemBackend* mem = nullptr;  // owned by server (inside the fault decorator)
+  std::shared_ptr<fault::FaultPlan> plan = std::make_shared<fault::FaultPlan>();
   std::unique_ptr<IonServer> server;
   std::unique_ptr<Client> client;
 
   explicit Harness(ExecModel exec, ServerConfig cfg = {}) {
     cfg.exec = exec;
-    auto backend = std::make_unique<MemBackend>();
-    mem = backend.get();
+    auto inner = std::make_unique<MemBackend>();
+    mem = inner.get();
+    auto backend = std::make_unique<fault::FaultyBackend>(std::move(inner), plan);
     server = std::make_unique<IonServer>(std::move(backend), cfg);
     auto [a, b] = InProcTransport::make_pair();
     server->serve(std::move(a));
@@ -154,7 +157,7 @@ TEST_P(AllModels, ShutdownOpcodeDisconnects) {
 INSTANTIATE_TEST_SUITE_P(Models, AllModels,
                          ::testing::Values(ExecModel::thread_per_client, ExecModel::work_queue,
                                            ExecModel::work_queue_async),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& pinfo) { return to_string(pinfo.param); });
 
 // ---------------------------------------------------------------------------
 // Async-staging semantics
@@ -180,10 +183,8 @@ TEST(SyncRt, WriteIsNotStaged) {
 TEST(AsyncRt, DeferredErrorReportedExactlyOnce) {
   Harness h(ExecModel::work_queue_async);
   ASSERT_TRUE(h.client->open(1, "f").is_ok());
-  std::atomic<int> fail_once{1};
-  h.mem->set_write_fault_hook([&](int, std::uint64_t, std::uint64_t) {
-    return fail_once.fetch_sub(1) > 0 ? Status(Errc::io_error, "injected") : Status::ok();
-  });
+  // Transient single-shot fault: the next backend write fails, then clears.
+  h.plan->add({.op = fault::OpKind::write, .nth = 1, .error = Errc::io_error});
   const auto data = pattern(4096, 5);
   ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
   // fsync drains and must report the deferred failure.
@@ -197,8 +198,7 @@ TEST(AsyncRt, DeferredErrorReportedExactlyOnce) {
 TEST(AsyncRt, CloseReportsDeferredError) {
   Harness h(ExecModel::work_queue_async);
   ASSERT_TRUE(h.client->open(1, "f").is_ok());
-  h.mem->set_write_fault_hook(
-      [](int, std::uint64_t, std::uint64_t) { return Status(Errc::io_error, "injected"); });
+  h.plan->fail_always(fault::OpKind::write, Errc::io_error);
   const auto data = pattern(4096, 6);
   ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
   EXPECT_EQ(h.client->close(1).code(), Errc::io_error);
