@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "analysis/report.hpp"
 #include "bgp/config.hpp"
+#include "core/flags.hpp"
 #include "proto/forwarder.hpp"
 #include "wl/stream.hpp"
 
@@ -24,17 +24,16 @@ struct BenchArgs {
   int runs = 1;           // deterministic sim: one run is representative
 
   static BenchArgs parse(int argc, char** argv) {
+    flags::Parser p(argc, argv);
     BenchArgs a;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--quick") == 0) {
-        a.quick = true;
-      } else if (std::strncmp(argv[i], "iters=", 6) == 0) {
-        a.iterations = std::atoi(argv[i] + 6);
-      } else if (std::strncmp(argv[i], "runs=", 5) == 0) {
-        a.runs = std::atoi(argv[i] + 5);
-      } else {
-        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      }
+    a.quick = p.get_flag("quick");
+    a.iterations = p.get_int("iters", a.iterations);
+    a.runs = p.get_int("runs", a.runs);
+    for (const auto& k : p.unknown()) {
+      std::fprintf(stderr, "unknown argument: %s\n", k.c_str());
+    }
+    for (const auto& s : p.positionals()) {
+      std::fprintf(stderr, "unknown argument: %s\n", s.c_str());
     }
     if (a.quick) a.iterations = std::max(20, a.iterations / 10);
     return a;

@@ -6,7 +6,11 @@
 //                  [aggregate_kib=0] [downsample=0] [rle=0]
 //                  [retry=0] [bml_wait_ms=100] [degraded_high=0]
 //                  [degraded_low=0] [bb_stall_ms=100]
+//                  [--trace-out=FILE] [stats_interval_s=0] [flight_ops=256]
 //   $ ./ion_daemon tcp:9090 ...          # listen on TCP port instead
+//
+// Every knob also accepts GNU style (--workers=4) and an IOFWD_<KEY>
+// environment fallback (core/flags.hpp).
 //
 // aggregate_kib=N   coalesce sequential writes into N-KiB backend writes
 // bb_mib=N          burst-buffer staging cache of N MiB (DESIGN.md §9)
@@ -20,16 +24,29 @@
 // degraded_low=N    queue depth that switches back (hysteresis)
 // bb_stall_ms=N     burst-buffer stall bound before write-through (0=block)
 //
+// Observability knobs (DESIGN.md §11):
+// --trace-out=FILE  write a Chrome-trace (Perfetto) JSON of every op on
+//                   shutdown: per-op spans on worker-lane tids plus
+//                   queue-depth and BML-in-use counter tracks
+// stats_interval_s=N  print a one-line metric summary every N seconds
+// flight_ops=N      completed-op flight-recorder ring size (0 = off)
+// SIGUSR1           dump the full metrics table + the flight-recorder ring
+//                   to stdout without stopping the daemon
+//
 // Any process may then connect with rt::SocketTransport::connect_unix and
 // drive it through rt::Client (see examples/quickstart.cpp for the calls).
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <thread>
 
 #include "analysis/report.hpp"
+#include "core/flags.hpp"
 #include "fault/retry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/aggregator.hpp"
 #include "rt/server.hpp"
 
@@ -38,38 +55,47 @@ using namespace iofwd;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 void on_signal(int) { g_stop = 1; }
+void on_dump(int) { g_dump = 1; }
 
-std::string arg(int argc, char** argv, const char* key, const std::string& dflt) {
-  const std::size_t klen = std::strlen(key);
-  for (int i = 2; i < argc; ++i) {
-    if (std::strncmp(argv[i], key, klen) == 0 && argv[i][klen] == '=') {
-      return argv[i] + klen + 1;
-    }
+void dump_observability(const rt::IonServer& server) {
+  std::fputs(analysis::metrics_table(server.metrics(), "ion_daemon metrics").render().c_str(),
+             stdout);
+  if (const obs::FlightRecorder* fr = server.flight_recorder()) {
+    std::fputs(fr->dump().c_str(), stdout);
   }
-  return dflt;
+  std::fflush(stdout);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  flags::Parser args(argc, argv);
+  if (args.positionals().empty()) {
     std::fprintf(stderr,
                  "usage: %s <socket-path> [exec=async|queue|thread] [workers=N] "
-                 "[root=DIR] [bml_mib=N] [bb_mib=N]\n",
+                 "[root=DIR] [bml_mib=N] [bb_mib=N] [--trace-out=FILE] "
+                 "[stats_interval_s=N] [flight_ops=N]\n",
                  argv[0]);
     return 2;
   }
-  const std::string sock_path = argv[1];
-  const std::string exec = arg(argc, argv, "exec", "async");
-  const std::string root = arg(argc, argv, "root", "/tmp/iofwd_data");
+  const std::string sock_path = args.positional(0);
+  const std::string exec = args.get("exec", "async");
+  const std::string root = args.get("root", "/tmp/iofwd_data");
+  const std::string trace_out = args.get("trace_out", "");
+  const int stats_interval_s = args.get_int("stats_interval_s", 0);
+
+  // One registry for every layer: the server, its burst buffer, and the
+  // retry decorator all record under their own prefix, so a single snapshot
+  // (SIGUSR1, ticker, shutdown) covers the whole daemon.
+  obs::MetricRegistry registry;
+  obs::RuntimeTracer tracer;
 
   rt::ServerConfig cfg;
-  cfg.workers = std::atoi(arg(argc, argv, "workers", "4").c_str());
-  cfg.bml_bytes = static_cast<std::uint64_t>(std::atoi(arg(argc, argv, "bml_mib", "256").c_str()))
-                  << 20;
-  cfg.bb_bytes = static_cast<std::uint64_t>(std::atoi(arg(argc, argv, "bb_mib", "0").c_str()))
-                 << 20;
+  cfg.workers = args.get_int("workers", 4);
+  cfg.bml_bytes = args.get_u64("bml_mib", 256) << 20;
+  cfg.bb_bytes = args.get_u64("bb_mib", 0) << 20;
   if (exec == "thread") {
     cfg.exec = rt::ExecModel::thread_per_client;
   } else if (exec == "queue") {
@@ -77,14 +103,13 @@ int main(int argc, char** argv) {
   } else {
     cfg.exec = rt::ExecModel::work_queue_async;
   }
-  cfg.bml_wait_ms =
-      static_cast<std::uint32_t>(std::atoi(arg(argc, argv, "bml_wait_ms", "100").c_str()));
-  cfg.bb_max_stall_ms =
-      static_cast<std::uint32_t>(std::atoi(arg(argc, argv, "bb_stall_ms", "100").c_str()));
-  cfg.degraded_high_watermark =
-      static_cast<std::size_t>(std::atoi(arg(argc, argv, "degraded_high", "0").c_str()));
-  cfg.degraded_low_watermark =
-      static_cast<std::size_t>(std::atoi(arg(argc, argv, "degraded_low", "0").c_str()));
+  cfg.bml_wait_ms = static_cast<std::uint32_t>(args.get_int("bml_wait_ms", 100));
+  cfg.bb_max_stall_ms = static_cast<std::uint32_t>(args.get_int("bb_stall_ms", 100));
+  cfg.degraded_high_watermark = args.get_u64("degraded_high", 0);
+  cfg.degraded_low_watermark = args.get_u64("degraded_low", 0);
+  cfg.registry = &registry;
+  cfg.flight_recorder_ops = static_cast<std::size_t>(args.get_int("flight_ops", 256));
+  if (!trace_out.empty()) cfg.tracer = &tracer;
 
   std::unique_ptr<rt::Listener> listener;
   if (sock_path.rfind("tcp:", 0) == 0) {
@@ -108,40 +133,71 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<rt::IoBackend> backend = std::make_unique<rt::FileBackend>(root);
-  const int agg_kib = std::atoi(arg(argc, argv, "aggregate_kib", "0").c_str());
+  const int agg_kib = args.get_int("aggregate_kib", 0);
   if (agg_kib > 0) {
     backend = std::make_unique<rt::AggregatingBackend>(std::move(backend),
                                                        static_cast<std::uint64_t>(agg_kib) << 10);
   }
-  const int retry = std::atoi(arg(argc, argv, "retry", "0").c_str());
-  fault::RetryingBackend* retrier = nullptr;  // stats pointer; server owns it
+  const int retry = args.get_int("retry", 0);
   if (retry > 0) {
     fault::RetryPolicy policy;
     policy.max_attempts = retry;
-    auto wrapped = std::make_unique<fault::RetryingBackend>(std::move(backend), policy);
-    retrier = wrapped.get();
-    backend = std::move(wrapped);
+    policy.registry = &registry;  // "retry.*" lands in the shared snapshot
+    backend = std::make_unique<fault::RetryingBackend>(std::move(backend), policy);
   }
-  rt::IonServer server(std::move(backend), cfg);
 
   rt::FilterChain filters;
-  const int stride = std::atoi(arg(argc, argv, "downsample", "0").c_str());
+  const int stride = args.get_int("downsample", 0);
   if (stride > 1) filters.add(std::make_shared<rt::DownsampleFilter>(stride));
-  if (arg(argc, argv, "rle", "0") == "1") filters.add(std::make_shared<rt::ZeroRleFilter>());
+  if (args.get_flag("rle")) filters.add(std::make_shared<rt::ZeroRleFilter>());
+
+  for (const auto& k : args.unknown()) {
+    std::fprintf(stderr, "warning: unknown knob '%s' ignored\n", k.c_str());
+  }
+
+  rt::IonServer server(std::move(backend), cfg);
   if (!filters.empty()) server.set_filter_chain(std::move(filters));
 
   // Install the handlers before serving starts so a signal racing startup
   // still lands on a clean shutdown path instead of the default handler.
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+  std::signal(SIGUSR1, on_dump);
 
   server.serve_listener(std::move(listener));
-  std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s, bb=%llu MiB)\n",
+  std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s, bb=%llu MiB%s)\n",
               sock_path.c_str(), rt::to_string(cfg.exec), cfg.workers, root.c_str(),
-              static_cast<unsigned long long>(cfg.bb_bytes >> 20));
+              static_cast<unsigned long long>(cfg.bb_bytes >> 20),
+              trace_out.empty() ? "" : ", tracing");
 
+  // Main loop: poll the signal flags (a flight-recorder dump must run on
+  // this thread, not in the handler) and run the periodic stats ticker.
+  auto last_tick = std::chrono::steady_clock::now();
+  std::uint64_t last_ops = 0;
+  std::uint64_t last_bytes = 0;
   while (g_stop == 0) {
-    ::pause();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_dump != 0) {
+      g_dump = 0;
+      dump_observability(server);
+    }
+    if (stats_interval_s > 0 &&
+        std::chrono::steady_clock::now() - last_tick >= std::chrono::seconds(stats_interval_s)) {
+      last_tick = std::chrono::steady_clock::now();
+      const auto snap = server.metrics();
+      const std::uint64_t ops = snap.counter("server.ops");
+      const std::uint64_t bytes = snap.counter("server.bytes_in");
+      std::printf("[stats] ops=%llu (+%llu) in=%.1f MiB (+%.1f) queue=%lld bml=%.1f MiB\n",
+                  static_cast<unsigned long long>(ops),
+                  static_cast<unsigned long long>(ops - last_ops),
+                  static_cast<double>(bytes) / (1 << 20),
+                  static_cast<double>(bytes - last_bytes) / (1 << 20),
+                  static_cast<long long>(snap.gauge("server.queue_depth")),
+                  static_cast<double>(snap.gauge("server.bml_in_use")) / (1 << 20));
+      std::fflush(stdout);
+      last_ops = ops;
+      last_bytes = bytes;
+    }
   }
 
   // Drain first: stop() quiesces workers and flushes the burst buffer, so
@@ -160,22 +216,14 @@ int main(int argc, char** argv) {
                 100.0 * s.bb_hit_rate, s.bb_coalesce_ratio,
                 static_cast<double>(s.bb_flushed_bytes) / (1 << 20));
   }
+  dump_observability(server);
 
-  analysis::ResilienceDiag rd;
-  if (retrier != nullptr) {
-    const auto rs = retrier->stats();
-    rd.retry_attempts = rs.attempts;
-    rd.retries = rs.retries;
-    rd.retry_giveups = rs.giveups;
-    rd.backoff_ns = rs.backoff_ns;
+  if (!trace_out.empty()) {
+    if (Status st = tracer.write_json(trace_out); !st.is_ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.to_string().c_str());
+    } else {
+      std::printf("[trace] %s (%zu events)\n", trace_out.c_str(), tracer.event_count());
+    }
   }
-  rd.deadline_expired = s.deadline_expired;
-  rd.bml_timeouts = s.bml_timeouts;
-  rd.degraded_passthrough = s.degraded_passthrough_ops;
-  rd.degraded_sync_writes = s.degraded_sync_writes;
-  rd.degraded_enters = s.degraded_enters;
-  rd.degraded_ns = s.degraded_ns;
-  rd.bb_degraded_writes = s.bb_degraded_writes;
-  std::fputs(analysis::resilience_table(rd).render().c_str(), stdout);
   return 0;
 }

@@ -184,6 +184,30 @@ DiagTable resilience_table(const ResilienceDiag& d) {
   return t;
 }
 
+DiagTable metrics_table(const obs::Snapshot& snap, const std::string& title) {
+  DiagTable t(title);
+  // std::map iteration gives name-sorted rows, which groups the dotted
+  // namespaces ("bb.*", "client.*", "server.*") naturally.
+  for (const auto& [name, v] : snap.counters) {
+    t.add(name, static_cast<double>(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    t.add(name, static_cast<double>(v), "gauge");
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    t.add(name,
+          "n=" + std::to_string(h.count) + " mean=" + Table::num(h.mean(), 1) +
+              " p50=" + Table::num(h.p50, 1) + " p95=" + Table::num(h.p95, 1) +
+              " p99=" + Table::num(h.p99, 1) + " max=" + std::to_string(h.max),
+          "histogram");
+  }
+  return t;
+}
+
+DiagTable metrics_table(const obs::MetricRegistry& reg, const std::string& title) {
+  return metrics_table(reg.snapshot(), title);
+}
+
 std::string emit(const FigureReport& report) {
   std::string rendered = report.render();
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/status.hpp"
+#include "obs/metrics.hpp"
 
 namespace iofwd::analysis {
 
@@ -123,5 +124,15 @@ struct ResilienceDiag {
 // Render the standard resilience diagnostics table ("how faults were
 // absorbed"): retries, giveups, deadline bounces, degradation, reconnects.
 DiagTable resilience_table(const ResilienceDiag& d);
+
+// Generic dump of one obs metric snapshot: every counter and gauge as a row
+// (sorted by name — one row per metric), every histogram as a
+// count/mean/p50/p95/p99/max summary row. Replaces the per-subsystem table
+// builders for ad-hoc "show me everything" dumps (ion_daemon SIGUSR1,
+// bench footers); the curated tables above remain for figure-style output.
+DiagTable metrics_table(const obs::Snapshot& snap, const std::string& title = "metrics");
+
+// Convenience: snapshot the registry, then render.
+DiagTable metrics_table(const obs::MetricRegistry& reg, const std::string& title = "metrics");
 
 }  // namespace iofwd::analysis

@@ -20,7 +20,27 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
                                        BurstBufferConfig cfg)
     : inner_(std::move(inner)),
       cfg_(cfg),
-      pool_(cfg.capacity_bytes, cfg.min_class_bytes, cfg.policy) {
+      pool_(cfg.capacity_bytes, cfg.min_class_bytes, cfg.policy),
+      owned_registry_(cfg.registry != nullptr ? nullptr
+                                              : std::make_unique<obs::MetricRegistry>()),
+      reg_(cfg.registry != nullptr ? cfg.registry : owned_registry_.get()),
+      c_writes_in_(reg_->counter("bb.writes_in")),
+      c_writes_absorbed_(reg_->counter("bb.writes_absorbed")),
+      c_backend_writes_(reg_->counter("bb.backend_writes")),
+      c_bytes_in_(reg_->counter("bb.bytes_in")),
+      c_flushed_bytes_(reg_->counter("bb.flushed_bytes")),
+      c_write_through_bytes_(reg_->counter("bb.write_through_bytes")),
+      c_read_bytes_(reg_->counter("bb.read_bytes")),
+      c_read_hit_bytes_(reg_->counter("bb.read_hit_bytes")),
+      c_evictions_(reg_->counter("bb.evictions")),
+      c_stall_ns_(reg_->counter("bb.stall_ns")),
+      c_stalls_(reg_->counter("bb.stalls")),
+      c_degraded_writes_(reg_->counter("bb.degraded_writes")),
+      c_deferred_errors_(reg_->counter("bb.deferred_errors")),
+      c_drains_(reg_->counter("bb.drains")),
+      g_cached_bytes_(reg_->gauge("bb.cached_bytes")),
+      g_cached_high_watermark_(reg_->gauge("bb.cached_high_watermark")),
+      g_dirty_bytes_(reg_->gauge("bb.dirty_bytes")) {
   assert(inner_ && "BurstBufferBackend needs an inner backend");
   if (cfg_.write_through_bytes == 0) {
     cfg_.write_through_bytes = std::max<std::uint64_t>(cfg_.capacity_bytes / 4, 1);
@@ -100,10 +120,9 @@ Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
       auto r = d->index.insert(offset, data, pool_);
       if (r.is_ok()) {
         dirty_total_ += d->index.dirty_bytes() - d0;
-        std::scoped_lock slk(stats_mu_);
-        ++stats_.writes_in;
-        stats_.bytes_in += data.size();
-        if (r.value() != ExtentIndex::Insert::fresh) ++stats_.writes_absorbed;
+        c_writes_in_.inc();
+        c_bytes_in_.add(data.size());
+        if (r.value() != ExtentIndex::Insert::fresh) c_writes_absorbed_.inc();
         break;
       }
       if (r.code() == Errc::message_too_large) {
@@ -124,12 +143,9 @@ Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
                now_ns() - stall_start > std::uint64_t(cfg_.max_stall_ms) * 1'000'000ull) {
       // Bounded stall: degrade to a synchronous write-through rather than
       // blocking this writer indefinitely on cache space.
-      {
-        std::scoped_lock slk(stats_mu_);
-        ++stats_.stalls;
-        ++stats_.degraded_writes;
-        stats_.stall_ns += now_ns() - stall_start;
-      }
+      c_stalls_.inc();
+      c_degraded_writes_.inc();
+      c_stall_ns_.add(now_ns() - stall_start);
       return write_through(fd, d, offset, data);
     }
     {
@@ -148,9 +164,8 @@ Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
     }
   }
   if (stalled) {
-    std::scoped_lock slk(stats_mu_);
-    ++stats_.stalls;
-    stats_.stall_ns += now_ns() - stall_start;
+    c_stalls_.inc();
+    c_stall_ns_.add(now_ns() - stall_start);
   }
   if (over_high()) {
     std::scoped_lock lk(flush_mu_);
@@ -180,19 +195,15 @@ Result<std::uint64_t> BurstBufferBackend::write_through(int fd, const std::share
         seq = db_.begin_op(fd);
         if (seq) (void)db_.complete_op(fd, *seq, r.status());
       }
-      std::scoped_lock slk(stats_mu_);
-      ++stats_.deferred_errors;
+      c_deferred_errors_.inc();
     }
   }
   auto r = inner_->write(fd, offset, data);
-  {
-    std::scoped_lock slk(stats_mu_);
-    ++stats_.writes_in;
-    stats_.bytes_in += data.size();
-    stats_.backend_writes += extra_writes + 1;
-    stats_.write_through_bytes += data.size();
-    if (!taken.empty()) stats_.flushed_bytes += d0 - d->index.dirty_bytes();
-  }
+  c_writes_in_.inc();
+  c_bytes_in_.add(data.size());
+  c_backend_writes_.add(extra_writes + 1);
+  c_write_through_bytes_.add(data.size());
+  if (!taken.empty()) c_flushed_bytes_.add(d0 - d->index.dirty_bytes());
   return r;
 }
 
@@ -230,11 +241,8 @@ Result<std::uint64_t> BurstBufferBackend::read(int fd, std::uint64_t offset,
     }
     produced = seg.offset + seg.len - offset;
   }
-  {
-    std::scoped_lock slk(stats_mu_);
-    stats_.read_bytes += produced;
-    stats_.read_hit_bytes += hit;
-  }
+  c_read_bytes_.add(produced);
+  c_read_hit_bytes_.add(hit);
   return produced;
 }
 
@@ -305,14 +313,11 @@ void BurstBufferBackend::flush_extent(int fd, Desc& d, Extent& e) {
     if (seq) (void)db_.complete_op(fd, *seq, st);
   }
   dirty_total_ -= e.len;
-  {
-    std::scoped_lock slk(stats_mu_);
-    ++stats_.backend_writes;
-    if (st.is_ok()) {
-      stats_.flushed_bytes += e.len;
-    } else {
-      ++stats_.deferred_errors;
-    }
+  c_backend_writes_.inc();
+  if (st.is_ok()) {
+    c_flushed_bytes_.add(e.len);
+  } else {
+    c_deferred_errors_.inc();
   }
   if (st.is_ok()) {
     d.index.mark_clean(e);
@@ -328,8 +333,7 @@ void BurstBufferBackend::drain_locked(int fd, Desc& d) {
   while (Extent* e = d.index.largest_dirty()) {
     flush_extent(fd, d, *e);
   }
-  std::scoped_lock slk(stats_mu_);
-  ++stats_.drains;
+  c_drains_.inc();
 }
 
 void BurstBufferBackend::drain(int fd) {
@@ -396,8 +400,7 @@ bool BurstBufferBackend::flush_one_step() {
     std::scoped_lock lk(best->mu);
     if (Extent* e = best->index.largest_clean()) {
       best->index.evict(e->start);
-      std::scoped_lock slk(stats_mu_);
-      ++stats_.evictions;
+      c_evictions_.inc();
       return true;
     }
   }
@@ -433,14 +436,30 @@ void BurstBufferBackend::flusher_loop() {
 
 BurstBufferStats BurstBufferBackend::stats() const {
   BurstBufferStats s;
-  {
-    std::scoped_lock lk(stats_mu_);
-    s = stats_;
-  }
+  s.writes_in = c_writes_in_.value();
+  s.writes_absorbed = c_writes_absorbed_.value();
+  s.backend_writes = c_backend_writes_.value();
+  s.bytes_in = c_bytes_in_.value();
+  s.flushed_bytes = c_flushed_bytes_.value();
+  s.write_through_bytes = c_write_through_bytes_.value();
+  s.read_bytes = c_read_bytes_.value();
+  s.read_hit_bytes = c_read_hit_bytes_.value();
+  s.evictions = c_evictions_.value();
+  s.stall_ns = c_stall_ns_.value();
+  s.stalls = c_stalls_.value();
+  s.degraded_writes = c_degraded_writes_.value();
+  s.deferred_errors = c_deferred_errors_.value();
+  s.drains = c_drains_.value();
   s.cached_bytes = pool_.in_use();
   s.cached_high_watermark = pool_.high_watermark();
   s.dirty_bytes = dirty_total_.load();
   return s;
+}
+
+void BurstBufferBackend::refresh_gauges() const {
+  g_cached_bytes_.set(static_cast<std::int64_t>(pool_.in_use()));
+  g_cached_high_watermark_.set(static_cast<std::int64_t>(pool_.high_watermark()));
+  g_dirty_bytes_.set(static_cast<std::int64_t>(dirty_total_.load()));
 }
 
 }  // namespace iofwd::bb

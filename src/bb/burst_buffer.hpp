@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bb/extent_index.hpp"
+#include "obs/metrics.hpp"
 #include "proto/descriptor_db.hpp"
 #include "rt/backend.hpp"
 #include "rt/bml.hpp"
@@ -52,8 +53,15 @@ struct BurstBufferConfig {
   // this falls back to a synchronous write-through instead of waiting
   // indefinitely (0 = unbounded stall, the pre-resilience behavior).
   std::uint32_t max_stall_ms = 100;
+  // Shared metric registry for the "bb.*" namespace (null = the backend owns
+  // a private one). IonServer passes its own so the server and its cache
+  // share one snapshot. See DESIGN.md §11.
+  obs::MetricRegistry* registry = nullptr;
 };
 
+// Snapshot view over the registry's "bb.*" counters plus instantaneous pool
+// state, assembled by stats(). Deprecated as an API surface; retained so
+// existing tests and benches read fields unchanged.
 struct BurstBufferStats {
   std::uint64_t writes_in = 0;         // write() calls accepted into the cache
   std::uint64_t writes_absorbed = 0;   // coalesced into an existing extent
@@ -106,6 +114,12 @@ class BurstBufferBackend final : public rt::IoBackend {
   [[nodiscard]] BurstBufferStats stats() const;
   [[nodiscard]] const BurstBufferConfig& config() const { return cfg_; }
   [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
+  // The registry backing stats() — owned unless BurstBufferConfig::registry
+  // was set.
+  [[nodiscard]] obs::MetricRegistry& registry() const { return *reg_; }
+  // Mirror instantaneous pool/dirty state into the "bb.*" gauges so a
+  // registry snapshot is self-contained (IonServer::metrics() calls this).
+  void refresh_gauges() const;
 
  private:
   struct Desc {
@@ -148,8 +162,28 @@ class BurstBufferBackend final : public rt::IoBackend {
   std::atomic<std::uint64_t> dirty_total_{0};
   std::vector<std::jthread> flushers_;
 
-  mutable std::mutex stats_mu_;
-  BurstBufferStats stats_;
+  // Registry-backed counters ("bb.*"); replaces the old mutex-guarded
+  // BurstBufferStats member.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* reg_;  // never null
+  obs::Counter& c_writes_in_;
+  obs::Counter& c_writes_absorbed_;
+  obs::Counter& c_backend_writes_;
+  obs::Counter& c_bytes_in_;
+  obs::Counter& c_flushed_bytes_;
+  obs::Counter& c_write_through_bytes_;
+  obs::Counter& c_read_bytes_;
+  obs::Counter& c_read_hit_bytes_;
+  obs::Counter& c_evictions_;
+  obs::Counter& c_stall_ns_;
+  obs::Counter& c_stalls_;
+  obs::Counter& c_degraded_writes_;
+  obs::Counter& c_deferred_errors_;
+  obs::Counter& c_drains_;
+  // Instantaneous cache state, refreshed by refresh_gauges().
+  obs::Gauge& g_cached_bytes_;
+  obs::Gauge& g_cached_high_watermark_;
+  obs::Gauge& g_dirty_bytes_;
 };
 
 }  // namespace iofwd::bb

@@ -1,0 +1,79 @@
+#include "core/flags.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace iofwd::flags {
+
+std::string Parser::normalize(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) out.push_back(c == '-' ? '_' : c);
+  return out;
+}
+
+Parser::Parser(int argc, char** argv, int first) {
+  for (int i = first; i < argc; ++i) {
+    std::string tok = argv[i];
+    const bool dashed = tok.rfind("--", 0) == 0;
+    if (dashed) tok.erase(0, 2);
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) {
+      kv_[normalize(tok.substr(0, eq))] = tok.substr(eq + 1);
+    } else if (dashed) {
+      kv_[normalize(tok)] = "1";  // bare boolean flag
+    } else {
+      positionals_.push_back(std::move(tok));
+    }
+  }
+}
+
+const std::string* Parser::lookup(const std::string& key) const {
+  const std::string k = normalize(key);
+  queried_.insert(k);
+  if (auto it = kv_.find(k); it != kv_.end()) return &it->second;
+  if (auto it = env_cache_.find(k); it != env_cache_.end()) return &it->second;
+  std::string env_name = "IOFWD_";
+  for (char c : k) env_name.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  if (const char* v = std::getenv(env_name.c_str())) {
+    return &env_cache_.emplace(k, v).first->second;
+  }
+  return nullptr;
+}
+
+std::string Parser::get(const std::string& key, const std::string& dflt) const {
+  const std::string* v = lookup(key);
+  return v != nullptr ? *v : dflt;
+}
+
+int Parser::get_int(const std::string& key, int dflt) const {
+  const std::string* v = lookup(key);
+  return v != nullptr ? std::atoi(v->c_str()) : dflt;
+}
+
+std::uint64_t Parser::get_u64(const std::string& key, std::uint64_t dflt) const {
+  const std::string* v = lookup(key);
+  return v != nullptr ? std::strtoull(v->c_str(), nullptr, 10) : dflt;
+}
+
+double Parser::get_double(const std::string& key, double dflt) const {
+  const std::string* v = lookup(key);
+  return v != nullptr ? std::atof(v->c_str()) : dflt;
+}
+
+bool Parser::get_flag(const std::string& key) const {
+  const std::string* v = lookup(key);
+  return v != nullptr && *v != "0" && *v != "false" && !v->empty();
+}
+
+bool Parser::has(const std::string& key) const { return lookup(key) != nullptr; }
+
+std::vector<std::string> Parser::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : kv_) {
+    if (queried_.find(k) == queried_.end()) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace iofwd::flags

@@ -48,6 +48,14 @@ class RingBuffer {
     return buf_[head_];
   }
 
+  // Element i positions past the oldest (at(0) == front()). Precondition:
+  // i < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < count_);
+    const std::size_t idx = head_ + i;
+    return buf_[idx >= buf_.size() ? idx - buf_.size() : idx];
+  }
+
   void clear() {
     head_ = tail_ = 0;
     count_ = 0;

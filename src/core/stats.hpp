@@ -48,9 +48,11 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Exact percentile over a stored sample (nearest-rank). The paper reports
-// "maximum of five runs" everywhere; percentiles are used by the extra
-// ablation benches.
+// Exact percentile over a stored sample, linearly interpolated between the
+// two nearest order statistics (the rank is p/100 * (n-1); a 1-element
+// sample returns that element for every p, a 2-element sample interpolates
+// between the two). The paper reports "maximum of five runs" everywhere;
+// percentiles are used by the extra ablation benches.
 class Sample {
  public:
   void add(double x) { xs_.push_back(x); sorted_ = false; }

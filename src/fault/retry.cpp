@@ -29,7 +29,16 @@ bool is_transient(Errc e) {
 }
 
 RetryingBackend::RetryingBackend(std::unique_ptr<rt::IoBackend> inner, RetryPolicy policy)
-    : inner_(std::move(inner)), policy_(policy), rng_(policy.seed) {
+    : inner_(std::move(inner)),
+      policy_(policy),
+      rng_(policy.seed),
+      owned_registry_(policy.registry != nullptr ? nullptr
+                                                 : std::make_unique<obs::MetricRegistry>()),
+      reg_(policy.registry != nullptr ? policy.registry : owned_registry_.get()),
+      c_attempts_(reg_->counter("retry.attempts")),
+      c_retries_(reg_->counter("retry.retries")),
+      c_giveups_(reg_->counter("retry.giveups")),
+      c_backoff_ns_(reg_->counter("retry.backoff_ns")) {
   assert(inner_ && "RetryingBackend needs an inner backend");
   policy_.max_attempts = std::max(1, policy_.max_attempts);
   policy_.jitter = std::clamp(policy_.jitter, 0.0, 1.0);
@@ -52,19 +61,18 @@ std::chrono::nanoseconds RetryingBackend::backoff_for(int attempt) {
 template <typename Op>
 auto RetryingBackend::with_retries(Op&& op) -> decltype(op()) {
   for (int attempt = 1;; ++attempt) {
-    attempts_.fetch_add(1, std::memory_order_relaxed);
+    c_attempts_.inc();
     auto r = op();
     const Errc code = r.is_ok() ? Errc::ok : r.status().code();
     if (code == Errc::ok || !is_transient(code)) return r;
     if (attempt >= policy_.max_attempts) {
-      giveups_.fetch_add(1, std::memory_order_relaxed);
+      c_giveups_.inc();
       return r;
     }
     const auto delay = backoff_for(attempt);
     std::this_thread::sleep_for(delay);
-    backoff_ns_.fetch_add(static_cast<std::uint64_t>(delay.count()),
-                          std::memory_order_relaxed);
-    retries_.fetch_add(1, std::memory_order_relaxed);
+    c_backoff_ns_.add(static_cast<std::uint64_t>(delay.count()));
+    c_retries_.inc();
   }
 }
 
@@ -105,10 +113,10 @@ Result<std::uint64_t> RetryingBackend::size(int fd) {
 
 RetryStats RetryingBackend::stats() const {
   RetryStats s;
-  s.attempts = attempts_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.giveups = giveups_.load(std::memory_order_relaxed);
-  s.backoff_ns = backoff_ns_.load(std::memory_order_relaxed);
+  s.attempts = c_attempts_.value();
+  s.retries = c_retries_.value();
+  s.giveups = c_giveups_.value();
+  s.backoff_ns = c_backoff_ns_.value();
   return s;
 }
 

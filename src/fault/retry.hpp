@@ -10,13 +10,13 @@
 // Permanent errors (bad descriptor, invalid argument) surface immediately.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 #include "rt/backend.hpp"
 
 namespace iofwd::fault {
@@ -31,8 +31,14 @@ struct RetryPolicy {
   std::chrono::microseconds max_backoff{20'000};
   double jitter = 0.5;        // backoff scaled by uniform [1-jitter, 1+jitter]
   std::uint64_t seed = 0x5eed;  // jitter rng stream
+  // Shared metric registry for the "retry.*" namespace (null = the backend
+  // owns a private one). See DESIGN.md §11.
+  obs::MetricRegistry* registry = nullptr;
 };
 
+// Snapshot view over the registry's "retry.*" counters, assembled by
+// stats(). Deprecated as an API surface; retained so existing tests and
+// benches read fields unchanged.
 struct RetryStats {
   std::uint64_t attempts = 0;   // operations issued to the inner backend
   std::uint64_t retries = 0;    // re-issues after a transient failure
@@ -55,6 +61,8 @@ class RetryingBackend final : public rt::IoBackend {
   [[nodiscard]] RetryStats stats() const;
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
   [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
+  // The registry backing stats() — owned unless RetryPolicy::registry was set.
+  [[nodiscard]] obs::MetricRegistry& registry() const { return *reg_; }
 
  private:
   // Retry loop shared by every op: calls `op` up to max_attempts times,
@@ -71,10 +79,13 @@ class RetryingBackend final : public rt::IoBackend {
   std::mutex rng_mu_;
   Rng rng_;
 
-  std::atomic<std::uint64_t> attempts_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> giveups_{0};
-  std::atomic<std::uint64_t> backoff_ns_{0};
+  // Registry-backed counters ("retry.*"); replaces the old private atomics.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* reg_;  // never null
+  obs::Counter& c_attempts_;
+  obs::Counter& c_retries_;
+  obs::Counter& c_giveups_;
+  obs::Counter& c_backoff_ns_;
 };
 
 }  // namespace iofwd::fault

@@ -1,0 +1,60 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/status.hpp"
+#include "core/table.hpp"
+
+namespace iofwd::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      epoch_(std::chrono::steady_clock::now()),
+      ring_(capacity_) {}
+
+void FlightRecorder::record(const char* op, int fd, std::uint64_t bytes,
+                            std::uint64_t latency_us, int status) {
+  const auto end_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() -
+                                                            epoch_)
+          .count());
+  std::scoped_lock lk(mu_);
+  if (ring_.full()) (void)ring_.pop();  // overwrite oldest
+  (void)ring_.push(FlightRecord{end_us, op, fd, bytes, latency_us, status});
+  ++recorded_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::scoped_lock lk(mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(ring_.at(i));
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::scoped_lock lk(mu_);
+  return recorded_;
+}
+
+std::string FlightRecorder::dump() const {
+  const auto recs = snapshot();
+  std::uint64_t total = 0;
+  {
+    std::scoped_lock lk(mu_);
+    total = recorded_;
+  }
+  std::string out = "-- flight recorder: last " + std::to_string(recs.size()) + " of " +
+                    std::to_string(total) + " ops --\n";
+  Table t({"t_end_us", "op", "fd", "bytes", "lat_us", "status"});
+  for (const auto& r : recs) {
+    t.add_row({std::to_string(r.end_us), r.op, std::to_string(r.fd), std::to_string(r.bytes),
+               std::to_string(r.latency_us),
+               std::string(errc_name(static_cast<Errc>(r.status)))});
+  }
+  out += t.render();
+  return out;
+}
+
+}  // namespace iofwd::obs

@@ -1,0 +1,57 @@
+// Flight recorder: a ring of the last N completed operations.
+//
+// When a production ION misbehaves, the question is always "what was it
+// doing right before?". The recorder keeps a bounded in-memory ledger of
+// completed ops (kind, fd, size, latency, status) that costs one short
+// mutex hold per op and can be dumped on error, on SIGUSR1 (ion_daemon), or
+// from a debugger — no tracing session required.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/ring_buffer.hpp"
+
+namespace iofwd::obs {
+
+struct FlightRecord {
+  std::uint64_t end_us = 0;  // completion time, µs since recorder creation
+  const char* op = "";       // static string ("write", "read", "fsync", ...)
+  int fd = -1;
+  std::uint64_t bytes = 0;
+  std::uint64_t latency_us = 0;
+  int status = 0;  // Errc as int; 0 = ok
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // `op` must point at storage outliving the recorder (string literals).
+  void record(const char* op, int fd, std::uint64_t bytes, std::uint64_t latency_us,
+              int status);
+
+  // Oldest-to-newest copy of the ring.
+  [[nodiscard]] std::vector<FlightRecord> snapshot() const;
+
+  // Human-readable table of the ring, newest last.
+  [[nodiscard]] std::string dump() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Total ops ever recorded (>= ring occupancy once wrapped).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+ private:
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  RingBuffer<FlightRecord> ring_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace iofwd::obs

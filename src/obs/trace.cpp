@@ -1,0 +1,89 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace iofwd::obs {
+
+void RuntimeTracer::instant(const std::string& name, const std::string& cat, int tid) {
+  const std::uint64_t ts = now_us();
+  std::scoped_lock lk(mu_);
+  events_.push_back(Event{'i', name, cat, tid, ts, 0, 0});
+}
+
+void RuntimeTracer::counter(const std::string& name, double value) {
+  const std::uint64_t ts = now_us();
+  std::scoped_lock lk(mu_);
+  events_.push_back(Event{'C', name, "counter", 0, ts, 0, value});
+}
+
+void RuntimeTracer::complete(const std::string& name, const std::string& cat, int tid,
+                             std::uint64_t start_us, std::uint64_t end_us) {
+  std::scoped_lock lk(mu_);
+  events_.push_back(
+      Event{'X', name, cat, tid, start_us, end_us >= start_us ? end_us - start_us : 0, 0});
+}
+
+void RuntimeTracer::set_thread_name(int tid, const std::string& name) {
+  std::scoped_lock lk(mu_);
+  thread_names_[tid] = name;
+}
+
+std::size_t RuntimeTracer::event_count() const {
+  std::scoped_lock lk(mu_);
+  return events_.size();
+}
+
+namespace {
+void escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+}  // namespace
+
+std::string RuntimeTracer::to_json() const {
+  std::scoped_lock lk(mu_);
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  // Lane labels first: thread_name metadata events tell the viewer what each
+  // tid is (worker lanes, the inline/receiver lane).
+  for (const auto& [tid, name] : thread_names_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":"M","name":"thread_name","pid":1,"tid":)" << tid << R"(,"args":{"name":")";
+    escape(os, name);
+    os << R"("}})";
+  }
+  for (const auto& e : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << R"({"ph":")" << e.phase << R"(","name":")";
+    escape(os, e.name);
+    os << R"(","cat":")";
+    escape(os, e.cat);
+    os << R"(","pid":1,"tid":)" << e.tid << R"(,"ts":)" << e.ts_us;
+    if (e.phase == 'X') {
+      os << R"(,"dur":)" << e.dur_us;
+    } else if (e.phase == 'C') {
+      os << R"(,"args":{"value":)" << e.value << "}";
+    } else if (e.phase == 'i') {
+      os << R"(,"s":"t")";
+    }
+    os << "}";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+Status RuntimeTracer::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status(Errc::io_error, "cannot open " + path);
+  const std::string json = to_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return f.good() ? Status::ok() : Status(Errc::io_error, "short write to " + path);
+}
+
+}  // namespace iofwd::obs

@@ -1,0 +1,113 @@
+// Wall-clock Chrome-trace exporter for real runs.
+//
+// The simulator already writes Trace Event Format JSON against simulated
+// time (src/sim/chrome_trace.hpp); RuntimeTracer produces the same format
+// against std::chrono::steady_clock, so Perfetto / chrome://tracing load
+// traces from the real ION daemon exactly like simulated ones: per-op server
+// spans on worker-lane tids, queue-depth and BML-in-use counter tracks.
+//
+//   obs::RuntimeTracer tracer;
+//   tracer.set_thread_name(0, "worker 0");
+//   { auto s = tracer.span("write", "op", /*tid=*/0); ...execute...; }
+//   tracer.counter("queue_depth", depth);
+//   tracer.write_json("trace.json");
+//
+// Thread safety: every recording call takes one mutex; tracing is opt-in
+// (ion_daemon --trace-out) and off the hot path when disabled, so a mutex —
+// not sharding — is the right cost/complexity point here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::obs {
+
+class RuntimeTracer {
+ public:
+  RuntimeTracer() : epoch_(std::chrono::steady_clock::now()) {}
+  RuntimeTracer(const RuntimeTracer&) = delete;
+  RuntimeTracer& operator=(const RuntimeTracer&) = delete;
+
+  // Microseconds since tracer construction (the trace's time origin).
+  [[nodiscard]] std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - epoch_)
+                                          .count());
+  }
+
+  // RAII span: emits a complete ("X") event covering construction to
+  // destruction in wall-clock time.
+  class Span {
+   public:
+    Span(Span&& o) noexcept
+        : tracer_(o.tracer_), name_(std::move(o.name_)), cat_(std::move(o.cat_)),
+          tid_(o.tid_), start_(o.start_) {
+      o.tracer_ = nullptr;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+    ~Span() { finish(); }
+
+    void finish() {
+      if (tracer_ != nullptr) {
+        tracer_->complete(name_, cat_, tid_, start_, tracer_->now_us());
+        tracer_ = nullptr;
+      }
+    }
+
+   private:
+    friend class RuntimeTracer;
+    Span(RuntimeTracer* t, std::string name, std::string cat, int tid)
+        : tracer_(t), name_(std::move(name)), cat_(std::move(cat)), tid_(tid),
+          start_(t->now_us()) {}
+    RuntimeTracer* tracer_;
+    std::string name_;
+    std::string cat_;
+    int tid_;
+    std::uint64_t start_;
+  };
+
+  [[nodiscard]] Span span(std::string name, std::string cat, int tid) {
+    return Span(this, std::move(name), std::move(cat), tid);
+  }
+
+  void instant(const std::string& name, const std::string& cat, int tid);
+  void counter(const std::string& name, double value);
+  void complete(const std::string& name, const std::string& cat, int tid,
+                std::uint64_t start_us, std::uint64_t end_us);
+
+  // Label a tid lane in the trace viewer ("worker 3", "receiver"). Last call
+  // for a tid wins; emitted as thread_name metadata events.
+  void set_thread_name(int tid, const std::string& name);
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  // Serialize to the Trace Event Format (JSON array form).
+  [[nodiscard]] std::string to_json() const;
+  Status write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'i' instant, 'C' counter
+    std::string name;
+    std::string cat;
+    int tid;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;  // X only
+    double value;          // C only
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<int, std::string> thread_names_;
+};
+
+}  // namespace iofwd::obs

@@ -16,6 +16,7 @@
 
 #include "bgp/machine.hpp"
 #include "core/status.hpp"
+#include "obs/metrics.hpp"
 #include "proto/descriptor_db.hpp"
 #include "proto/sched_policy.hpp"
 #include "proto/types.hpp"
@@ -51,6 +52,9 @@ struct ForwarderConfig {
   // Record per-operation spans and queue-depth counters into a Chrome-trace
   // (chrome://tracing / Perfetto) log, retrievable via Forwarder::tracer().
   bool trace_ops = false;
+  // Shared metric registry for the "fwd.*" namespace (null = the forwarder
+  // owns a private one). See DESIGN.md §11.
+  obs::MetricRegistry* registry = nullptr;
 };
 
 class Forwarder {
@@ -78,9 +82,15 @@ class Forwarder {
   // Stop worker processes (no-op for thread-per-CN mechanisms).
   virtual void shutdown() {}
 
-  [[nodiscard]] const ForwarderStats& stats() const { return stats_; }
+  // Snapshot view assembled from the "fwd.*" registry metrics (deprecated
+  // as an API surface, retained for tests/benches; callers binding
+  // `const auto&` keep working via lifetime extension).
+  [[nodiscard]] ForwarderStats stats() const;
   [[nodiscard]] DescriptorDb& descriptors() { return db_; }
   [[nodiscard]] const sim::ChromeTracer* tracer() const { return tracer_.get(); }
+  // The registry backing stats() — owned unless ForwarderConfig::registry
+  // was set.
+  [[nodiscard]] obs::MetricRegistry& registry() const { return *reg_; }
 
  protected:
   // --- shared data-path pieces -------------------------------------------
@@ -123,9 +133,18 @@ class Forwarder {
   bgp::Pset& pset_;
   RunMetrics& metrics_;
   ForwarderConfig cfg_;
-  ForwarderStats stats_;
   DescriptorDb db_;
   std::unique_ptr<sim::ChromeTracer> tracer_;
+
+  // Registry-backed metrics ("fwd.*"); replaces the old stats_ member.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* reg_;  // never null
+  obs::Counter& c_ops_enqueued_;
+  obs::Counter& c_worker_batches_;
+  obs::Counter& c_worker_tasks_;
+  obs::Counter& c_memory_blocked_;
+  obs::Gauge& g_max_queue_depth_;
+  obs::Gauge& g_bml_blocked_;
 
   sim::Engine& eng_;
   const bgp::MachineConfig& mc_;

@@ -28,9 +28,9 @@ void QueueForwarder::shutdown() {
 
 void QueueForwarder::enqueue(QTask t) {
   ++outstanding_;
-  ++stats_.ops_enqueued;
+  c_ops_enqueued_.inc();
   queue_.push(std::move(t));
-  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth, queue_.size());
+  g_max_queue_depth_.update_max(static_cast<std::int64_t>(queue_.size()));
   if (tracer_) tracer_->counter("queue_depth", static_cast<double>(queue_.size()));
 }
 
@@ -77,7 +77,7 @@ sim::Proc<Status> QueueForwarder::write(int cn_id, int fd, std::uint64_t bytes, 
       t.sink = sink;
       // Blocks if the pool is exhausted until queued operations complete.
       t.bml_class = co_await bml_.acquire(n);
-      stats_.bml_blocked = bml_.blocked_acquires();
+      g_bml_blocked_.set(static_cast<std::int64_t>(bml_.blocked_acquires()));
       co_await tree_data_in(n);
       if (fd >= 0) {
         auto seq = db_.begin_op(fd);
@@ -97,7 +97,7 @@ sim::Proc<Status> QueueForwarder::write(int cn_id, int fd, std::uint64_t bytes, 
   // delivered the whole operation and the status came back.
   auto& mem = pset_.ion().memory();
   if (mem.available() < static_cast<std::int64_t>(bytes) || mem.waiting() > 0) {
-    ++stats_.memory_blocked;
+    c_memory_blocked_.inc();
   }
   co_await mem.acquire(static_cast<std::int64_t>(bytes));
 
@@ -149,7 +149,7 @@ sim::Proc<Status> QueueForwarder::read(int cn_id, int fd, std::uint64_t bytes, S
   // the rest.
   auto& mem = pset_.ion().memory();
   if (mem.available() < static_cast<std::int64_t>(bytes) || mem.waiting() > 0) {
-    ++stats_.memory_blocked;
+    c_memory_blocked_.inc();
   }
   co_await mem.acquire(static_cast<std::int64_t>(bytes));
 
@@ -222,8 +222,8 @@ sim::Proc<void> QueueForwarder::worker_loop(int worker_id) {
       if (!more) break;
       batch.push_back(std::move(*more));
     }
-    ++stats_.worker_batches;
-    stats_.worker_tasks += batch.size();
+    c_worker_batches_.inc();
+    c_worker_tasks_.add(batch.size());
     auto batch_span = trace_span("batch", 1000 + worker_id);
 
     // One poll()-based event-loop pass multiplexes the whole batch.

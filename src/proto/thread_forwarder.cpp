@@ -31,7 +31,7 @@ sim::Proc<Status> ThreadPerClientForwarder::write(int cn_id, int fd, std::uint64
   // memory is present on the I/O Node" (Sec. IV).
   auto& mem = pset_.ion().memory();
   if (mem.available() < static_cast<std::int64_t>(bytes) || mem.waiting() > 0) {
-    ++stats_.memory_blocked;
+    c_memory_blocked_.inc();
   }
   co_await mem.acquire(static_cast<std::int64_t>(bytes));
 
@@ -72,7 +72,7 @@ sim::Proc<Status> ThreadPerClientForwarder::read(int cn_id, int fd, std::uint64_
 
   auto& mem = pset_.ion().memory();
   if (mem.available() < static_cast<std::int64_t>(bytes) || mem.waiting() > 0) {
-    ++stats_.memory_blocked;
+    c_memory_blocked_.inc();
   }
   co_await mem.acquire(static_cast<std::int64_t>(bytes));
 

@@ -7,7 +7,16 @@
 namespace iofwd::rt {
 
 Client::Client(std::unique_ptr<ByteStream> stream, ClientConfig cfg, StreamFactory factory)
-    : stream_(std::move(stream)), cfg_(cfg), factory_(std::move(factory)) {
+    : stream_(std::move(stream)),
+      cfg_(cfg),
+      factory_(std::move(factory)),
+      owned_registry_(cfg.registry != nullptr ? nullptr
+                                              : std::make_unique<obs::MetricRegistry>()),
+      reg_(cfg.registry != nullptr ? cfg.registry : owned_registry_.get()),
+      c_reconnects_(reg_->counter("client.reconnects")),
+      c_replays_(reg_->counter("client.replays")),
+      c_timeouts_(reg_->counter("client.timeouts")),
+      c_giveups_(reg_->counter("client.giveups")) {
   cfg_.reconnect_attempts = std::max(0, cfg_.reconnect_attempts);
   if (cfg_.roundtrip_timeout_ms > 0) {
     wd_thread_ = std::thread([this] { watchdog_loop(); });
@@ -93,7 +102,7 @@ Result<Client::Reply> Client::roundtrip_once(FrameHeader req, std::span<const st
   auto finish = [&](Result<Reply> r) -> Result<Reply> {
     const bool fired = watchdog_disarm();
     if (fired && !r.is_ok()) {
-      ++stats_.timeouts;  // stats_ is under mu_, which our caller holds
+      c_timeouts_.inc();
       return Status(Errc::timed_out, "roundtrip timed out");
     }
     return r;
@@ -160,7 +169,7 @@ Status Client::reconnect_locked(int attempt) {
       return Status(code, "open replay failed");
     }
   }
-  ++stats_.reconnects;
+  c_reconnects_.inc();
   return Status::ok();
 }
 
@@ -189,7 +198,7 @@ Result<Client::Reply> Client::roundtrip(FrameHeader req, std::span<const std::by
     }
     auto r = roundtrip_once(req, payload);
     if (r.is_ok()) {
-      if (attempt > 0) ++stats_.replays;
+      if (attempt > 0) c_replays_.inc();
       return r;
     }
     last = r.status();
@@ -198,7 +207,7 @@ Result<Client::Reply> Client::roundtrip(FrameHeader req, std::span<const std::by
     stream_->close();
     stream_.reset();
   }
-  ++stats_.giveups;
+  c_giveups_.inc();
   return Status(last.code(), "reconnect attempts exhausted: " + last.to_string());
 }
 
@@ -287,8 +296,12 @@ Status Client::shutdown() {
 }
 
 ClientStats Client::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  ClientStats s;
+  s.reconnects = c_reconnects_.value();
+  s.replays = c_replays_.value();
+  s.timeouts = c_timeouts_.value();
+  s.giveups = c_giveups_.value();
+  return s;
 }
 
 }  // namespace iofwd::rt

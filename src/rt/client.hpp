@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/status.hpp"
+#include "obs/metrics.hpp"
 #include "rt/transport.hpp"
 #include "rt/wire.hpp"
 
@@ -55,8 +56,14 @@ struct ClientConfig {
   int reconnect_attempts = 3;
   std::uint32_t reconnect_backoff_ms = 10;       // base, doubled per attempt
   std::uint32_t reconnect_backoff_max_ms = 500;  // cap
+  // Shared metric registry for the "client.*" namespace (null = the client
+  // owns a private one). See DESIGN.md §11.
+  obs::MetricRegistry* registry = nullptr;
 };
 
+// Snapshot view over the client's metric registry ("client.*" counters),
+// assembled by stats(). Deprecated as an API surface; retained so existing
+// tests and benches read fields unchanged.
 struct ClientStats {
   std::uint64_t reconnects = 0;  // successful reconnect + open-replay passes
   std::uint64_t replays = 0;     // ops that succeeded on a retry connection
@@ -89,6 +96,10 @@ class Client {
 
   [[nodiscard]] ClientStats stats() const;
 
+  // The registry backing stats() — client-owned unless ClientConfig::registry
+  // was set.
+  [[nodiscard]] obs::MetricRegistry& registry() const { return *reg_; }
+
  private:
   struct Reply {
     FrameHeader header;
@@ -118,7 +129,14 @@ class Client {
   std::uint64_t next_seq_ = 1;
   bool last_staged_ = false;
   std::map<int, std::string> open_paths_;  // fd -> path, for reconnect replay
-  ClientStats stats_;
+
+  // Registry-backed counters ("client.*"); replaces the old stats_ member.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* reg_;  // never null
+  obs::Counter& c_reconnects_;
+  obs::Counter& c_replays_;
+  obs::Counter& c_timeouts_;
+  obs::Counter& c_giveups_;
 
   std::mutex wd_mu_;
   std::condition_variable wd_cv_;

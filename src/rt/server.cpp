@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "bb/burst_buffer.hpp"
 #include "core/log.hpp"
@@ -18,11 +19,45 @@ const char* to_string(ExecModel m) {
   return "?";
 }
 
+namespace {
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+}  // namespace
+
 IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     : backend_(std::move(backend)),
       cfg_(cfg),
       pool_(cfg.bml_bytes, cfg.bml_min_class, cfg.bml_policy),
-      queue_(cfg.workers) {
+      queue_(cfg.workers),
+      owned_registry_(cfg.registry != nullptr ? nullptr
+                                              : std::make_unique<obs::MetricRegistry>()),
+      reg_(cfg.registry != nullptr ? cfg.registry : owned_registry_.get()),
+      tracer_(cfg.tracer),
+      fr_(cfg.flight_recorder_ops > 0
+              ? std::make_unique<obs::FlightRecorder>(cfg.flight_recorder_ops)
+              : nullptr),
+      c_ops_(reg_->counter("server.ops")),
+      c_bytes_in_(reg_->counter("server.bytes_in")),
+      c_bytes_out_(reg_->counter("server.bytes_out")),
+      c_deferred_errors_(reg_->counter("server.deferred_errors")),
+      c_filter_bytes_in_(reg_->counter("server.filter_bytes_in")),
+      c_filter_bytes_out_(reg_->counter("server.filter_bytes_out")),
+      c_deadline_expired_(reg_->counter("server.deadline_expired")),
+      c_bml_timeouts_(reg_->counter("server.bml_timeouts")),
+      c_degraded_passthrough_(reg_->counter("server.degraded_passthrough_ops")),
+      c_degraded_sync_writes_(reg_->counter("server.degraded_sync_writes")),
+      c_degraded_enters_(reg_->counter("server.degraded_enters")),
+      c_degraded_ns_(reg_->counter("server.degraded_ns")),
+      h_write_lat_us_(reg_->histogram("server.write_latency_us")),
+      h_read_lat_us_(reg_->histogram("server.read_latency_us")),
+      g_queue_depth_(reg_->gauge("server.queue_depth")),
+      g_queue_max_depth_(reg_->gauge("server.queue_max_depth")),
+      g_bml_in_use_(reg_->gauge("server.bml_in_use")),
+      g_bml_blocked_(reg_->gauge("server.bml_blocked")),
+      g_bml_high_watermark_(reg_->gauge("server.bml_high_watermark")) {
   assert(backend_ && "IonServer needs a backend");
   if (cfg_.bb_bytes > 0) {
     bb::BurstBufferConfig bcfg;
@@ -31,6 +66,7 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     bcfg.low_watermark = cfg_.bb_low_watermark;
     bcfg.flushers = cfg_.bb_flushers;
     bcfg.max_stall_ms = cfg_.bb_max_stall_ms;
+    bcfg.registry = reg_;  // one namespace: "server.*" + "bb.*"
     auto wrapped = std::make_unique<bb::BurstBufferBackend>(std::move(backend_), bcfg);
     bb_ = wrapped.get();
     backend_ = std::move(wrapped);
@@ -38,9 +74,10 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
   if (cfg_.exec != ExecModel::thread_per_client) {
     std::scoped_lock lock(threads_mu_);
     for (int i = 0; i < cfg_.workers; ++i) {
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, i] { worker_loop(i); });
     }
   }
+  if (tracer_ != nullptr) tracer_->set_thread_name(kInlineLane, "inline (receivers)");
 }
 
 IonServer::~IonServer() { stop(); }
@@ -92,18 +129,32 @@ void IonServer::stop() {
 }
 
 ServerStats IonServer::stats() const {
-  std::scoped_lock lock(stats_mu_);
-  ServerStats s = stats_;
+  ServerStats s;
+  s.ops = c_ops_.value();
+  s.bytes_in = c_bytes_in_.value();
+  s.bytes_out = c_bytes_out_.value();
+  s.deferred_errors = c_deferred_errors_.value();
+  s.filter_bytes_in = c_filter_bytes_in_.value();
+  s.filter_bytes_out = c_filter_bytes_out_.value();
+  s.deadline_expired = c_deadline_expired_.value();
+  s.bml_timeouts = c_bml_timeouts_.value();
+  s.degraded_passthrough_ops = c_degraded_passthrough_.value();
+  s.degraded_sync_writes = c_degraded_sync_writes_.value();
+  s.degraded_enters = c_degraded_enters_.value();
+  s.degraded_ns = c_degraded_ns_.value();
   s.queue_batches = queue_.batches();
   s.queue_max_depth = queue_.max_depth();
   s.bml_blocked = pool_.blocked_acquires();
   s.bml_high_watermark = pool_.high_watermark();
   s.bml_in_use = pool_.in_use();
-  if (degraded_mode_) {
-    s.degraded_ns += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
-                                                             degraded_since_)
-            .count());
+  {
+    std::scoped_lock lock(degraded_mu_);
+    if (degraded_mode_) {
+      s.degraded_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                               degraded_since_)
+              .count());
+    }
   }
   if (bb_) {
     const bb::BurstBufferStats b = bb_->stats();
@@ -118,6 +169,32 @@ ServerStats IonServer::stats() const {
   return s;
 }
 
+obs::Snapshot IonServer::metrics() const {
+  // Queue/pool state lives outside the registry; mirror it into gauges so
+  // one Snapshot is self-contained for rendering and shipping.
+  g_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+  g_queue_max_depth_.set(static_cast<std::int64_t>(queue_.max_depth()));
+  g_bml_in_use_.set(static_cast<std::int64_t>(pool_.in_use()));
+  g_bml_blocked_.set(static_cast<std::int64_t>(pool_.blocked_acquires()));
+  g_bml_high_watermark_.set(static_cast<std::int64_t>(pool_.high_watermark()));
+  if (bb_) bb_->refresh_gauges();
+  return reg_->snapshot();
+}
+
+void IonServer::observe_op(const FrameHeader& req,
+                           std::chrono::steady_clock::time_point arrival, const Status& st) {
+  const std::uint64_t lat_us = us_since(arrival);
+  if (req.op == OpCode::write) {
+    h_write_lat_us_.record(lat_us);
+  } else if (req.op == OpCode::read) {
+    h_read_lat_us_.record(lat_us);
+  }
+  if (fr_) {
+    fr_->record(opcode_name(req.op), req.fd, req.payload_len, lat_us,
+                static_cast<int>(st.code()));
+  }
+}
+
 bool IonServer::past_deadline(const FrameHeader& req,
                               std::chrono::steady_clock::time_point arrival) {
   if (req.deadline_ms == 0) return false;
@@ -127,17 +204,17 @@ bool IonServer::past_deadline(const FrameHeader& req,
 bool IonServer::degraded_now(std::size_t queue_depth) {
   if (cfg_.degraded_high_watermark == 0) return false;
   const auto now = std::chrono::steady_clock::now();
-  std::scoped_lock lock(stats_mu_);
+  std::scoped_lock lock(degraded_mu_);
   if (!degraded_mode_) {
     if (queue_depth >= cfg_.degraded_high_watermark) {
       degraded_mode_ = true;
       degraded_since_ = now;
-      ++stats_.degraded_enters;
+      c_degraded_enters_.inc();
     }
   } else if (queue_depth <= cfg_.degraded_low_watermark) {
     degraded_mode_ = false;
-    stats_.degraded_ns += static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(now - degraded_since_).count());
+    c_degraded_ns_.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - degraded_since_).count()));
   }
   return degraded_mode_;
 }
@@ -161,13 +238,10 @@ void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
       IOFWD_LOG_WARN("unexpected frame type from client");
       break;
     }
-    {
-      std::scoped_lock lock(stats_mu_);
-      ++stats_.ops;
-    }
+    c_ops_.inc();
     switch (req.op) {
       case OpCode::open:
-        handle_open(*conn, req);
+        handle_open(*conn, req, arrival);
         break;
       case OpCode::write:
         handle_write(conn, req, arrival);
@@ -182,7 +256,7 @@ void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
         handle_fstat(*conn, req, arrival);
         break;
       case OpCode::close:
-        handle_close(*conn, req);
+        handle_close(*conn, req, arrival);
         break;
       case OpCode::shutdown:
         (void)send_reply(*conn, req, Status::ok());
@@ -212,8 +286,7 @@ Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status st
     if (Status st = conn.stream->write_all(payload.data(), payload.size()); !st.is_ok()) {
       return st;
     }
-    std::scoped_lock slock(stats_mu_);
-    stats_.bytes_out += payload.size();
+    c_bytes_out_.add(payload.size());
   }
   return Status::ok();
 }
@@ -222,8 +295,7 @@ Status IonServer::consume_deferred(int fd) {
   std::scoped_lock lock(db_mu_);
   Status st = db_.consume_pending_error(fd);
   if (!st.is_ok() && st.code() != Errc::bad_descriptor) {
-    std::scoped_lock slock(stats_mu_);
-    ++stats_.deferred_errors;
+    c_deferred_errors_.inc();
   }
   return st;
 }
@@ -239,7 +311,8 @@ void IonServer::note_completed(int fd, std::uint64_t seq, const Status& st) {
   db_cv_.notify_all();
 }
 
-void IonServer::handle_open(ClientConn& conn, const FrameHeader& req) {
+void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
+                            std::chrono::steady_clock::time_point arrival) {
   std::string path(req.payload_len, '\0');
   if (req.payload_len > 0 &&
       !conn.stream->read_exact(path.data(), path.size()).is_ok()) {
@@ -260,9 +333,13 @@ void IonServer::handle_open(ClientConn& conn, const FrameHeader& req) {
     }
   }
   (void)send_reply(conn, req, st);
+  observe_op(req, arrival, st);
 }
 
-void IonServer::handle_close(ClientConn& conn, const FrameHeader& req) {
+void IonServer::handle_close(ClientConn& conn, const FrameHeader& req,
+                             std::chrono::steady_clock::time_point arrival) {
+  std::optional<obs::RuntimeTracer::Span> sp;
+  if (tracer_ != nullptr) sp.emplace(tracer_->span(opcode_name(req.op), "op", kInlineLane));
   // Close drains: all async operations must land so the final status
   // (including deferred errors) is accurate.
   drain_descriptor(req.fd);
@@ -272,30 +349,35 @@ void IonServer::handle_close(ClientConn& conn, const FrameHeader& req) {
     deferred = db_.close_descriptor(req.fd);
   }
   if (!deferred.is_ok() && deferred.code() != Errc::bad_descriptor) {
-    std::scoped_lock slock(stats_mu_);
-    ++stats_.deferred_errors;
+    c_deferred_errors_.inc();
   }
   Status be = backend_->close(req.fd);
-  (void)send_reply(conn, req, deferred.is_ok() ? be : deferred);
+  const Status final_st = deferred.is_ok() ? be : deferred;
+  (void)send_reply(conn, req, final_st);
+  observe_op(req, arrival, final_st);
 }
 
 void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
                              std::chrono::steady_clock::time_point arrival) {
+  std::optional<obs::RuntimeTracer::Span> sp;
+  if (tracer_ != nullptr) sp.emplace(tracer_->span(opcode_name(req.op), "op", kInlineLane));
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
     (void)send_reply(conn, req, deferred);
+    observe_op(req, arrival, deferred);
     return;
   }
   if (past_deadline(req, arrival)) {
     // The drain barrier outlived the op's budget: bounce without executing.
-    {
-      std::scoped_lock lock(stats_mu_);
-      ++stats_.deadline_expired;
-    }
-    (void)send_reply(conn, req, Status(Errc::timed_out, "deadline expired in drain"));
+    c_deadline_expired_.inc();
+    const Status st(Errc::timed_out, "deadline expired in drain");
+    (void)send_reply(conn, req, st);
+    observe_op(req, arrival, st);
     return;
   }
-  (void)send_reply(conn, req, backend_->fsync(req.fd));
+  const Status st = backend_->fsync(req.fd);
+  (void)send_reply(conn, req, st);
+  observe_op(req, arrival, st);
 }
 
 void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
@@ -305,25 +387,27 @@ void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
     (void)send_reply(conn, req, deferred);
+    observe_op(req, arrival, deferred);
     return;
   }
   if (past_deadline(req, arrival)) {
-    {
-      std::scoped_lock lock(stats_mu_);
-      ++stats_.deadline_expired;
-    }
-    (void)send_reply(conn, req, Status(Errc::timed_out, "deadline expired in drain"));
+    c_deadline_expired_.inc();
+    const Status st(Errc::timed_out, "deadline expired in drain");
+    (void)send_reply(conn, req, st);
+    observe_op(req, arrival, st);
     return;
   }
   auto sz = backend_->size(req.fd);
   if (!sz.is_ok()) {
     (void)send_reply(conn, req, sz.status());
+    observe_op(req, arrival, sz.status());
     return;
   }
   std::byte payload[8];
   const std::uint64_t v = sz.value();
   std::memcpy(payload, &v, 8);
   (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
+  observe_op(req, arrival, Status::ok());
 }
 
 void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
@@ -346,19 +430,21 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
         !conn->stream->read_exact(heap.data(), heap.size()).is_ok()) {
       return;
     }
-    {
-      std::scoped_lock lock(stats_mu_);
-      stats_.bytes_in += req.payload_len;
-      ++stats_.bml_timeouts;
-      ++stats_.degraded_passthrough_ops;
-    }
+    c_bytes_in_.add(req.payload_len);
+    c_bml_timeouts_.inc();
+    c_degraded_passthrough_.inc();
     if (cfg_.exec == ExecModel::work_queue_async) {
       if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
         (void)send_reply(*conn, req, deferred);
+        observe_op(req, arrival, deferred);
         return;
       }
     }
-    (void)send_reply(*conn, req, do_write(req, heap));
+    std::optional<obs::RuntimeTracer::Span> sp;
+    if (tracer_ != nullptr) sp.emplace(tracer_->span("write (passthrough)", "op", kInlineLane));
+    const Status st = do_write(req, heap);
+    (void)send_reply(*conn, req, st);
+    observe_op(req, arrival, st);
     return;
   }
   if (!buf.is_ok()) {
@@ -378,16 +464,14 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
       !conn->stream->read_exact(payload.data(), req.payload_len).is_ok()) {
     return;
   }
-  {
-    std::scoped_lock lock(stats_mu_);
-    stats_.bytes_in += req.payload_len;
-  }
+  c_bytes_in_.add(req.payload_len);
 
   // Deferred-error gate (async mode): surface the oldest unreported error
   // instead of executing this operation.
   if (cfg_.exec == ExecModel::work_queue_async) {
     if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
       (void)send_reply(*conn, req, deferred);
+      observe_op(req, arrival, deferred);
       return;
     }
   }
@@ -403,13 +487,12 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
   ExecModel exec = cfg_.exec;
   if (exec == ExecModel::work_queue_async && degraded_now(queue_.size())) {
     exec = ExecModel::work_queue;
-    std::scoped_lock lock(stats_mu_);
-    ++stats_.degraded_sync_writes;
+    c_degraded_sync_writes_.inc();
   }
 
   switch (exec) {
     case ExecModel::thread_per_client:
-      execute_task(t);  // inline, synchronous
+      execute_task(t, kInlineLane);  // inline, synchronous
       break;
     case ExecModel::work_queue:
       t.reply_on_completion = true;
@@ -440,6 +523,10 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
       break;
     }
   }
+  if (tracer_ != nullptr && exec != ExecModel::thread_per_client) {
+    tracer_->counter("queue_depth", static_cast<double>(queue_.size()));
+    tracer_->counter("bml_in_use", static_cast<double>(pool_.in_use()));
+  }
 }
 
 void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
@@ -449,6 +536,7 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
     drain_descriptor(req.fd);
     if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
       (void)send_reply(*conn, req, deferred);
+      observe_op(req, arrival, deferred);
       return;
     }
   }
@@ -458,7 +546,7 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
   t.reply_on_completion = true;
   t.arrival = arrival;
   if (cfg_.exec == ExecModel::thread_per_client) {
-    execute_task(t);
+    execute_task(t, kInlineLane);
   } else if (!queue_.push(std::move(t))) {
     (void)send_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
   }
@@ -468,11 +556,15 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
 // Execution path (receiver thread or worker pool)
 // ---------------------------------------------------------------------------
 
-void IonServer::worker_loop() {
+void IonServer::worker_loop(int lane) {
+  if (tracer_ != nullptr) tracer_->set_thread_name(lane, "worker " + std::to_string(lane));
   while (true) {
     auto batch = queue_.pop_batch(cfg_.multiplex_depth, cfg_.balanced_batches);
     if (batch.empty()) return;  // queue closed and drained
-    for (auto& t : batch) execute_task(t);
+    if (tracer_ != nullptr) {
+      tracer_->counter("queue_depth", static_cast<double>(queue_.size()));
+    }
+    for (auto& t : batch) execute_task(t, lane);
   }
 }
 
@@ -484,11 +576,8 @@ Status IonServer::do_write(const FrameHeader& req, std::span<const std::byte> da
     const std::uint64_t before = transformed.size();
     Status st = filters_.apply(req.fd, req.offset, transformed);
     if (!st.is_ok()) return st;
-    {
-      std::scoped_lock slock(stats_mu_);
-      stats_.filter_bytes_in += before;
-      stats_.filter_bytes_out += transformed.size();
-    }
+    c_filter_bytes_in_.add(before);
+    c_filter_bytes_out_.add(transformed.size());
     auto r = backend_->write(req.fd, filters_.map_offset(req.offset), transformed);
     return r.is_ok() ? Status::ok() : r.status();
   }
@@ -496,21 +585,21 @@ Status IonServer::do_write(const FrameHeader& req, std::span<const std::byte> da
   return r.is_ok() ? Status::ok() : r.status();
 }
 
-void IonServer::execute_task(Task& t) {
+void IonServer::execute_task(Task& t, int lane) {
+  std::optional<obs::RuntimeTracer::Span> sp;
+  if (tracer_ != nullptr) sp.emplace(tracer_->span(opcode_name(t.req.op), "op", lane));
   // Deadline enforcement: an op whose budget ran out while queued bounces
   // with timed_out without touching the backend. For async-staged writes the
   // bounce follows the deferred-error path (the staged ack already went out).
   if (past_deadline(t.req, t.arrival)) {
     t.payload.release();
-    {
-      std::scoped_lock lock(stats_mu_);
-      ++stats_.deadline_expired;
-    }
+    c_deadline_expired_.inc();
     const Status st(Errc::timed_out, "deadline expired in queue");
     if (t.record_in_db) note_completed(t.req.fd, t.db_seq, st);
     if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
       (void)send_reply(*t.conn, t.req, st);
     }
+    observe_op(t.req, t.arrival, st);
     return;
   }
   if (t.req.op == OpCode::write) {
@@ -531,12 +620,14 @@ void IonServer::execute_task(Task& t) {
     if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
       (void)send_reply(*t.conn, t.req, st);
     }
+    observe_op(t.req, t.arrival, st);
     return;
   }
   assert(t.req.op == OpCode::read);
   auto buf = pool_.acquire(t.req.payload_len);
   if (!buf.is_ok()) {
     (void)send_reply(*t.conn, t.req, buf.status());
+    observe_op(t.req, t.arrival, buf.status());
     return;
   }
   Buffer out = std::move(buf).value();
@@ -544,10 +635,12 @@ void IonServer::execute_task(Task& t) {
                           std::span<std::byte>(out.data(), t.req.payload_len));
   if (!r.is_ok()) {
     (void)send_reply(*t.conn, t.req, r.status());
+    observe_op(t.req, t.arrival, r.status());
     return;
   }
   (void)send_reply(*t.conn, t.req, Status::ok(),
                    std::span<const std::byte>(out.data(), r.value()));
+  observe_op(t.req, t.arrival, Status::ok());
 }
 
 }  // namespace iofwd::rt

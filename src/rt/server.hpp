@@ -36,6 +36,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/descriptor_db.hpp"
 #include "rt/backend.hpp"
 #include "rt/filter.hpp"
@@ -82,8 +85,24 @@ struct ServerConfig {
   // degraded_low_watermark (0 = never degrade).
   std::uint64_t degraded_high_watermark = 0;
   std::uint64_t degraded_low_watermark = 0;
+  // Observability (src/obs/, DESIGN.md §11). Every server counter lives in
+  // an obs::MetricRegistry under the "server." prefix; ServerStats is just a
+  // snapshot view of it. A null registry means the server creates a private
+  // one; pass a shared registry to aggregate several subsystems (retry, bb,
+  // client) into a single namespace for analysis::metrics_table.
+  obs::MetricRegistry* registry = nullptr;
+  // Wall-clock Chrome-trace sink (ion_daemon --trace-out): per-op spans on
+  // worker-lane tids plus queue-depth and BML-in-use counter tracks. Null =
+  // tracing off (zero hot-path cost beyond one branch).
+  obs::RuntimeTracer* tracer = nullptr;
+  // Completed-op flight-recorder ring (dumped on SIGUSR1). 0 = disabled.
+  std::size_t flight_recorder_ops = 256;
 };
 
+// Snapshot view over the server's metric registry, assembled by stats().
+// Kept as a plain struct (deprecated as an API surface, retained so existing
+// tests and benches read fields unchanged); new code should prefer
+// IonServer::metrics() and the registry names in DESIGN.md §11.
 struct ServerStats {
   std::uint64_t ops = 0;
   std::uint64_t bytes_in = 0;
@@ -136,8 +155,19 @@ class IonServer {
   // Drain the queue, close client streams, join every thread. Idempotent.
   void stop();
 
+  // Deprecated-style snapshot view (kept for tests/benches); assembled from
+  // the metric registry plus queue/pool/burst-buffer instantaneous state.
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+  // The registry backing stats() — server-owned unless ServerConfig::registry
+  // was set. Shared handles stay valid for the server's lifetime.
+  [[nodiscard]] obs::MetricRegistry& registry() const { return *reg_; }
+  // Unified point-in-time view of every metric (refreshes queue/pool gauges
+  // first so the snapshot is self-contained).
+  [[nodiscard]] obs::Snapshot metrics() const;
+  // Completed-op ring, or nullptr when flight_recorder_ops == 0.
+  [[nodiscard]] const obs::FlightRecorder* flight_recorder() const { return fr_.get(); }
 
   // The burst-buffer cache wrapping the backend, or nullptr when disabled.
   [[nodiscard]] const bb::BurstBufferBackend* burst_buffer() const { return bb_; }
@@ -160,9 +190,14 @@ class IonServer {
     std::chrono::steady_clock::time_point arrival{};
   };
 
+  // Trace tid for ops executed inline on a receiver thread (thread-per-client
+  // mode, degraded pass-through, open/close/fsync/fstat). Worker lanes use
+  // their pool index 0..workers-1.
+  static constexpr int kInlineLane = 99;
+
   void receiver_loop(std::shared_ptr<ClientConn> conn);
-  void worker_loop();
-  void execute_task(Task& t);
+  void worker_loop(int lane);
+  void execute_task(Task& t, int lane);
   // Apply the filter chain (if any) and issue the backend write.
   Status do_write(const FrameHeader& req, std::span<const std::byte> data);
   // True if the op's deadline budget has run out (deadline_ms > 0 only).
@@ -171,9 +206,15 @@ class IonServer {
   // Queue-depth hysteresis: decides (and accounts) sync-staging degradation.
   bool degraded_now(std::size_t queue_depth);
 
+  // Completed-op bookkeeping: latency histogram (write/read) + flight ring.
+  void observe_op(const FrameHeader& req, std::chrono::steady_clock::time_point arrival,
+                  const Status& st);
+
   // Inline op handlers (receiver thread).
-  void handle_open(ClientConn& conn, const FrameHeader& req);
-  void handle_close(ClientConn& conn, const FrameHeader& req);
+  void handle_open(ClientConn& conn, const FrameHeader& req,
+                   std::chrono::steady_clock::time_point arrival);
+  void handle_close(ClientConn& conn, const FrameHeader& req,
+                    std::chrono::steady_clock::time_point arrival);
   void handle_fsync(ClientConn& conn, const FrameHeader& req,
                     std::chrono::steady_clock::time_point arrival);
   void handle_fstat(ClientConn& conn, const FrameHeader& req,
@@ -198,6 +239,34 @@ class IonServer {
   BufferPool pool_;
   TaskQueue<Task> queue_;
 
+  // Observability: registry-backed counters replace the old mutex-guarded
+  // ServerStats member. Handles are registered once here; the hot path only
+  // does relaxed atomic adds.
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* reg_;              // never null
+  obs::RuntimeTracer* tracer_;            // null = tracing off
+  std::unique_ptr<obs::FlightRecorder> fr_;
+  obs::Counter& c_ops_;
+  obs::Counter& c_bytes_in_;
+  obs::Counter& c_bytes_out_;
+  obs::Counter& c_deferred_errors_;
+  obs::Counter& c_filter_bytes_in_;
+  obs::Counter& c_filter_bytes_out_;
+  obs::Counter& c_deadline_expired_;
+  obs::Counter& c_bml_timeouts_;
+  obs::Counter& c_degraded_passthrough_;
+  obs::Counter& c_degraded_sync_writes_;
+  obs::Counter& c_degraded_enters_;
+  obs::Counter& c_degraded_ns_;
+  obs::Histogram& h_write_lat_us_;
+  obs::Histogram& h_read_lat_us_;
+  // Instantaneous queue/pool state, refreshed by metrics().
+  obs::Gauge& g_queue_depth_;
+  obs::Gauge& g_queue_max_depth_;
+  obs::Gauge& g_bml_in_use_;
+  obs::Gauge& g_bml_blocked_;
+  obs::Gauge& g_bml_high_watermark_;
+
   std::mutex db_mu_;
   std::condition_variable db_cv_;
   proto::DescriptorDb db_;
@@ -208,9 +277,8 @@ class IonServer {
   std::unique_ptr<Listener> listener_;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
-  // Sync-staging degradation state (guarded by stats_mu_).
+  // Sync-staging degradation state (hysteresis), guarded by degraded_mu_.
+  mutable std::mutex degraded_mu_;
   bool degraded_mode_ = false;
   std::chrono::steady_clock::time_point degraded_since_{};
 };

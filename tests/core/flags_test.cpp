@@ -1,0 +1,82 @@
+#include "core/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace iofwd::flags {
+namespace {
+
+// argv helper: the parser never mutates its arguments.
+std::vector<char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<char*> v;
+  v.push_back(const_cast<char*>("prog"));
+  for (const char* a : args) v.push_back(const_cast<char*>(a));
+  return v;
+}
+
+TEST(Flags, KeyValueAndGnuStyleAreEquivalent) {
+  auto av = argv_of({"workers=4", "--bml-mib=256"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  EXPECT_EQ(p.get_int("workers", 0), 4);
+  EXPECT_EQ(p.get_u64("bml_mib", 0), 256u);   // '-' normalizes to '_'
+  EXPECT_EQ(p.get_u64("bml-mib", 0), 256u);   // query side normalizes too
+}
+
+TEST(Flags, BareDashedTokenIsABooleanFlag) {
+  auto av = argv_of({"--quick"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  EXPECT_TRUE(p.get_flag("quick"));
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Flags, FalseyValuesDisableAFlag) {
+  auto av = argv_of({"rle=0", "verbose=false"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  EXPECT_FALSE(p.get_flag("rle"));
+  EXPECT_FALSE(p.get_flag("verbose"));
+  EXPECT_TRUE(p.has("rle"));
+}
+
+TEST(Flags, PositionalsKeepOrder) {
+  auto av = argv_of({"/tmp/a.sock", "workers=2", "second"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  ASSERT_EQ(p.positionals().size(), 2u);
+  EXPECT_EQ(p.positional(0), "/tmp/a.sock");
+  EXPECT_EQ(p.positional(1), "second");
+  EXPECT_EQ(p.positional(5, "dflt"), "dflt");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  auto av = argv_of({});
+  Parser p(static_cast<int>(av.size()), av.data());
+  EXPECT_EQ(p.get("root", "/tmp/x"), "/tmp/x");
+  EXPECT_EQ(p.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("f", 1.5), 1.5);
+  EXPECT_FALSE(p.has("root"));
+}
+
+TEST(Flags, EnvironmentFallback) {
+  ::setenv("IOFWD_TEST_ONLY_KNOB", "123", 1);
+  auto av = argv_of({"test_only_knob=456"});
+  Parser cmdline(static_cast<int>(av.size()), av.data());
+  EXPECT_EQ(cmdline.get_int("test_only_knob", 0), 456);  // cmdline wins
+
+  auto av2 = argv_of({});
+  Parser env_only(static_cast<int>(av2.size()), av2.data());
+  EXPECT_EQ(env_only.get_int("test_only_knob", 0), 123);
+  EXPECT_EQ(env_only.get_int("test-only-knob", 0), 123);  // normalized
+  ::unsetenv("IOFWD_TEST_ONLY_KNOB");
+}
+
+TEST(Flags, UnknownReportsOnlyUnqueriedKeys) {
+  auto av = argv_of({"workers=4", "tpyo=1"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  (void)p.get_int("workers", 0);
+  const auto unknown = p.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tpyo");
+}
+
+}  // namespace
+}  // namespace iofwd::flags

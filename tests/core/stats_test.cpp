@@ -40,6 +40,32 @@ TEST(RunningStats, MergeMatchesSequential) {
   EXPECT_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, MergeEmptyWithEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStats, MergeVarianceMatchesSinglePassReference) {
+  // Two-pass reference: sum of squared deviations / (n - 1).
+  const double xs[] = {1.0, 2.5, 2.5, 7.0, 11.0, 13.5, 20.0};
+  RunningStats a, b;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= 7.0;
+  double ssd = 0.0;
+  for (double x : xs) ssd += (x - mean) * (x - mean);
+  for (int i = 0; i < 3; ++i) a.add(xs[i]);
+  for (int i = 3; i < 7; ++i) b.add(xs[i]);
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), mean, 1e-12);
+  EXPECT_NEAR(a.variance(), ssd / 6.0, 1e-12);
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, empty;
   a.add(3.0);
@@ -62,11 +88,28 @@ TEST(Sample, Percentiles) {
 }
 
 TEST(Sample, SingleElement) {
+  // rank = p/100 * (n-1) = 0 for every p: the lone element is every
+  // percentile (linear interpolation, not nearest-rank).
   Sample s;
   s.add(42.0);
+  EXPECT_EQ(s.percentile(0), 42.0);
   EXPECT_EQ(s.median(), 42.0);
   EXPECT_EQ(s.percentile(99), 42.0);
+  EXPECT_EQ(s.percentile(100), 42.0);
   EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(Sample, TwoElementsInterpolateLinearly) {
+  // Nearest-rank would snap to one of the two elements; the implementation
+  // interpolates: percentile(p) = lo + p/100 * (hi - lo).
+  Sample s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 17.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
 }
 
 TEST(Sample, AddAfterQueryResorts) {

@@ -1,0 +1,135 @@
+// End-to-end observability: an IonServer wired to an external registry,
+// tracer, and flight recorder, driven through a real Client. Pins the API
+// redesign contract — ServerStats is a snapshot view of the registry, the
+// same registry serves the burst buffer ("bb.*"), and analysis can render
+// the whole thing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/units.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+
+namespace iofwd::rt {
+namespace {
+
+struct ObsHarness {
+  obs::MetricRegistry registry;
+  obs::RuntimeTracer tracer;
+  std::unique_ptr<IonServer> server;
+  std::unique_ptr<Client> client;
+
+  explicit ObsHarness(ServerConfig cfg = {}) {
+    cfg.registry = &registry;
+    cfg.tracer = &tracer;
+    cfg.flight_recorder_ops = 16;
+    server = std::make_unique<IonServer>(std::make_unique<MemBackend>(), cfg);
+    auto [a, b] = InProcTransport::make_pair();
+    server->serve(std::move(a));
+    client = std::make_unique<Client>(std::move(b));
+  }
+
+  void run_ops() {
+    ASSERT_TRUE(client->open(1, "f").is_ok());
+    const std::vector<std::byte> data(64_KiB, std::byte{0x5a});
+    ASSERT_TRUE(client->write(1, 0, data).is_ok());
+    ASSERT_TRUE(client->fsync(1).is_ok());
+    auto r = client->read(1, 0, data.size());
+    ASSERT_TRUE(r.is_ok());
+    ASSERT_TRUE(client->close(1).is_ok());
+  }
+};
+
+TEST(ServerObs, SharedRegistryRecordsServerNamespace) {
+  ObsHarness h;
+  h.run_ops();
+  const obs::Snapshot snap = h.server->metrics();
+  // open + write + fsync + read + close = 5 ops.
+  EXPECT_EQ(snap.counter("server.ops"), 5u);
+  EXPECT_EQ(snap.counter("server.bytes_in"), 64_KiB);
+  EXPECT_EQ(snap.counter("server.bytes_out"), 64_KiB);
+  ASSERT_NE(snap.histogram("server.write_latency_us"), nullptr);
+  EXPECT_EQ(snap.histogram("server.write_latency_us")->count, 1u);
+  ASSERT_NE(snap.histogram("server.read_latency_us"), nullptr);
+  EXPECT_EQ(snap.histogram("server.read_latency_us")->count, 1u);
+  // The external registry IS the server's registry (no private copy).
+  EXPECT_EQ(&h.server->registry(), &h.registry);
+  EXPECT_EQ(h.registry.counter("server.ops").value(), 5u);
+}
+
+TEST(ServerObs, StatsStructIsASnapshotOfTheRegistry) {
+  ObsHarness h;
+  h.run_ops();
+  const ServerStats s = h.server->stats();
+  const obs::Snapshot snap = h.server->metrics();
+  EXPECT_EQ(s.ops, snap.counter("server.ops"));
+  EXPECT_EQ(s.bytes_in, snap.counter("server.bytes_in"));
+  EXPECT_EQ(s.bytes_out, snap.counter("server.bytes_out"));
+  EXPECT_EQ(s.deferred_errors, snap.counter("server.deferred_errors"));
+  EXPECT_EQ(s.deadline_expired, snap.counter("server.deadline_expired"));
+}
+
+TEST(ServerObs, BurstBufferSharesTheRegistry) {
+  ServerConfig cfg;
+  cfg.bb_bytes = 4_MiB;
+  ObsHarness h(cfg);
+  h.run_ops();
+  const obs::Snapshot snap = h.server->metrics();
+  EXPECT_GT(snap.counter("bb.writes_in"), 0u);
+  EXPECT_EQ(snap.counter("bb.bytes_in"), 64_KiB);
+}
+
+TEST(ServerObs, FlightRecorderCapturesCompletedOps) {
+  ObsHarness h;
+  h.run_ops();
+  const obs::FlightRecorder* fr = h.server->flight_recorder();
+  ASSERT_NE(fr, nullptr);
+  EXPECT_EQ(fr->recorded(), 5u);
+  const auto snap = fr->snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  EXPECT_STREQ(snap[1].op, "write");
+  EXPECT_EQ(snap[1].bytes, 64_KiB);
+  EXPECT_EQ(snap[1].status, 0);
+}
+
+TEST(ServerObs, TracerReceivesSpansAndCounterTracks) {
+  ObsHarness h;
+  h.run_ops();
+  EXPECT_GT(h.tracer.event_count(), 0u);
+  const std::string j = h.tracer.to_json();
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("queue_depth"), std::string::npos);
+}
+
+TEST(ServerObs, DefaultConfigOwnsAPrivateRegistry) {
+  ServerConfig cfg;  // no registry: the server must self-provision
+  auto server = std::make_unique<IonServer>(std::make_unique<MemBackend>(), cfg);
+  auto [a, b] = InProcTransport::make_pair();
+  server->serve(std::move(a));
+  Client client(std::move(b));
+  ASSERT_TRUE(client.open(1, "f").is_ok());
+  ASSERT_TRUE(client.close(1).is_ok());
+  EXPECT_EQ(server->metrics().counter("server.ops"), 2u);
+  EXPECT_EQ(server->stats().ops, 2u);
+}
+
+TEST(ServerObs, MetricsTableRendersEveryKind) {
+  ObsHarness h;
+  h.run_ops();
+  const std::string out =
+      analysis::metrics_table(h.server->metrics(), "obs test").render();
+  EXPECT_NE(out.find("server.ops"), std::string::npos);
+  EXPECT_NE(out.find("server.write_latency_us"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iofwd::rt

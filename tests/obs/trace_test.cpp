@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace iofwd::obs {
+namespace {
+
+TEST(RuntimeTracer, SpanEmitsOneCompleteEvent) {
+  RuntimeTracer t;
+  { auto s = t.span("write", "op", 3); }
+  EXPECT_EQ(t.event_count(), 1u);
+  const std::string j = t.to_json();
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"write\""), std::string::npos);
+  EXPECT_NE(j.find("\"cat\":\"op\""), std::string::npos);
+  EXPECT_NE(j.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"dur\":"), std::string::npos);
+}
+
+TEST(RuntimeTracer, MovedFromSpanDoesNotDoubleEmit) {
+  RuntimeTracer t;
+  {
+    auto a = t.span("op", "c", 0);
+    auto b = std::move(a);
+    a.finish();  // moved-from: must be a no-op
+  }
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(RuntimeTracer, FinishIsIdempotent) {
+  RuntimeTracer t;
+  auto s = t.span("op", "c", 0);
+  s.finish();
+  s.finish();
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+TEST(RuntimeTracer, CounterAndInstantEvents) {
+  RuntimeTracer t;
+  t.counter("queue_depth", 17.0);
+  t.instant("drop", "warn", 2);
+  EXPECT_EQ(t.event_count(), 2u);
+  const std::string j = t.to_json();
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(RuntimeTracer, ThreadNameMetadataEmitted) {
+  RuntimeTracer t;
+  t.set_thread_name(0, "worker 0");
+  t.set_thread_name(99, "inline (receivers)");
+  t.set_thread_name(0, "worker zero");  // last call for a tid wins
+  const std::string j = t.to_json();
+  EXPECT_NE(j.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+  EXPECT_NE(j.find("worker zero"), std::string::npos);
+  EXPECT_NE(j.find("inline (receivers)"), std::string::npos);
+  EXPECT_EQ(j.find("\"worker 0\""), std::string::npos);
+}
+
+TEST(RuntimeTracer, JsonIsABalancedArray) {
+  RuntimeTracer t;
+  t.set_thread_name(1, "w");
+  { auto s = t.span("a", "b", 1); }
+  t.counter("c", 1.0);
+  const std::string j = t.to_json();
+  ASSERT_FALSE(j.empty());
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j[j.find_last_not_of(" \n")], ']');
+  long depth = 0;
+  for (char c : j) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RuntimeTracer, WriteJsonRoundTrips) {
+  RuntimeTracer t;
+  { auto s = t.span("write", "op", 0); }
+  const std::string path = ::testing::TempDir() + "iofwd_trace_test.json";
+  ASSERT_TRUE(t.write_json(path).is_ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), t.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(RuntimeTracer, TimestampsAreRelativeToConstruction) {
+  RuntimeTracer t;
+  const std::uint64_t a = t.now_us();
+  const std::uint64_t b = t.now_us();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace iofwd::obs
