@@ -1,0 +1,291 @@
+#include "core/crc32c.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define IOFWD_CRC32C_X86 1
+#endif
+
+#if defined(__aarch64__)
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#if defined(__ARM_FEATURE_CRC32) || defined(__GNUC__)
+#include <arm_acle.h>
+#define IOFWD_CRC32C_ARM 1
+#endif
+#endif
+
+namespace iofwd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Software path: slicing-by-8 over compile-time-generated tables.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kPolyReflected = 0x82F63B78u;  // 0x1EDC6F41 bit-reversed
+
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Crc32cTables make_tables() {
+  Crc32cTables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+    }
+    tb.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tb.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      crc = tb.t[0][crc & 0xffu] ^ (crc >> 8);
+      tb.t[s][i] = crc;
+    }
+  }
+  return tb;
+}
+
+constexpr Crc32cTables kTables = make_tables();
+
+std::uint32_t sw_update(std::uint32_t state, const unsigned char* p, std::size_t n) noexcept {
+  // Head: byte-at-a-time until 8-byte alignment of the *data* pointer.
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    state = kTables.t[0][(state ^ *p++) & 0xffu] ^ (state >> 8);
+    --n;
+  }
+  // Body: 8 bytes per step through the 8 slice tables.
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= state;  // little-endian: CRC folds into the low 4 bytes
+    state = kTables.t[7][word & 0xffu] ^ kTables.t[6][(word >> 8) & 0xffu] ^
+            kTables.t[5][(word >> 16) & 0xffu] ^ kTables.t[4][(word >> 24) & 0xffu] ^
+            kTables.t[3][(word >> 32) & 0xffu] ^ kTables.t[2][(word >> 40) & 0xffu] ^
+            kTables.t[1][(word >> 48) & 0xffu] ^ kTables.t[0][(word >> 56) & 0xffu];
+    p += 8;
+    n -= 8;
+  }
+  // Tail.
+  while (n > 0) {
+    state = kTables.t[0][(state ^ *p++) & 0xffu] ^ (state >> 8);
+    --n;
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-block shift operator for interleaved hardware CRCs.
+//
+// The hardware crc32 instruction has a 3-cycle latency but single-cycle
+// throughput, so one serial chain runs at ~8 bytes / 3 cycles. Running three
+// independent chains over adjacent 4 KiB lanes fills the pipeline (~3x), at
+// the cost of recombining the three lane CRCs afterwards. Recombination uses
+// the linearity of CRC: state_after(A||B, s) = shift(state_after(A, s)) ^
+// state_after(B, 0), where shift multiplies the raw state by x^(8*|B|) mod P
+// — i.e. runs |B| zero bytes through the register. That operator is linear
+// on the 32-bit state, so it collapses to four 256-entry lookup tables,
+// built once by squaring the one-zero-byte step log2(kLane) times.
+// ---------------------------------------------------------------------------
+
+#if defined(IOFWD_CRC32C_X86) || defined(IOFWD_CRC32C_ARM)
+constexpr std::size_t kLane = 4096;  // bytes per interleaved stream
+
+struct ShiftOp {
+  std::uint32_t t[4][256];
+  std::uint32_t apply(std::uint32_t s) const noexcept {
+    return t[0][s & 0xffu] ^ t[1][(s >> 8) & 0xffu] ^ t[2][(s >> 16) & 0xffu] ^ t[3][s >> 24];
+  }
+};
+
+// Operator advancing a raw CRC state across kLane zero bytes.
+const ShiftOp& lane_shift() noexcept {
+  static const ShiftOp op = [] {
+    ShiftOp one;  // one zero byte: s' = t0[s & 0xff] ^ (s >> 8), tabulated per state byte
+    for (int j = 0; j < 4; ++j) {
+      for (std::uint32_t b = 0; b < 256; ++b) {
+        const std::uint32_t s = b << (8 * j);
+        one.t[j][b] = kTables.t[0][s & 0xffu] ^ (s >> 8);
+      }
+    }
+    ShiftOp acc = one;
+    for (std::size_t len = 1; len < kLane; len <<= 1) {  // square: len -> 2*len zero bytes
+      ShiftOp sq;
+      for (int j = 0; j < 4; ++j) {
+        for (std::uint32_t b = 0; b < 256; ++b) sq.t[j][b] = acc.apply(acc.t[j][b]);
+      }
+      acc = sq;
+    }
+    return acc;
+  }();
+  return op;
+}
+#endif  // IOFWD_CRC32C_X86 || IOFWD_CRC32C_ARM
+
+// ---------------------------------------------------------------------------
+// Hardware paths.
+// ---------------------------------------------------------------------------
+
+#if defined(IOFWD_CRC32C_X86)
+__attribute__((target("sse4.2"))) std::uint32_t hw_update_serial(std::uint32_t state,
+                                                                 const unsigned char* p,
+                                                                 std::size_t n) noexcept {
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    state = _mm_crc32_u8(state, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  std::uint64_t state64 = state;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    state64 = _mm_crc32_u64(state64, word);
+    p += 8;
+    n -= 8;
+  }
+  state = static_cast<std::uint32_t>(state64);
+#endif
+  while (n > 0) {
+    state = _mm_crc32_u8(state, *p++);
+    --n;
+  }
+  return state;
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t hw_update(std::uint32_t state,
+                                                          const unsigned char* p,
+                                                          std::size_t n) noexcept {
+#if defined(__x86_64__)
+  if (n >= 3 * kLane) {
+    const ShiftOp& shift = lane_shift();
+    do {
+      std::uint64_t a = state, b = 0, c = 0;
+      for (std::size_t i = 0; i < kLane; i += 8) {
+        std::uint64_t wa, wb, wc;
+        std::memcpy(&wa, p + i, 8);
+        std::memcpy(&wb, p + kLane + i, 8);
+        std::memcpy(&wc, p + 2 * kLane + i, 8);
+        a = _mm_crc32_u64(a, wa);
+        b = _mm_crc32_u64(b, wb);
+        c = _mm_crc32_u64(c, wc);
+      }
+      state = shift.apply(shift.apply(static_cast<std::uint32_t>(a)) ^
+                          static_cast<std::uint32_t>(b)) ^
+              static_cast<std::uint32_t>(c);
+      p += 3 * kLane;
+      n -= 3 * kLane;
+    } while (n >= 3 * kLane);
+  }
+#endif
+  return hw_update_serial(state, p, n);
+}
+
+bool detect_hw() noexcept { return __builtin_cpu_supports("sse4.2") != 0; }
+const char* hw_name() noexcept { return "sse4.2"; }
+#elif defined(IOFWD_CRC32C_ARM)
+__attribute__((target("+crc"))) std::uint32_t hw_update_serial(std::uint32_t state,
+                                                               const unsigned char* p,
+                                                               std::size_t n) noexcept {
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    state = __crc32cb(state, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    state = __crc32cd(state, word);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = __crc32cb(state, *p++);
+    --n;
+  }
+  return state;
+}
+
+__attribute__((target("+crc"))) std::uint32_t hw_update(std::uint32_t state,
+                                                        const unsigned char* p,
+                                                        std::size_t n) noexcept {
+  if (n >= 3 * kLane) {
+    const ShiftOp& shift = lane_shift();
+    do {
+      std::uint32_t a = state, b = 0, c = 0;
+      for (std::size_t i = 0; i < kLane; i += 8) {
+        std::uint64_t wa, wb, wc;
+        std::memcpy(&wa, p + i, 8);
+        std::memcpy(&wb, p + kLane + i, 8);
+        std::memcpy(&wc, p + 2 * kLane + i, 8);
+        a = __crc32cd(a, wa);
+        b = __crc32cd(b, wb);
+        c = __crc32cd(c, wc);
+      }
+      state = shift.apply(shift.apply(a) ^ b) ^ c;
+      p += 3 * kLane;
+      n -= 3 * kLane;
+    } while (n >= 3 * kLane);
+  }
+  return hw_update_serial(state, p, n);
+}
+
+bool detect_hw() noexcept {
+#if defined(__linux__) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#elif defined(__ARM_FEATURE_CRC32)
+  return true;  // baked into the target at compile time
+#else
+  return false;
+#endif
+}
+const char* hw_name() noexcept { return "armv8-crc"; }
+#else
+std::uint32_t hw_update(std::uint32_t state, const unsigned char* p, std::size_t n) noexcept {
+  return sw_update(state, p, n);
+}
+bool detect_hw() noexcept { return false; }
+const char* hw_name() noexcept { return "software"; }
+#endif
+
+// Dispatch is resolved once; the result never changes for the process.
+bool hw_selected() noexcept {
+  static const bool selected = detect_hw();
+  return selected;
+}
+
+std::uint32_t update(std::uint32_t state, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  return hw_selected() ? hw_update(state, p, n) : sw_update(state, p, n);
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t prev, const void* data, std::size_t n) noexcept {
+  return ~update(~prev, data, n);
+}
+
+std::uint32_t crc32c_extend(std::uint32_t prev, std::span<const std::byte> data) noexcept {
+  return crc32c_extend(prev, data.data(), data.size());
+}
+
+std::uint32_t crc32c(const void* data, std::size_t n) noexcept {
+  return crc32c_extend(0, data, n);
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data) noexcept {
+  return crc32c_extend(0, data.data(), data.size());
+}
+
+std::uint32_t crc32c_sw_extend(std::uint32_t prev, const void* data, std::size_t n) noexcept {
+  return ~sw_update(~prev, static_cast<const unsigned char*>(data), n);
+}
+
+bool crc32c_hw_available() noexcept { return hw_selected(); }
+
+const char* crc32c_impl() noexcept { return hw_selected() ? hw_name() : "software"; }
+
+}  // namespace iofwd

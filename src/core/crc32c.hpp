@@ -1,0 +1,51 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) for end-to-end data integrity.
+//
+// The runtime wire protocol checksums every frame header and (when protocol
+// v1 is negotiated) every payload with CRC32C — the same polynomial iSCSI,
+// ext4, and btrfs use, because commodity CPUs accelerate it: SSE4.2 has a
+// dedicated crc32 instruction and ARMv8 an optional CRC32 extension. This
+// module picks the fastest available implementation once at startup
+// (resolved the first time any checksum is computed) and falls back to a
+// slicing-by-8 table implementation everywhere else; both produce identical
+// results, unit-tested against the RFC 3720 reference vectors. Large buffers
+// run three interleaved hardware streams to hide the crc32 instruction's
+// 3-cycle latency (~3x the serial chain on wire-payload-sized buffers).
+//
+// Conventions: crc32c(data) is the standard reflected CRC with initial value
+// and final xor of 0xFFFFFFFF (so crc32c("123456789") == 0xE3069283).
+// Streaming callers use crc32c_extend(prev, ...) where `prev` is the result
+// of an earlier crc32c/crc32c_extend call over the preceding bytes; the
+// composition equals the one-shot CRC of the concatenation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iofwd {
+
+// One-shot CRC32C of a byte range.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t n) noexcept;
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data) noexcept;
+
+// Continue a CRC32C over the next chunk: `prev` is the CRC of everything
+// before `data`. crc32c(x) == crc32c_extend(crc32c(prefix), rest) when
+// x == prefix + rest; crc32c(x) == crc32c_extend(0, x).
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t prev, const void* data,
+                                          std::size_t n) noexcept;
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t prev,
+                                          std::span<const std::byte> data) noexcept;
+
+// True when a hardware CRC32C instruction is available and selected.
+[[nodiscard]] bool crc32c_hw_available() noexcept;
+
+// The selected implementation: "sse4.2", "armv8-crc", or "software".
+[[nodiscard]] const char* crc32c_impl() noexcept;
+
+// The portable slicing-by-8 implementation, exposed so tests can cross-check
+// hardware against software and benchmarks can report both dispatch paths.
+// Takes and returns the *raw* (non-inverted) CRC state like crc32c_extend.
+[[nodiscard]] std::uint32_t crc32c_sw_extend(std::uint32_t prev, const void* data,
+                                             std::size_t n) noexcept;
+
+}  // namespace iofwd

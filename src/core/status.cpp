@@ -18,6 +18,7 @@ std::string_view errc_name(Errc e) {
     case Errc::deferred_io_error: return "deferred_io_error";
     case Errc::unsupported: return "unsupported";
     case Errc::internal: return "internal";
+    case Errc::checksum_error: return "checksum_error";
   }
   return "unknown";
 }

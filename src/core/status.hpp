@@ -32,6 +32,7 @@ enum class Errc : std::int32_t {
   deferred_io_error, // an earlier async operation on this descriptor failed
   unsupported,       // ENOSYS
   internal,          // invariant violation (bug)
+  checksum_error,    // CRC mismatch on a received frame (retryable)
 };
 
 std::string_view errc_name(Errc e);
@@ -41,7 +42,7 @@ std::string_view errc_name(Errc e);
 std::optional<Errc> errc_from_name(std::string_view name);
 
 // One past the last enumerator: lets tests and tables sweep every code.
-inline constexpr std::int32_t kErrcCount = static_cast<std::int32_t>(Errc::internal) + 1;
+inline constexpr std::int32_t kErrcCount = static_cast<std::int32_t>(Errc::checksum_error) + 1;
 
 // A status: an error code plus an optional human-readable message.
 class Status {

@@ -1,9 +1,36 @@
 #include "fault/decorators.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
 
 namespace iofwd::fault {
+
+namespace {
+
+// Damage `n` bytes at `p` in place according to the injection verdict.
+// bit_flip inverts one seeded bit; garbage rewrites a seeded 16-byte window
+// with seeded noise. Both leave the length intact (truncation is handled by
+// the callers, which own the close semantics).
+void corrupt_bytes(const Injection& inj, unsigned char* p, std::size_t n) {
+  if (n == 0) return;
+  if (inj.action == FaultAction::bit_flip) {
+    const std::uint64_t bit = inj.entropy % (static_cast<std::uint64_t>(n) * 8);
+    p[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  } else if (inj.action == FaultAction::garbage) {
+    Rng noise(inj.entropy);
+    const std::size_t start = static_cast<std::size_t>(inj.entropy % n);
+    const std::size_t len = std::min<std::size_t>(16, n - start);
+    for (std::size_t i = 0; i < len; ++i) {
+      p[start + i] = static_cast<unsigned char>(noise.below(256));
+    }
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // FaultyBackend
@@ -77,7 +104,19 @@ Status FaultyStream::read_exact(void* buf, std::size_t n) {
     inner_->close();
     return inj.status;
   }
-  return inner_->read_exact(buf, n);
+  if (inj.action == FaultAction::truncate) {
+    // The peer "sent" only a prefix before the line died: deliver the
+    // seeded-length prefix, then cut.
+    const std::size_t keep = n > 0 ? static_cast<std::size_t>(inj.entropy % n) : 0;
+    if (keep > 0) (void)inner_->read_exact(buf, keep);
+    inner_->close();
+    return Status(Errc::shutdown, "injected truncation");
+  }
+  Status st = inner_->read_exact(buf, n);
+  if (st.is_ok() && inj.corrupts()) {
+    corrupt_bytes(inj, static_cast<unsigned char*>(buf), n);
+  }
+  return st;
 }
 
 Status FaultyStream::write_all(const void* buf, std::size_t n) {
@@ -86,6 +125,21 @@ Status FaultyStream::write_all(const void* buf, std::size_t n) {
   if (!inj.status.is_ok()) {
     inner_->close();
     return inj.status;
+  }
+  if (inj.action == FaultAction::truncate) {
+    // Deliver a seeded-length prefix, then drop the line (the caller sees
+    // the cut; the peer sees a half frame followed by EOF).
+    const std::size_t keep = n > 0 ? static_cast<std::size_t>(inj.entropy % n) : 0;
+    if (keep > 0) (void)inner_->write_all(buf, keep);
+    inner_->close();
+    return Status(Errc::shutdown, "injected truncation");
+  }
+  std::vector<unsigned char> damaged;
+  if (inj.corrupts() && n > 0) {
+    damaged.assign(static_cast<const unsigned char*>(buf),
+                   static_cast<const unsigned char*>(buf) + n);
+    corrupt_bytes(inj, damaged.data(), n);
+    buf = damaged.data();
   }
   if (cfg_.cut_after_write_bytes > 0) {
     std::scoped_lock lock(mu_);

@@ -17,6 +17,16 @@ const char* to_string(OpKind k) {
   return "?";
 }
 
+const char* to_string(FaultAction a) {
+  switch (a) {
+    case FaultAction::fail: return "fail";
+    case FaultAction::bit_flip: return "bit_flip";
+    case FaultAction::truncate: return "truncate";
+    case FaultAction::garbage: return "garbage";
+  }
+  return "?";
+}
+
 void FaultPlan::add(FaultRule rule) {
   std::scoped_lock lock(mu_);
   RuleState s;
@@ -78,7 +88,14 @@ Injection FaultPlan::next(OpKind k) {
     if (!fire) continue;
 
     inj.latency = s.rule.latency;
-    if (s.rule.error != Errc::ok) {
+    if (s.rule.action != FaultAction::fail) {
+      // Corruption: the op proceeds (status ok) but the decorator damages
+      // the bytes using plan-drawn entropy, keeping the run reproducible.
+      inj.action = s.rule.action;
+      inj.entropy = rng_.next();
+      ++fired_total_;
+      ++fired_by_kind_[static_cast<std::size_t>(k)];
+    } else if (s.rule.error != Errc::ok) {
       inj.status = Status(s.rule.error, "injected fault");
       ++fired_total_;
       ++fired_by_kind_[static_cast<std::size_t>(k)];

@@ -35,8 +35,23 @@ enum class OpKind : std::uint8_t {
 [[nodiscard]] const char* to_string(OpKind k);
 inline constexpr std::size_t kOpKinds = 9;
 
+// What a firing rule does to the operation. `fail` bounces it with
+// FaultRule::error (the classic injection). The corruption actions model a
+// flaky link rather than a refusing one: the operation "succeeds" but the
+// bytes are damaged in flight — only FaultyStream honors them (a backend
+// has no wire to corrupt).
+enum class FaultAction : std::uint8_t {
+  fail = 0,
+  bit_flip,  // deliver every byte, one bit inverted at a seeded position
+  truncate,  // deliver a seeded-length prefix, then drop the line
+  garbage,   // overwrite a seeded 16-byte window with seeded noise
+};
+
+[[nodiscard]] const char* to_string(FaultAction a);
+
 struct FaultRule {
   OpKind op = OpKind::any;
+  FaultAction action = FaultAction::fail;
   // Trigger (pick one): fire starting at the nth matching call (1-based),
   // or independently per call with `probability` (seeded).
   std::uint64_t nth = 0;
@@ -56,8 +71,16 @@ struct FaultRule {
 struct Injection {
   Status status;  // ok = execute the real operation
   std::chrono::microseconds latency{0};
+  // Corruption verdict (status stays ok — the op proceeds with bad bytes).
+  FaultAction action = FaultAction::fail;
+  // Seeded randomness for the corruption (bit position, window offset,
+  // noise seed), drawn under the plan lock so runs stay reproducible.
+  std::uint64_t entropy = 0;
 
-  [[nodiscard]] bool fired() const { return !status.is_ok() || latency.count() > 0; }
+  [[nodiscard]] bool corrupts() const { return action != FaultAction::fail; }
+  [[nodiscard]] bool fired() const {
+    return !status.is_ok() || corrupts() || latency.count() > 0;
+  }
 };
 
 class FaultPlan {

@@ -8,9 +8,10 @@ namespace iofwd::fault {
 
 bool is_transient(Errc e) {
   switch (e) {
-    case Errc::io_error:      // congested/ flaky storage: worth another try
-    case Errc::timed_out:     // deadline pressure may clear
-    case Errc::would_block:   // resource momentarily unavailable
+    case Errc::io_error:       // congested/ flaky storage: worth another try
+    case Errc::timed_out:      // deadline pressure may clear
+    case Errc::would_block:    // resource momentarily unavailable
+    case Errc::checksum_error: // bits flipped in flight: a resend is fresh bits
       return true;
     case Errc::ok:
     case Errc::bad_descriptor:

@@ -16,7 +16,10 @@ Client::Client(std::unique_ptr<ByteStream> stream, ClientConfig cfg, StreamFacto
       c_reconnects_(reg_->counter("client.reconnects")),
       c_replays_(reg_->counter("client.replays")),
       c_timeouts_(reg_->counter("client.timeouts")),
-      c_giveups_(reg_->counter("client.giveups")) {
+      c_giveups_(reg_->counter("client.giveups")),
+      c_header_crc_errors_(reg_->counter("client.integrity.header_crc_errors")),
+      c_payload_crc_errors_(reg_->counter("client.integrity.payload_crc_errors")),
+      c_request_bounces_(reg_->counter("client.integrity.request_bounces")) {
   cfg_.reconnect_attempts = std::max(0, cfg_.reconnect_attempts);
   if (cfg_.roundtrip_timeout_ms > 0) {
     wd_thread_ = std::thread([this] { watchdog_loop(); });
@@ -90,13 +93,21 @@ bool Client::watchdog_disarm() {
 bool Client::connection_lost(Errc e) {
   // Transport-level failures: the reply (if any) is unrecoverable on this
   // connection, but every forwarded op is idempotent, so a fresh connection
-  // may replay it. Protocol violations are not retried.
+  // may replay it. A checksum mismatch is the same class of fault — the
+  // bytes, not the peer, are wrong — so corrupted replies are also redialed
+  // and replayed. Protocol violations are not retried.
   return e == Errc::not_connected || e == Errc::shutdown || e == Errc::io_error ||
-         e == Errc::timed_out;
+         e == Errc::timed_out || e == Errc::checksum_error;
 }
 
 Result<Client::Reply> Client::roundtrip_once(FrameHeader req, std::span<const std::byte> payload) {
   req.seq = next_seq_++;
+  if (req.op == OpCode::hello) {
+    req.version = cfg_.max_wire_version;  // advertise our best; server clamps
+  } else {
+    req.version = neg_version_;
+    if (neg_version_ >= 1 && !payload.empty()) req.stamp_payload_crc(payload);
+  }
 
   watchdog_arm();
   auto finish = [&](Result<Reply> r) -> Result<Reply> {
@@ -120,7 +131,10 @@ Result<Client::Reply> Client::roundtrip_once(FrameHeader req, std::span<const st
   std::byte rep_buf[FrameHeader::kWireSize];
   if (Status st = stream_->read_exact(rep_buf, sizeof rep_buf); !st.is_ok()) return finish(st);
   auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(rep_buf));
-  if (!hdr.is_ok()) return finish(hdr.status());
+  if (!hdr.is_ok()) {
+    if (hdr.code() == Errc::checksum_error) c_header_crc_errors_.inc();
+    return finish(hdr.status());
+  }
   Reply r;
   r.header = hdr.value();
   if (r.header.type != MsgType::reply || r.header.seq != req.seq) {
@@ -132,7 +146,29 @@ Result<Client::Reply> Client::roundtrip_once(FrameHeader req, std::span<const st
       return finish(st);
     }
   }
+  // Verify the reply payload against its checksum (flag-driven: a v0 server
+  // never sets kFlagPayloadCrc and is accepted unchecked). A mismatch is a
+  // transport fault — the caller redials and replays the idempotent op.
+  if (!r.header.payload_crc_ok(r.payload)) {
+    c_payload_crc_errors_.inc();
+    return finish(Status(Errc::checksum_error, "reply payload crc mismatch"));
+  }
   return finish(std::move(r));
+}
+
+Status Client::hello_locked() {
+  if (hello_done_ || cfg_.max_wire_version == 0) return Status::ok();
+  FrameHeader req;
+  req.type = MsgType::request;
+  req.op = OpCode::hello;
+  req.deadline_ms = cfg_.deadline_ms;
+  auto r = roundtrip_once(req, {});
+  if (!r.is_ok()) return r.status();
+  const auto code = static_cast<Errc>(r.value().header.status);
+  if (code != Errc::ok) return Status(code, "hello rejected");
+  neg_version_ = std::min(r.value().header.version, cfg_.max_wire_version);
+  hello_done_ = true;
+  return Status::ok();
 }
 
 Status Client::reconnect_locked(int attempt) {
@@ -147,6 +183,16 @@ Status Client::reconnect_locked(int attempt) {
   auto fresh = factory_();
   if (!fresh.is_ok()) return fresh.status();
   stream_ = std::move(fresh).value();
+
+  // Each connection negotiates its own wire version — redo the hello before
+  // anything else so the open replays below already travel checksummed.
+  hello_done_ = false;
+  neg_version_ = 0;
+  if (Status st = hello_locked(); !st.is_ok()) {
+    stream_->close();
+    stream_.reset();
+    return st;
+  }
 
   // Replay the descriptor table. The server's descriptor database survives
   // the dead connection, so "fd already open" means the descriptor (and any
@@ -196,8 +242,32 @@ Result<Client::Reply> Client::roundtrip(FrameHeader req, std::span<const std::by
         continue;
       }
     }
+    // First traffic on a fresh initial stream: negotiate the wire version
+    // (reconnect_locked already did this for redialed streams; shutdown
+    // needs no negotiation — it carries no payload either way).
+    if (req.op != OpCode::shutdown) {
+      if (Status st = hello_locked(); !st.is_ok()) {
+        last = st;
+        if (!reconnectable || !connection_lost(st.code())) return st;
+        stream_->close();
+        stream_.reset();
+        continue;
+      }
+    }
     auto r = roundtrip_once(req, payload);
     if (r.is_ok()) {
+      // A checksum_error *status* means our request arrived corrupted and
+      // the server bounced it without executing. The connection itself is
+      // fine, but redial-and-replay is the one recovery path that handles
+      // every corruption uniformly.
+      if (static_cast<Errc>(r.value().header.status) == Errc::checksum_error &&
+          reconnectable) {
+        c_request_bounces_.inc();
+        last = Status(Errc::checksum_error, "request bounced by server");
+        stream_->close();
+        stream_.reset();
+        continue;
+      }
       if (attempt > 0) c_replays_.inc();
       return r;
     }
@@ -301,7 +371,15 @@ ClientStats Client::stats() const {
   s.replays = c_replays_.value();
   s.timeouts = c_timeouts_.value();
   s.giveups = c_giveups_.value();
+  s.header_crc_errors = c_header_crc_errors_.value();
+  s.payload_crc_errors = c_payload_crc_errors_.value();
+  s.request_bounces = c_request_bounces_.value();
   return s;
+}
+
+std::uint16_t Client::negotiated_version() const {
+  std::scoped_lock lock(mu_);
+  return neg_version_;
 }
 
 }  // namespace iofwd::rt

@@ -59,6 +59,11 @@ struct ClientConfig {
   // Shared metric registry for the "client.*" namespace (null = the client
   // owns a private one). See DESIGN.md §11.
   obs::MetricRegistry* registry = nullptr;
+  // Highest wire-protocol version to offer in the hello handshake
+  // (DESIGN.md §12). kProtoVersion turns on per-payload CRC32C when the
+  // server also speaks v1; 0 emulates a legacy client (no hello is sent and
+  // checksums stay off in both directions).
+  std::uint16_t max_wire_version = kProtoVersion;
 };
 
 // Snapshot view over the client's metric registry ("client.*" counters),
@@ -69,6 +74,10 @@ struct ClientStats {
   std::uint64_t replays = 0;     // ops that succeeded on a retry connection
   std::uint64_t timeouts = 0;    // roundtrips killed by the watchdog
   std::uint64_t giveups = 0;     // ops that exhausted the reconnect budget
+  // Integrity counters (DESIGN.md §12).
+  std::uint64_t header_crc_errors = 0;   // corrupted reply headers
+  std::uint64_t payload_crc_errors = 0;  // corrupted reply payloads
+  std::uint64_t request_bounces = 0;     // requests the server bounced as corrupt
 };
 
 class Client {
@@ -94,6 +103,11 @@ class Client {
   // True if the last write() was acknowledged as staged (async mode).
   [[nodiscard]] bool last_write_was_staged() const { return last_staged_; }
 
+  // The wire version negotiated on the current connection: 0 before the
+  // first roundtrip (or when either side is v0), >= 1 when payload
+  // checksums are active.
+  [[nodiscard]] std::uint16_t negotiated_version() const;
+
   [[nodiscard]] ClientStats stats() const;
 
   // The registry backing stats() — client-owned unless ClientConfig::registry
@@ -113,6 +127,10 @@ class Client {
   // Establish a fresh stream via the factory (with backoff for `attempt`
   // >= 1) and replay open() for every tracked descriptor. mu_ held.
   Status reconnect_locked(int attempt);
+  // Negotiate the wire version on a fresh connection (mu_ held): sends
+  // `hello` with max_wire_version and records the server's clamp. No-op
+  // when already negotiated or when configured as a v0 peer.
+  Status hello_locked();
   [[nodiscard]] static bool connection_lost(Errc e);
 
   // Roundtrip watchdog (lazily started when roundtrip_timeout_ms > 0).
@@ -129,6 +147,8 @@ class Client {
   std::uint64_t next_seq_ = 1;
   bool last_staged_ = false;
   std::map<int, std::string> open_paths_;  // fd -> path, for reconnect replay
+  bool hello_done_ = false;     // version negotiated on the current stream
+  std::uint16_t neg_version_ = 0;
 
   // Registry-backed counters ("client.*"); replaces the old stats_ member.
   std::unique_ptr<obs::MetricRegistry> owned_registry_;
@@ -137,6 +157,9 @@ class Client {
   obs::Counter& c_replays_;
   obs::Counter& c_timeouts_;
   obs::Counter& c_giveups_;
+  obs::Counter& c_header_crc_errors_;
+  obs::Counter& c_payload_crc_errors_;
+  obs::Counter& c_request_bounces_;
 
   std::mutex wd_mu_;
   std::condition_variable wd_cv_;

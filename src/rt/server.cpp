@@ -51,6 +51,10 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
       c_degraded_sync_writes_(reg_->counter("server.degraded_sync_writes")),
       c_degraded_enters_(reg_->counter("server.degraded_enters")),
       c_degraded_ns_(reg_->counter("server.degraded_ns")),
+      c_hellos_(reg_->counter("server.integrity.hellos")),
+      c_header_crc_errors_(reg_->counter("server.integrity.header_crc_errors")),
+      c_payload_crc_errors_(reg_->counter("server.integrity.payload_crc_errors")),
+      c_frames_rejected_(reg_->counter("server.integrity.frames_rejected")),
       h_write_lat_us_(reg_->histogram("server.write_latency_us")),
       h_read_lat_us_(reg_->histogram("server.read_latency_us")),
       g_queue_depth_(reg_->gauge("server.queue_depth")),
@@ -92,6 +96,40 @@ void IonServer::serve(std::unique_ptr<ByteStream> stream) {
   }
   conns_.push_back(conn);
   threads_.emplace_back([this, conn] { receiver_loop(conn); });
+}
+
+namespace {
+
+// In-memory one-shot stream for feed_bytes: reads drain a fixed buffer then
+// report EOF; writes (replies) are swallowed. No locking — feed_bytes runs
+// the receiver inline and workers only ever write_all, which is a no-op.
+class ScriptedStream final : public ByteStream {
+ public:
+  explicit ScriptedStream(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  Status read_exact(void* buf, std::size_t n) override {
+    if (closed_.load(std::memory_order_relaxed) || bytes_.size() - pos_ < n) {
+      return Status(Errc::shutdown, "script exhausted");
+    }
+    std::memcpy(buf, bytes_.data() + pos_, n);
+    pos_ += n;
+    return Status::ok();
+  }
+  Status write_all(const void*, std::size_t) override { return Status::ok(); }
+  void close() override { closed_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+void IonServer::feed_bytes(std::span<const std::byte> bytes) {
+  auto conn = std::make_shared<ClientConn>();
+  conn->stream = std::make_unique<ScriptedStream>(bytes);
+  receiver_loop(std::move(conn));
 }
 
 void IonServer::serve_listener(std::unique_ptr<Listener> listener) {
@@ -142,6 +180,10 @@ ServerStats IonServer::stats() const {
   s.degraded_sync_writes = c_degraded_sync_writes_.value();
   s.degraded_enters = c_degraded_enters_.value();
   s.degraded_ns = c_degraded_ns_.value();
+  s.hellos = c_hellos_.value();
+  s.header_crc_errors = c_header_crc_errors_.value();
+  s.payload_crc_errors = c_payload_crc_errors_.value();
+  s.frames_rejected = c_frames_rejected_.value();
   s.queue_batches = queue_.batches();
   s.queue_max_depth = queue_.max_depth();
   s.bml_blocked = pool_.blocked_acquires();
@@ -229,17 +271,45 @@ void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
     if (!conn->stream->read_exact(hdr_buf, sizeof hdr_buf).is_ok()) break;
     auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(hdr_buf));
     if (!hdr.is_ok()) {
+      // A corrupted header is unrecoverable on this connection: the framing
+      // is lost (payload_len is untrustworthy), so drop the client and let
+      // its reconnect-and-replay path recover. Protocol violations (valid
+      // CRC, bad fields) are a hostile or broken peer — also dropped.
+      if (hdr.code() == Errc::checksum_error) {
+        c_header_crc_errors_.inc();
+        if (fr_) fr_->record("hdr_crc_error", -1, 0, 0, static_cast<int>(hdr.code()));
+      } else {
+        c_frames_rejected_.inc();
+        if (fr_) fr_->record("frame_rejected", -1, 0, 0, static_cast<int>(hdr.code()));
+      }
       IOFWD_LOG_WARN("dropping client: %s", hdr.status().to_string().c_str());
       break;
     }
     const FrameHeader req = hdr.value();
     const auto arrival = std::chrono::steady_clock::now();
     if (req.type != MsgType::request) {
+      c_frames_rejected_.inc();
       IOFWD_LOG_WARN("unexpected frame type from client");
       break;
     }
-    c_ops_.inc();
+    // Ops that carry no request payload must say so: a nonzero payload_len
+    // would desynchronize the stream (those bytes were never sent, or worse,
+    // are a smuggled frame). `read` passes the requested length here and
+    // `open`/`write` legitimately carry payloads.
+    if (req.payload_len != 0 &&
+        (req.op == OpCode::close || req.op == OpCode::fsync || req.op == OpCode::fstat ||
+         req.op == OpCode::shutdown || req.op == OpCode::hello)) {
+      c_frames_rejected_.inc();
+      IOFWD_LOG_WARN("dropping client: unexpected payload on %s", opcode_name(req.op));
+      break;
+    }
+    // hello is control-plane: it gets its own counter and stays out of
+    // server.ops so op accounting still means "forwarded I/O calls".
+    if (req.op != OpCode::hello) c_ops_.inc();
     switch (req.op) {
+      case OpCode::hello:
+        handle_hello(*conn, req);
+        break;
       case OpCode::open:
         handle_open(*conn, req, arrival);
         break;
@@ -264,6 +334,12 @@ void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
         return;
     }
   }
+  // Dropping a client (corrupt header, protocol violation, peer EOF) must
+  // close our endpoint too: an in-process peer blocked in read_exact only
+  // wakes when the shared pipe is marked closed — without this, a client
+  // waiting for a reply to its (corrupted, never-executed) request would
+  // hang instead of redialing.
+  conn->stream->close();
 }
 
 Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status status,
@@ -277,6 +353,8 @@ Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status st
   rep.status = static_cast<std::int32_t>(status.code());
   rep.payload_len = payload.size();
   if (staged) rep.flags |= FrameHeader::kFlagStaged;
+  rep.version = conn.version.load(std::memory_order_relaxed);
+  if (rep.version >= 1 && !payload.empty()) rep.stamp_payload_crc(payload);
 
   std::byte buf[FrameHeader::kWireSize];
   rep.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
@@ -311,11 +389,33 @@ void IonServer::note_completed(int fd, std::uint64_t seq, const Status& st) {
   db_cv_.notify_all();
 }
 
+void IonServer::handle_hello(ClientConn& conn, const FrameHeader& req) {
+  // Version negotiation (DESIGN.md §12): the client advertises its highest
+  // supported version; both sides settle on the minimum. The reply header's
+  // version field carries the verdict. A v0 client never sends hello and
+  // the connection simply stays at version 0 (no payload checksums).
+  const std::uint16_t negotiated = std::min(req.version, cfg_.max_wire_version);
+  conn.version.store(negotiated, std::memory_order_relaxed);
+  c_hellos_.inc();
+  (void)send_reply(conn, req, Status::ok());
+}
+
 void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
                             std::chrono::steady_clock::time_point arrival) {
   std::string path(req.payload_len, '\0');
   if (req.payload_len > 0 &&
       !conn.stream->read_exact(path.data(), path.size()).is_ok()) {
+    return;
+  }
+  if (!req.payload_crc_ok(std::as_bytes(std::span(path.data(), path.size())))) {
+    // Framing is intact (the header CRC passed), so the connection is still
+    // usable: bounce just this op and let the client replay it.
+    c_payload_crc_errors_.inc();
+    if (fr_) fr_->record("payload_crc_error", req.fd, req.payload_len, 0,
+                         static_cast<int>(Errc::checksum_error));
+    const Status st(Errc::checksum_error, "open path crc mismatch");
+    observe_op(req, arrival, st);
+    (void)send_reply(conn, req, st);
     return;
   }
   Status st;
@@ -332,8 +432,8 @@ void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
       (void)db_.close_descriptor(req.fd);
     }
   }
-  (void)send_reply(conn, req, st);
   observe_op(req, arrival, st);
+  (void)send_reply(conn, req, st);
 }
 
 void IonServer::handle_close(ClientConn& conn, const FrameHeader& req,
@@ -353,8 +453,8 @@ void IonServer::handle_close(ClientConn& conn, const FrameHeader& req,
   }
   Status be = backend_->close(req.fd);
   const Status final_st = deferred.is_ok() ? be : deferred;
-  (void)send_reply(conn, req, final_st);
   observe_op(req, arrival, final_st);
+  (void)send_reply(conn, req, final_st);
 }
 
 void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
@@ -363,21 +463,21 @@ void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
   if (tracer_ != nullptr) sp.emplace(tracer_->span(opcode_name(req.op), "op", kInlineLane));
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
-    (void)send_reply(conn, req, deferred);
     observe_op(req, arrival, deferred);
+    (void)send_reply(conn, req, deferred);
     return;
   }
   if (past_deadline(req, arrival)) {
     // The drain barrier outlived the op's budget: bounce without executing.
     c_deadline_expired_.inc();
     const Status st(Errc::timed_out, "deadline expired in drain");
-    (void)send_reply(conn, req, st);
     observe_op(req, arrival, st);
+    (void)send_reply(conn, req, st);
     return;
   }
   const Status st = backend_->fsync(req.fd);
-  (void)send_reply(conn, req, st);
   observe_op(req, arrival, st);
+  (void)send_reply(conn, req, st);
 }
 
 void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
@@ -386,28 +486,28 @@ void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
   // writes so the size is accurate, surface deferred errors first.
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
-    (void)send_reply(conn, req, deferred);
     observe_op(req, arrival, deferred);
+    (void)send_reply(conn, req, deferred);
     return;
   }
   if (past_deadline(req, arrival)) {
     c_deadline_expired_.inc();
     const Status st(Errc::timed_out, "deadline expired in drain");
-    (void)send_reply(conn, req, st);
     observe_op(req, arrival, st);
+    (void)send_reply(conn, req, st);
     return;
   }
   auto sz = backend_->size(req.fd);
   if (!sz.is_ok()) {
-    (void)send_reply(conn, req, sz.status());
     observe_op(req, arrival, sz.status());
+    (void)send_reply(conn, req, sz.status());
     return;
   }
   std::byte payload[8];
   const std::uint64_t v = sz.value();
   std::memcpy(payload, &v, 8);
-  (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
   observe_op(req, arrival, Status::ok());
+  (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
 }
 
 void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
@@ -431,20 +531,29 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
       return;
     }
     c_bytes_in_.add(req.payload_len);
+    if (!req.payload_crc_ok(heap)) {
+      c_payload_crc_errors_.inc();
+      if (fr_) fr_->record("payload_crc_error", req.fd, req.payload_len, 0,
+                           static_cast<int>(Errc::checksum_error));
+      const Status st(Errc::checksum_error, "write payload crc mismatch");
+      observe_op(req, arrival, st);
+      (void)send_reply(*conn, req, st);
+      return;
+    }
     c_bml_timeouts_.inc();
     c_degraded_passthrough_.inc();
     if (cfg_.exec == ExecModel::work_queue_async) {
       if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
-        (void)send_reply(*conn, req, deferred);
         observe_op(req, arrival, deferred);
+        (void)send_reply(*conn, req, deferred);
         return;
       }
     }
     std::optional<obs::RuntimeTracer::Span> sp;
     if (tracer_ != nullptr) sp.emplace(tracer_->span("write (passthrough)", "op", kInlineLane));
     const Status st = do_write(req, heap);
-    (void)send_reply(*conn, req, st);
     observe_op(req, arrival, st);
+    (void)send_reply(*conn, req, st);
     return;
   }
   if (!buf.is_ok()) {
@@ -456,6 +565,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
       if (!conn->stream->read_exact(sink.data(), n).is_ok()) return;
       left -= n;
     }
+    observe_op(req, arrival, buf.status());
     (void)send_reply(*conn, req, buf.status());
     return;
   }
@@ -466,12 +576,26 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
   }
   c_bytes_in_.add(req.payload_len);
 
+  // Verify the payload checksum before the bytes reach the BML staging path
+  // or the descriptor database — a flipped bit bounces here, synchronously,
+  // so the staged early-ack can never acknowledge corrupt data.
+  if (!req.payload_crc_ok(std::span<const std::byte>(payload.data(), req.payload_len))) {
+    payload.release();
+    c_payload_crc_errors_.inc();
+    if (fr_) fr_->record("payload_crc_error", req.fd, req.payload_len, 0,
+                         static_cast<int>(Errc::checksum_error));
+    const Status st(Errc::checksum_error, "write payload crc mismatch");
+    observe_op(req, arrival, st);
+    (void)send_reply(*conn, req, st);
+    return;
+  }
+
   // Deferred-error gate (async mode): surface the oldest unreported error
   // instead of executing this operation.
   if (cfg_.exec == ExecModel::work_queue_async) {
     if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
-      (void)send_reply(*conn, req, deferred);
       observe_op(req, arrival, deferred);
+      (void)send_reply(*conn, req, deferred);
       return;
     }
   }
@@ -535,8 +659,8 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
     // Read barrier: in-flight writes on this descriptor land first.
     drain_descriptor(req.fd);
     if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
-      (void)send_reply(*conn, req, deferred);
       observe_op(req, arrival, deferred);
+      (void)send_reply(*conn, req, deferred);
       return;
     }
   }
@@ -595,11 +719,14 @@ void IonServer::execute_task(Task& t, int lane) {
     t.payload.release();
     c_deadline_expired_.inc();
     const Status st(Errc::timed_out, "deadline expired in queue");
+    // Observe before note_completed: completion releases fsync/close drain
+    // barriers, so recording first keeps op metrics and flight-recorder
+    // entries ordered before anything the barrier unblocks.
+    observe_op(t.req, t.arrival, st);
     if (t.record_in_db) note_completed(t.req.fd, t.db_seq, st);
     if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
       (void)send_reply(*t.conn, t.req, st);
     }
-    observe_op(t.req, t.arrival, st);
     return;
   }
   if (t.req.op == OpCode::write) {
@@ -614,33 +741,33 @@ void IonServer::execute_task(Task& t, int lane) {
                     std::span<const std::byte>(t.payload.data(), t.req.payload_len));
       t.payload.release();  // back to the BML pool as early as possible
     }
+    observe_op(t.req, t.arrival, st);  // before note_completed — see above
     if (t.record_in_db) {
       note_completed(t.req.fd, t.db_seq, st);
     }
     if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
       (void)send_reply(*t.conn, t.req, st);
     }
-    observe_op(t.req, t.arrival, st);
     return;
   }
   assert(t.req.op == OpCode::read);
   auto buf = pool_.acquire(t.req.payload_len);
   if (!buf.is_ok()) {
-    (void)send_reply(*t.conn, t.req, buf.status());
     observe_op(t.req, t.arrival, buf.status());
+    (void)send_reply(*t.conn, t.req, buf.status());
     return;
   }
   Buffer out = std::move(buf).value();
   auto r = backend_->read(t.req.fd, t.req.offset,
                           std::span<std::byte>(out.data(), t.req.payload_len));
   if (!r.is_ok()) {
-    (void)send_reply(*t.conn, t.req, r.status());
     observe_op(t.req, t.arrival, r.status());
+    (void)send_reply(*t.conn, t.req, r.status());
     return;
   }
+  observe_op(t.req, t.arrival, Status::ok());
   (void)send_reply(*t.conn, t.req, Status::ok(),
                    std::span<const std::byte>(out.data(), r.value()));
-  observe_op(t.req, t.arrival, Status::ok());
 }
 
 }  // namespace iofwd::rt

@@ -97,6 +97,10 @@ struct ServerConfig {
   obs::RuntimeTracer* tracer = nullptr;
   // Completed-op flight-recorder ring (dumped on SIGUSR1). 0 = disabled.
   std::size_t flight_recorder_ops = 256;
+  // Highest wire-protocol version offered during hello negotiation
+  // (DESIGN.md §12). kProtoVersion enables per-payload CRC32C with v1
+  // clients; 0 emulates a legacy server (checksums stay off).
+  std::uint16_t max_wire_version = kProtoVersion;
 };
 
 // Snapshot view over the server's metric registry, assembled by stats().
@@ -131,6 +135,11 @@ struct ServerStats {
   std::uint64_t degraded_ns = 0;             // time spent in sync-staging mode
   std::uint64_t bml_in_use = 0;              // leased BML bytes right now
   std::uint64_t bb_degraded_writes = 0;      // cache writes that fell through
+  // Integrity counters (DESIGN.md §12).
+  std::uint64_t hellos = 0;                  // version negotiations completed
+  std::uint64_t header_crc_errors = 0;       // corrupted headers (client dropped)
+  std::uint64_t payload_crc_errors = 0;      // corrupted payloads (op bounced)
+  std::uint64_t frames_rejected = 0;         // protocol violations (client dropped)
 };
 
 class IonServer {
@@ -146,6 +155,14 @@ class IonServer {
   // Accept clients from a listener (UNIX or TCP) until stop() (spawns a
   // thread).
   void serve_listener(std::unique_ptr<Listener> listener);
+
+  // Fuzz/robustness entry point (DESIGN.md §12): runs the receiver loop
+  // synchronously, in the calling thread, over an in-memory stream that
+  // delivers exactly `bytes` then EOF (replies are discarded). This is the
+  // precise code path a hostile or bit-flipped peer reaches, minus the
+  // socket — tests/fuzz/server_bytes_fuzz.cpp drives it with arbitrary
+  // inputs and the checked-in corpus replays through it under ctest.
+  void feed_bytes(std::span<const std::byte> bytes);
 
   // Install a data-filtering chain (in-situ analytics / data reduction,
   // paper Sec. VII). Must be called before clients are served; applied to
@@ -176,6 +193,10 @@ class IonServer {
   struct ClientConn {
     std::unique_ptr<ByteStream> stream;
     std::mutex write_mu;  // serializes reply frames from receiver + workers
+    // Negotiated wire version: 0 until (unless) the client sends `hello`,
+    // then min(client, server). Atomic because workers stamp replies while
+    // the receiver thread negotiates.
+    std::atomic<std::uint16_t> version{0};
   };
 
   struct Task {
@@ -211,6 +232,7 @@ class IonServer {
                   const Status& st);
 
   // Inline op handlers (receiver thread).
+  void handle_hello(ClientConn& conn, const FrameHeader& req);
   void handle_open(ClientConn& conn, const FrameHeader& req,
                    std::chrono::steady_clock::time_point arrival);
   void handle_close(ClientConn& conn, const FrameHeader& req,
@@ -258,6 +280,10 @@ class IonServer {
   obs::Counter& c_degraded_sync_writes_;
   obs::Counter& c_degraded_enters_;
   obs::Counter& c_degraded_ns_;
+  obs::Counter& c_hellos_;
+  obs::Counter& c_header_crc_errors_;
+  obs::Counter& c_payload_crc_errors_;
+  obs::Counter& c_frames_rejected_;
   obs::Histogram& h_write_lat_us_;
   obs::Histogram& h_read_lat_us_;
   // Instantaneous queue/pool state, refreshed by metrics().

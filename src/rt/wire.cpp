@@ -1,5 +1,7 @@
 #include "rt/wire.hpp"
 
+#include "core/crc32c.hpp"
+
 namespace iofwd::rt {
 
 namespace {
@@ -18,6 +20,27 @@ T take(const std::byte*& p) {
   return v;
 }
 
+// An opcode is valid iff opcode_name() knows it; the switch below and the
+// enum are kept in lock-step by kMaxOpCode.
+bool valid_opcode(std::uint8_t op) {
+  switch (static_cast<OpCode>(op)) {
+    case OpCode::open:
+    case OpCode::write:
+    case OpCode::read:
+    case OpCode::close:
+    case OpCode::fsync:
+    case OpCode::shutdown:
+    case OpCode::fstat:
+    case OpCode::hello:
+      return true;
+  }
+  return false;
+}
+
+static_assert(static_cast<std::uint8_t>(OpCode::hello) == kMaxOpCode,
+              "kMaxOpCode must track the highest OpCode; update valid_opcode() "
+              "and opcode_name() together");
+
 }  // namespace
 
 void FrameHeader::encode(std::span<std::byte, kWireSize> out) const {
@@ -26,15 +49,27 @@ void FrameHeader::encode(std::span<std::byte, kWireSize> out) const {
   put(p, static_cast<std::uint8_t>(type));
   put(p, static_cast<std::uint8_t>(op));
   put(p, flags);
+  put(p, version);
+  put(p, reserved);
   put(p, fd);
   put(p, status);
   put(p, seq);
   put(p, offset);
   put(p, payload_len);
   put(p, deadline_ms);
+  put(p, payload_crc);
+  put(p, crc32c(out.data(), kCrcCoverage));
 }
 
 Result<FrameHeader> FrameHeader::decode(std::span<const std::byte, kWireSize> in) {
+  // Integrity first: any flipped bit in the header — including inside the
+  // magic or opcode — is a checksum fault, not a protocol violation.
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, in.data() + kCrcCoverage, sizeof stored_crc);
+  if (stored_crc != crc32c(in.data(), kCrcCoverage)) {
+    return Status(Errc::checksum_error, "header crc mismatch");
+  }
+
   const std::byte* p = in.data();
   FrameHeader h;
   h.magic = take<std::uint32_t>(p);
@@ -43,17 +78,43 @@ Result<FrameHeader> FrameHeader::decode(std::span<const std::byte, kWireSize> in
   if (type != 1 && type != 2) return Status(Errc::protocol_error, "bad type");
   h.type = static_cast<MsgType>(type);
   const auto op = take<std::uint8_t>(p);
-  if (op < 1 || op > 7) return Status(Errc::protocol_error, "bad opcode");
+  if (!valid_opcode(op)) return Status(Errc::protocol_error, "bad opcode");
   h.op = static_cast<OpCode>(op);
   h.flags = take<std::uint16_t>(p);
+  if ((h.flags & ~kFlagMask) != 0) return Status(Errc::protocol_error, "undefined flag bits");
+  h.version = take<std::uint16_t>(p);
+  // hello carries the sender's *highest* version (possibly above ours — the
+  // receiver clamps); every other frame must carry a version we speak.
+  if (h.version > kProtoVersion && h.op != OpCode::hello) {
+    return Status(Errc::protocol_error, "unsupported version");
+  }
+  h.reserved = take<std::uint16_t>(p);
+  if (h.reserved != 0) return Status(Errc::protocol_error, "reserved field not zero");
   h.fd = take<std::int32_t>(p);
   h.status = take<std::int32_t>(p);
   h.seq = take<std::uint64_t>(p);
   h.offset = take<std::uint64_t>(p);
   h.payload_len = take<std::uint64_t>(p);
-  h.deadline_ms = take<std::uint32_t>(p);
   if (h.payload_len > kMaxPayload) return Status(Errc::message_too_large, "payload too large");
+  h.deadline_ms = take<std::uint32_t>(p);
+  h.payload_crc = take<std::uint32_t>(p);
+  h.header_crc = stored_crc;
   return h;
+}
+
+Result<FrameHeader> FrameHeader::decode(std::span<const std::byte> in) {
+  if (in.size() != kWireSize) return Status(Errc::protocol_error, "truncated header");
+  return decode(std::span<const std::byte, kWireSize>(in.data(), kWireSize));
+}
+
+void FrameHeader::stamp_payload_crc(std::span<const std::byte> payload) {
+  payload_crc = crc32c(payload);
+  flags |= kFlagPayloadCrc;
+}
+
+bool FrameHeader::payload_crc_ok(std::span<const std::byte> payload) const {
+  if ((flags & kFlagPayloadCrc) == 0) return true;
+  return crc32c(payload) == payload_crc;
 }
 
 const char* opcode_name(OpCode op) {
@@ -65,6 +126,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::fsync: return "fsync";
     case OpCode::shutdown: return "shutdown";
     case OpCode::fstat: return "fstat";
+    case OpCode::hello: return "hello";
   }
   return "?";
 }

@@ -1,0 +1,145 @@
+#include "core/crc32c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace iofwd {
+namespace {
+
+// One-shot software CRC via the raw-state extend API: state 0 == fresh CRC.
+std::uint32_t sw_oneshot(const void* data, std::size_t n) {
+  return crc32c_sw_extend(0, data, n);
+}
+
+// RFC 3720 appendix B.4 reference vectors (iSCSI CRC32C).
+TEST(Crc32c, KnownVectors) {
+  EXPECT_EQ(crc32c(nullptr, 0), 0x00000000u);
+  EXPECT_EQ(crc32c("a", 1), 0xC1D04330u);
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+
+  std::vector<unsigned char> buf(32, 0x00);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x8A9136AAu);
+
+  std::fill(buf.begin(), buf.end(), 0xFF);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x62A8AB43u);
+
+  std::iota(buf.begin(), buf.end(), 0);  // 0x00..0x1F ascending
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x46DD794Eu);
+
+  for (int i = 0; i < 32; ++i) buf[static_cast<std::size_t>(i)] = static_cast<unsigned char>(31 - i);
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), 0x113FDB5Cu);
+}
+
+TEST(Crc32c, SoftwareMatchesKnownVectors) {
+  // The software path must be correct even on machines where hardware
+  // dispatch wins — it is the cross-check for the hw instruction.
+  EXPECT_EQ(sw_oneshot("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(sw_oneshot("a", 1), 0xC1D04330u);
+  EXPECT_EQ(sw_oneshot(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32c, DispatchedMatchesSoftwareAcrossSizesAndAlignments) {
+  Rng rng(0x1234abcdULL);
+  std::vector<unsigned char> buf(4096 + 16);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng.below(256));
+
+  const std::size_t sizes[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 1024, 4093, 4096};
+  for (std::size_t align = 0; align < 9; ++align) {
+    for (std::size_t n : sizes) {
+      const unsigned char* p = buf.data() + align;
+      EXPECT_EQ(crc32c(p, n), sw_oneshot(p, n)) << "align=" << align << " n=" << n;
+    }
+  }
+}
+
+TEST(Crc32c, DispatchedMatchesSoftwareAcrossInterleaveThreshold) {
+  // The hardware path switches to three interleaved streams with lane
+  // recombination once buffers reach 3 lanes; cover sizes straddling that
+  // threshold, non-multiples that exercise the serial tail after interleaved
+  // rounds, and a full wire-payload-sized buffer.
+  Rng rng(0xc0ffeeULL);
+  std::vector<unsigned char> buf(256 * 1024 + 9);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng.below(256));
+
+  const std::size_t sizes[] = {12287, 12288, 12289, 12295, 16384, 24576, 24577,
+                               36864, 40000,  65536, 131072, 262144};
+  for (std::size_t align = 0; align < 9; align += 4) {
+    for (std::size_t n : sizes) {
+      const unsigned char* p = buf.data() + align;
+      EXPECT_EQ(crc32c(p, n), sw_oneshot(p, n)) << "align=" << align << " n=" << n;
+    }
+  }
+
+  // Streaming across the threshold must agree with one-shot too.
+  const std::uint32_t whole = crc32c(buf.data(), 262144);
+  for (std::size_t split : {std::size_t{1}, std::size_t{12288}, std::size_t{100000}}) {
+    std::uint32_t part = crc32c(buf.data(), split);
+    part = crc32c_extend(part, buf.data() + split, 262144 - split);
+    EXPECT_EQ(part, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32c, StreamingExtendEqualsOneShot) {
+  Rng rng(0xfeedf00dULL);
+  std::vector<unsigned char> buf(2048);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng.below(256));
+
+  const std::uint32_t whole = crc32c(buf.data(), buf.size());
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+                            std::size_t{100}, std::size_t{1024}, std::size_t{2047},
+                            std::size_t{2048}}) {
+    std::uint32_t part = crc32c(buf.data(), split);
+    part = crc32c_extend(part, buf.data() + split, buf.size() - split);
+    EXPECT_EQ(part, whole) << "split=" << split;
+  }
+
+  // Many small chunks with random boundaries.
+  std::uint32_t acc = 0;
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    std::size_t step = std::min<std::size_t>(1 + rng.below(97), buf.size() - pos);
+    acc = crc32c_extend(acc, buf.data() + pos, step);
+    pos += step;
+  }
+  EXPECT_EQ(acc, whole);
+}
+
+TEST(Crc32c, SpanOverloadMatchesPointerOverload) {
+  const char* msg = "io-forwarding integrity layer";
+  const std::size_t n = std::strlen(msg);
+  std::span<const std::byte> sp(reinterpret_cast<const std::byte*>(msg), n);
+  EXPECT_EQ(crc32c(sp), crc32c(msg, n));
+  EXPECT_EQ(crc32c_extend(0, sp), crc32c(msg, n));
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  Rng rng(0x5eedULL);
+  std::vector<unsigned char> buf(512);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng.below(256));
+  const std::uint32_t good = crc32c(buf.data(), buf.size());
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t bit = rng.below(buf.size() * 8);
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(crc32c(buf.data(), buf.size()), good) << "flip at bit " << bit;
+    buf[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+  EXPECT_EQ(crc32c(buf.data(), buf.size()), good);
+}
+
+TEST(Crc32c, ImplNameIsConsistentWithAvailability) {
+  const std::string impl = crc32c_impl();
+  if (crc32c_hw_available()) {
+    EXPECT_TRUE(impl == "sse4.2" || impl == "armv8-crc") << impl;
+  } else {
+    EXPECT_EQ(impl, "software");
+  }
+}
+
+}  // namespace
+}  // namespace iofwd

@@ -124,5 +124,104 @@ TEST(FaultyStream, PlanDrivenWriteFaultSkipsTheWire) {
   EXPECT_EQ(faulty.write_all("nope", 4).code(), Errc::shutdown);
 }
 
+// ---------------------------------------------------------------------------
+// Corruption actions (DESIGN.md §12): the op proceeds, the bytes lie.
+// ---------------------------------------------------------------------------
+
+int bit_difference(std::span<const std::byte> a, std::span<const std::byte> b) {
+  int bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto x = static_cast<unsigned char>(a[i] ^ b[i]);
+    while (x != 0) {
+      bits += x & 1;
+      x >>= 1;
+    }
+  }
+  return bits;
+}
+
+TEST(FaultyStream, BitFlipDamagesExactlyOneBitInFlight) {
+  auto [a, b] = rt::InProcTransport::make_pair();
+  auto plan = std::make_shared<FaultPlan>(/*seed=*/7);
+  plan->add({.op = OpKind::stream_write, .action = FaultAction::bit_flip, .nth = 2});
+  FaultyStream faulty(std::move(a), plan);
+
+  const auto sent = bytes_of("a message that must arrive bit-perfect");
+  ASSERT_TRUE(faulty.write_all(sent.data(), sent.size()).is_ok());
+  std::vector<std::byte> got(sent.size());
+  ASSERT_TRUE(b->read_exact(got.data(), got.size()).is_ok());
+  EXPECT_EQ(got, sent) << "rule arms on the 2nd write";
+
+  ASSERT_TRUE(faulty.write_all(sent.data(), sent.size()).is_ok())
+      << "bit_flip must not fail the write";
+  ASSERT_TRUE(b->read_exact(got.data(), got.size()).is_ok());
+  EXPECT_EQ(bit_difference(sent, got), 1);
+  EXPECT_EQ(plan->fired(), 1u) << "corruption counts as a fired fault";
+
+  // The caller's buffer is never touched — only the wire copy is damaged.
+  EXPECT_EQ(sent, bytes_of("a message that must arrive bit-perfect"));
+}
+
+TEST(FaultyStream, BitFlipOnReadDamagesTheReceivedCopy) {
+  auto [a, b] = rt::InProcTransport::make_pair();
+  auto plan = std::make_shared<FaultPlan>(/*seed=*/8);
+  plan->add({.op = OpKind::stream_read, .action = FaultAction::bit_flip, .nth = 1});
+  FaultyStream faulty(std::move(a), plan);
+
+  const auto sent = bytes_of("reply payload");
+  ASSERT_TRUE(b->write_all(sent.data(), sent.size()).is_ok());
+  std::vector<std::byte> got(sent.size());
+  ASSERT_TRUE(faulty.read_exact(got.data(), got.size()).is_ok());
+  EXPECT_EQ(bit_difference(sent, got), 1);
+}
+
+TEST(FaultyStream, GarbageScribblesABoundedWindow) {
+  auto [a, b] = rt::InProcTransport::make_pair();
+  auto plan = std::make_shared<FaultPlan>(/*seed=*/9);
+  plan->add({.op = OpKind::stream_write, .action = FaultAction::garbage, .nth = 1});
+  FaultyStream faulty(std::move(a), plan);
+
+  const std::vector<std::byte> sent(256, std::byte{0x5a});
+  ASSERT_TRUE(faulty.write_all(sent.data(), sent.size()).is_ok());
+  std::vector<std::byte> got(sent.size());
+  ASSERT_TRUE(b->read_exact(got.data(), got.size()).is_ok());
+  std::size_t damaged = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) damaged += got[i] != sent[i] ? 1 : 0;
+  EXPECT_GT(damaged, 0u);
+  EXPECT_LE(damaged, 16u) << "garbage is a bounded window, not the whole frame";
+}
+
+TEST(FaultyStream, TruncateDeliversPrefixThenDropsLine) {
+  auto [a, b] = rt::InProcTransport::make_pair();
+  auto plan = std::make_shared<FaultPlan>(/*seed=*/10);
+  plan->add({.op = OpKind::stream_write, .action = FaultAction::truncate, .nth = 1});
+  FaultyStream faulty(std::move(a), plan);
+
+  const std::vector<std::byte> sent(128, std::byte{0x11});
+  EXPECT_EQ(faulty.write_all(sent.data(), sent.size()).code(), Errc::shutdown);
+  // The peer drains whatever prefix arrived, then hits the closed line.
+  std::byte one[1];
+  while (b->read_exact(one, 1).is_ok()) {
+  }
+  SUCCEED();
+}
+
+TEST(FaultyStream, CorruptionIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto [a, b] = rt::InProcTransport::make_pair();
+    auto plan = std::make_shared<FaultPlan>(seed);
+    plan->add({.op = OpKind::stream_write, .action = FaultAction::bit_flip,
+               .probability = 1.0});
+    FaultyStream faulty(std::move(a), plan);
+    const std::vector<std::byte> sent(64, std::byte{0});
+    [&] { ASSERT_TRUE(faulty.write_all(sent.data(), sent.size()).is_ok()); }();
+    std::vector<std::byte> got(sent.size());
+    [&] { ASSERT_TRUE(b->read_exact(got.data(), got.size()).is_ok()); }();
+    return got;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43)) << "different seeds flip different bits";
+}
+
 }  // namespace
 }  // namespace iofwd::fault

@@ -77,9 +77,11 @@ TEST(Reconnect, ReplayedReadAfterReconnectSeesEarlierWrites) {
   Fx fx;
   auto [s0, c0] = rt::InProcTransport::make_pair();
   fx.server->serve(std::move(s0));
-  // Budget: open + first write survive; the read request later hits the cut.
+  // Budget: hello + open + first write survive; the read request later hits
+  // the cut (hello 56 B, open 56+2 B, write 56 B + 4 KiB, then 10 B of the
+  // read header).
   auto cut = std::make_unique<FaultyStream>(std::move(c0),
-                                            rt::FrameHeader::kWireSize * 2 + 4_KiB + 10);
+                                            rt::FrameHeader::kWireSize * 3 + 4_KiB + 12);
   rt::Client client(std::move(cut), {}, factory_for(*fx.server));
 
   ASSERT_TRUE(client.open(3, "rr").is_ok());
@@ -95,7 +97,8 @@ TEST(Reconnect, WithoutFactoryTheCutSurfaces) {
   Fx fx;
   auto [s0, c0] = rt::InProcTransport::make_pair();
   fx.server->serve(std::move(s0));
-  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize + 10);
+  // hello + open (1-byte path) fit; the write's header hits the cut.
+  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize * 2 + 10);
   rt::Client client(std::move(cut));  // no StreamFactory
   ASSERT_TRUE(client.open(1, "x").is_ok());
   EXPECT_FALSE(client.write(1, 0, pattern(4_KiB, 13)).is_ok());
@@ -114,7 +117,8 @@ TEST(Reconnect, BoundedAttemptsThenGiveup) {
   };
   auto [s0, c0] = rt::InProcTransport::make_pair();
   fx.server->serve(std::move(s0));
-  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize + 5);
+  // hello + open fit; the write's header hits the cut.
+  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize * 2 + 5);
 
   rt::ClientConfig cfg;
   cfg.reconnect_attempts = 2;

@@ -1,0 +1,335 @@
+// Deterministic corpus driver for the integrity fuzz targets.
+//
+// libFuzzer needs clang and -fsanitize=fuzzer; plain ctest runs everywhere.
+// This driver bridges the two: it links BOTH fuzz target bodies (compiled
+// with IOFWD_CORPUS_DRIVER so their LLVMFuzzerTestOneInput symbols do not
+// collide) and
+//
+//   1. replays every checked-in corpus file through its target, and
+//   2. runs a seeded mutation storm per file (bit flips, truncations, byte
+//      rewrites, duplications) so the decode/receive paths see thousands of
+//      near-valid inputs on every ctest run — the corpus stays a regression
+//      suite even on toolchains without libFuzzer.
+//
+// `--regen <corpus_root>` rewrites the seed corpus from scratch; seeds are
+// built with the real encoder (valid frames for every opcode, whole
+// sessions) plus surgically damaged variants (bad magic with a fixed-up
+// CRC, oversize payload_len, undefined flags, flipped CRC, truncations) so
+// the fuzzer starts inside the interesting part of the input space instead
+// of fighting a 32-bit checksum.
+//
+// Usage:
+//   fuzz_corpus_driver <corpus_root>            # replay + mutate (ctest)
+//   fuzz_corpus_driver --regen <corpus_root>    # rewrite the seed corpus
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crc32c.hpp"
+#include "core/log.hpp"
+#include "core/rng.hpp"
+#include "fuzz_targets.hpp"
+#include "rt/wire.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using iofwd::Rng;
+using iofwd::rt::FrameHeader;
+using iofwd::rt::MsgType;
+using iofwd::rt::OpCode;
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes encode(const FrameHeader& h) {
+  Bytes out(FrameHeader::kWireSize);
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(
+      reinterpret_cast<std::byte*>(out.data()), FrameHeader::kWireSize));
+  return out;
+}
+
+// Patch raw header bytes, then restore CRC validity so decode reaches the
+// field checks instead of bouncing at the checksum.
+Bytes patch(Bytes b, std::size_t off, std::initializer_list<std::uint8_t> v) {
+  std::copy(v.begin(), v.end(), b.begin() + static_cast<std::ptrdiff_t>(off));
+  const std::uint32_t crc = iofwd::crc32c(b.data(), FrameHeader::kCrcCoverage);
+  std::memcpy(b.data() + FrameHeader::kCrcCoverage, &crc, sizeof crc);
+  return b;
+}
+
+void append(Bytes& out, const Bytes& frame) {
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+FrameHeader request(OpCode op, std::uint64_t seq, int fd = 1) {
+  FrameHeader h;
+  h.type = MsgType::request;
+  h.op = op;
+  h.seq = seq;
+  h.fd = fd;
+  h.version = iofwd::rt::kProtoVersion;
+  return h;
+}
+
+Bytes payload_frame(FrameHeader h, const Bytes& payload, bool valid_crc = true) {
+  h.payload_len = payload.size();
+  h.stamp_payload_crc(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(payload.data()), payload.size()));
+  if (!valid_crc) h.payload_crc ^= 0xdeadbeef;
+  Bytes out = encode(h);
+  append(out, payload);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Seed corpus
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<std::string, Bytes>> frame_decode_seeds() {
+  std::vector<std::pair<std::string, Bytes>> seeds;
+  for (std::uint8_t op = 1; op <= iofwd::rt::kMaxOpCode; ++op) {
+    FrameHeader h = request(static_cast<OpCode>(op), op);
+    h.offset = 4096;
+    h.payload_len = op == 2 ? 8192 : 0;
+    h.deadline_ms = 50;
+    seeds.emplace_back("valid-op" + std::to_string(op), encode(h));
+  }
+  {
+    FrameHeader rep = request(OpCode::write, 9);
+    rep.type = MsgType::reply;
+    rep.flags = FrameHeader::kFlagStaged;
+    seeds.emplace_back("valid-staged-reply", encode(rep));
+  }
+  {
+    FrameHeader hello = request(OpCode::hello, 1);
+    hello.version = 7;  // from the future: decode accepts, receiver clamps
+    seeds.emplace_back("hello-future-version", encode(hello));
+  }
+  const Bytes base = encode(request(OpCode::read, 3));
+  seeds.emplace_back("bad-magic", patch(base, 0, {0x58, 0x58, 0x58, 0x58}));
+  seeds.emplace_back("bad-type", patch(base, 4, {9}));
+  seeds.emplace_back("bad-opcode", patch(base, 5, {0x7f}));
+  seeds.emplace_back("undefined-flags", patch(base, 6, {0xf0, 0xff}));
+  seeds.emplace_back("future-version-non-hello", patch(base, 8, {0x09, 0x00}));
+  seeds.emplace_back("reserved-nonzero", patch(base, 10, {0x01, 0x00}));
+  seeds.emplace_back("oversize-payload",
+                     patch(base, 36, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}));
+  {
+    Bytes flipped = base;
+    flipped[20] ^= 0x01;  // body bit flip, CRC left stale -> checksum_error
+    seeds.emplace_back("crc-mismatch", std::move(flipped));
+  }
+  seeds.emplace_back("truncated", Bytes(base.begin(), base.begin() + 20));
+  seeds.emplace_back("one-byte", Bytes{0x49});
+  return seeds;
+}
+
+std::vector<std::pair<std::string, Bytes>> server_bytes_seeds() {
+  std::vector<std::pair<std::string, Bytes>> seeds;
+  const Bytes path{'f', 'i', 'l', 'e'};
+  const Bytes data(4096, 0x42);
+
+  {
+    // A complete v1 session: negotiate, open, write, read, fsync, fstat,
+    // close, shutdown — every receiver-side handler in one input.
+    Bytes s;
+    FrameHeader hello = request(OpCode::hello, 1);
+    append(s, encode(hello));
+    append(s, payload_frame(request(OpCode::open, 2), path));
+    FrameHeader w = request(OpCode::write, 3);
+    w.offset = 0;
+    append(s, payload_frame(w, data));
+    FrameHeader r = request(OpCode::read, 4);
+    r.payload_len = data.size();
+    append(s, encode(r));
+    append(s, encode(request(OpCode::fsync, 5)));
+    append(s, encode(request(OpCode::fstat, 6)));
+    append(s, encode(request(OpCode::close, 7)));
+    append(s, encode(request(OpCode::shutdown, 8)));
+    seeds.emplace_back("session-v1-full-mix", std::move(s));
+  }
+  {
+    // Legacy v0 peer: no hello, no payload CRCs (flag clear), still served.
+    Bytes s;
+    FrameHeader open = request(OpCode::open, 1);
+    open.version = 0;
+    open.payload_len = path.size();
+    append(s, encode(open));
+    append(s, path);
+    FrameHeader w = request(OpCode::write, 2);
+    w.version = 0;
+    w.payload_len = data.size();
+    append(s, encode(w));
+    append(s, data);
+    seeds.emplace_back("session-v0-unchecked", std::move(s));
+  }
+  {
+    // Corrupt payload: CRC flag set but wrong -> op bounces, stream survives
+    // to serve the close that follows.
+    Bytes s;
+    append(s, payload_frame(request(OpCode::open, 1), path));
+    append(s, payload_frame(request(OpCode::write, 2), data, /*valid_crc=*/false));
+    append(s, encode(request(OpCode::close, 3)));
+    seeds.emplace_back("session-payload-crc-bounce", std::move(s));
+  }
+  {
+    // Corrupt header after a valid open: receiver drops the connection.
+    Bytes s;
+    append(s, payload_frame(request(OpCode::open, 1), path));
+    Bytes bad = encode(request(OpCode::fsync, 2));
+    bad[16] ^= 0x10;  // stale CRC
+    append(s, bad);
+    seeds.emplace_back("session-header-crc-drop", std::move(s));
+  }
+  {
+    // Protocol violation: close must not carry a payload.
+    FrameHeader h = request(OpCode::close, 1);
+    h.payload_len = 64;
+    Bytes s = encode(h);
+    s.resize(s.size() + 64, 0xab);
+    seeds.emplace_back("session-smuggled-payload", std::move(s));
+  }
+  {
+    // Write whose payload is cut off mid-frame.
+    FrameHeader w = request(OpCode::write, 1);
+    w.payload_len = data.size();
+    Bytes s = encode(w);
+    s.insert(s.end(), data.begin(), data.begin() + 100);
+    seeds.emplace_back("session-truncated-payload", std::move(s));
+  }
+  {
+    // Oversize write: payload_len far beyond the BML pool -> swallowed and
+    // bounced with no_memory, never allocated.
+    FrameHeader w = request(OpCode::write, 1);
+    w.payload_len = 64ull << 20;
+    Bytes s = encode(w);
+    s.resize(s.size() + 4096, 0x55);  // only a prefix actually "arrives"
+    seeds.emplace_back("session-oversize-write", std::move(s));
+  }
+  return seeds;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+using Target = int (*)(const std::uint8_t*, std::size_t);
+
+int regen(const fs::path& root) {
+  const struct {
+    const char* dir;
+    std::vector<std::pair<std::string, Bytes>> seeds;
+  } sets[] = {
+      {"frame_decode", frame_decode_seeds()},
+      {"server_bytes", server_bytes_seeds()},
+  };
+  for (const auto& set : sets) {
+    const fs::path dir = root / set.dir;
+    fs::create_directories(dir);
+    for (const auto& [name, bytes] : set.seeds) {
+      std::ofstream f(dir / name, std::ios::binary | std::ios::trunc);
+      f.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+      if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", (dir / name).c_str());
+        return 1;
+      }
+    }
+    std::printf("regen: %zu seeds -> %s\n", set.seeds.size(), dir.c_str());
+  }
+  return 0;
+}
+
+// Deterministic damage: the same file always yields the same mutants.
+Bytes mutate(const Bytes& in, Rng& rng) {
+  Bytes b = in;
+  switch (rng.below(4)) {
+    case 0:  // flip 1..8 bits
+      if (!b.empty()) {
+        const auto flips = 1 + rng.below(8);
+        for (std::uint64_t i = 0; i < flips; ++i) {
+          const auto bit = rng.below(b.size() * 8);
+          b[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+      }
+      break;
+    case 1:  // truncate
+      b.resize(rng.below(b.size() + 1));
+      break;
+    case 2:  // rewrite a window
+      if (!b.empty()) {
+        const std::size_t at = rng.below(b.size());
+        const std::size_t len = std::min<std::size_t>(1 + rng.below(16), b.size() - at);
+        for (std::size_t i = 0; i < len; ++i) {
+          b[at + i] = static_cast<std::uint8_t>(rng.below(256));
+        }
+      }
+      break;
+    default:  // duplicate (frames smuggling frames)
+      b.insert(b.end(), in.begin(), in.end());
+      break;
+  }
+  return b;
+}
+
+int replay_dir(const fs::path& dir, Target target, int mutations_per_file,
+               int* files, int* runs) {
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "missing corpus dir %s (run --regen?)\n", dir.c_str());
+    return 1;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file()) paths.push_back(e.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "empty corpus dir %s\n", dir.c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::ifstream f(paths[i], std::ios::binary);
+    Bytes bytes((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    target(bytes.data(), bytes.size());
+    ++*files;
+    ++*runs;
+    Rng rng(0xf77a ^ (i * 0x9e3779b97f4a7c15ull));
+    for (int m = 0; m < mutations_per_file; ++m) {
+      const Bytes mutant = mutate(bytes, rng);
+      target(mutant.data(), mutant.size());
+      ++*runs;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Thousands of deliberately hostile inputs: the server's per-drop WARN
+  // lines are expected, not findings.
+  iofwd::Log::set_level(iofwd::LogLevel::off);
+  if (argc == 3 && std::string(argv[1]) == "--regen") return regen(argv[2]);
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s [--regen] <corpus_root>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  int files = 0, runs = 0;
+  // frame_decode is ~free per run; server_bytes builds a server per input.
+  if (replay_dir(root / "frame_decode", iofwd::fuzz::frame_decode_one, 256, &files,
+                 &runs) != 0) {
+    return 1;
+  }
+  if (replay_dir(root / "server_bytes", iofwd::fuzz::server_bytes_one, 32, &files,
+                 &runs) != 0) {
+    return 1;
+  }
+  std::printf("PASS: %d corpus files, %d total inputs, no traps\n", files, runs);
+  return 0;
+}

@@ -2,63 +2,236 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/crc32c.hpp"
+#include "core/rng.hpp"
+
 namespace iofwd::rt {
 namespace {
+
+using Buf = std::array<std::byte, FrameHeader::kWireSize>;
+
+Buf encoded(const FrameHeader& h) {
+  Buf buf;
+  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  return buf;
+}
+
+Result<FrameHeader> decoded(const Buf& buf) {
+  return FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
+}
+
+// Corrupting a field must re-stamp the header CRC, otherwise decode reports
+// checksum_error before it ever looks at the field. These tests validate
+// field checks, so they patch bytes *and* fix the CRC up afterwards.
+void restamp_crc(Buf& buf) {
+  const std::uint32_t crc = crc32c(buf.data(), FrameHeader::kCrcCoverage);
+  std::memcpy(buf.data() + FrameHeader::kCrcCoverage, &crc, sizeof crc);
+}
 
 TEST(Wire, HeaderRoundTrip) {
   FrameHeader h;
   h.type = MsgType::reply;
   h.op = OpCode::write;
   h.flags = FrameHeader::kFlagStaged;
+  h.version = kProtoVersion;
   h.fd = 42;
   h.status = static_cast<std::int32_t>(Errc::io_error);
   h.seq = 0xdeadbeefcafe;
   h.offset = 1ull << 40;
   h.payload_len = 12345;
+  h.payload_crc = 0x12345678;
 
-  std::byte buf[FrameHeader::kWireSize];
-  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
-  auto r = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
+  auto r = decoded(encoded(h));
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   const auto& d = r.value();
   EXPECT_EQ(d.type, MsgType::reply);
   EXPECT_EQ(d.op, OpCode::write);
   EXPECT_EQ(d.flags, FrameHeader::kFlagStaged);
+  EXPECT_EQ(d.version, kProtoVersion);
+  EXPECT_EQ(d.reserved, 0);
   EXPECT_EQ(d.fd, 42);
   EXPECT_EQ(d.status, static_cast<std::int32_t>(Errc::io_error));
   EXPECT_EQ(d.seq, 0xdeadbeefcafeull);
   EXPECT_EQ(d.offset, 1ull << 40);
   EXPECT_EQ(d.payload_len, 12345u);
+  EXPECT_EQ(d.payload_crc, 0x12345678u);
+}
+
+TEST(Wire, EncodeDecodeIdentityAcrossAllOpcodes) {
+  // Property test: any header built from valid field values survives an
+  // encode/decode round trip bit-for-bit.
+  Rng rng(0x51f3ULL);
+  for (int trial = 0; trial < 500; ++trial) {
+    FrameHeader h;
+    h.type = rng.below(2) == 0 ? MsgType::request : MsgType::reply;
+    h.op = static_cast<OpCode>(1 + rng.below(kMaxOpCode));
+    h.flags = static_cast<std::uint16_t>(rng.below(FrameHeader::kFlagMask + 1));
+    h.version = static_cast<std::uint16_t>(rng.below(kProtoVersion + 1));
+    h.fd = static_cast<std::int32_t>(rng.below(1u << 20)) - 1;
+    h.status = static_cast<std::int32_t>(rng.below(kErrcCount));
+    h.seq = rng.next();
+    h.offset = rng.next() >> 8;
+    h.payload_len = rng.below(kMaxPayload + 1);
+    h.deadline_ms = static_cast<std::uint32_t>(rng.below(100000));
+    h.payload_crc = static_cast<std::uint32_t>(rng.next());
+
+    auto r = decoded(encoded(h));
+    ASSERT_TRUE(r.is_ok()) << trial << ": " << r.status().to_string();
+    const auto& d = r.value();
+    EXPECT_EQ(d.type, h.type);
+    EXPECT_EQ(d.op, h.op);
+    EXPECT_EQ(d.flags, h.flags);
+    EXPECT_EQ(d.version, h.version);
+    EXPECT_EQ(d.fd, h.fd);
+    EXPECT_EQ(d.status, h.status);
+    EXPECT_EQ(d.seq, h.seq);
+    EXPECT_EQ(d.offset, h.offset);
+    EXPECT_EQ(d.payload_len, h.payload_len);
+    EXPECT_EQ(d.deadline_ms, h.deadline_ms);
+    EXPECT_EQ(d.payload_crc, h.payload_crc);
+  }
+}
+
+TEST(Wire, StagedFlagRoundTrip) {
+  FrameHeader h;
+  h.type = MsgType::reply;
+  h.flags = FrameHeader::kFlagStaged;
+  auto r = decoded(encoded(h));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NE(r.value().flags & FrameHeader::kFlagStaged, 0);
+  EXPECT_EQ(r.value().flags & FrameHeader::kFlagPayloadCrc, 0);
+}
+
+TEST(Wire, HeaderCrcCatchesAnySingleBitFlip) {
+  FrameHeader h;
+  h.op = OpCode::write;
+  h.seq = 7;
+  const Buf good = encoded(h);
+  for (std::size_t bit = 0; bit < FrameHeader::kWireSize * 8; ++bit) {
+    Buf buf = good;
+    buf[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    auto r = decoded(buf);
+    ASSERT_FALSE(r.is_ok()) << "bit " << bit;
+    EXPECT_EQ(r.code(), Errc::checksum_error) << "bit " << bit;
+  }
 }
 
 TEST(Wire, RejectsBadMagic) {
-  FrameHeader h;
-  std::byte buf[FrameHeader::kWireSize];
-  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  Buf buf = encoded(FrameHeader{});
   buf[0] = std::byte{0x00};
-  auto r = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
-  EXPECT_FALSE(r.is_ok());
+  restamp_crc(buf);  // valid CRC over a bad magic: a protocol fault, not corruption
+  auto r = decoded(buf);
+  ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.code(), Errc::protocol_error);
 }
 
 TEST(Wire, RejectsBadTypeAndOp) {
-  FrameHeader h;
-  std::byte buf[FrameHeader::kWireSize];
-  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+  Buf buf = encoded(FrameHeader{});
   buf[4] = std::byte{9};  // type
-  EXPECT_FALSE(FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf)).is_ok());
-  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
-  buf[5] = std::byte{0};  // opcode
-  EXPECT_FALSE(FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf)).is_ok());
+  restamp_crc(buf);
+  auto r = decoded(buf);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::protocol_error);
+
+  buf = encoded(FrameHeader{});
+  buf[5] = std::byte{0};  // opcode below the range
+  restamp_crc(buf);
+  EXPECT_EQ(decoded(buf).code(), Errc::protocol_error);
+
+  buf = encoded(FrameHeader{});
+  buf[5] = std::byte{static_cast<unsigned char>(kMaxOpCode + 1)};  // just past the range
+  restamp_crc(buf);
+  EXPECT_EQ(decoded(buf).code(), Errc::protocol_error);
+}
+
+TEST(Wire, RejectsUndefinedFlagBits) {
+  FrameHeader h;
+  h.flags = static_cast<std::uint16_t>(FrameHeader::kFlagMask + 1);  // first undefined bit
+  auto r = decoded(encoded(h));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::protocol_error);
+
+  h.flags = 0x8000;
+  EXPECT_EQ(decoded(encoded(h)).code(), Errc::protocol_error);
+}
+
+TEST(Wire, RejectsNonzeroReservedField) {
+  FrameHeader h;
+  h.reserved = 1;
+  auto r = decoded(encoded(h));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::protocol_error);
+}
+
+TEST(Wire, RejectsFutureVersionExceptOnHello) {
+  FrameHeader h;
+  h.version = kProtoVersion + 1;
+  h.op = OpCode::write;
+  EXPECT_EQ(decoded(encoded(h)).code(), Errc::protocol_error);
+
+  // hello advertises the sender's highest version — possibly above ours —
+  // and the receiver clamps instead of rejecting.
+  h.op = OpCode::hello;
+  auto r = decoded(encoded(h));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().version, kProtoVersion + 1);
 }
 
 TEST(Wire, RejectsOversizePayload) {
   FrameHeader h;
   h.payload_len = kMaxPayload + 1;
-  std::byte buf[FrameHeader::kWireSize];
-  h.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
-  auto r = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(buf));
+  auto r = decoded(encoded(h));
   EXPECT_EQ(r.code(), Errc::message_too_large);
+
+  h.payload_len = ~0ull;  // a hostile length must not reach an allocator
+  EXPECT_EQ(decoded(encoded(h)).code(), Errc::message_too_large);
+
+  h.payload_len = kMaxPayload;  // boundary is inclusive
+  EXPECT_TRUE(decoded(encoded(h)).is_ok());
+}
+
+TEST(Wire, DynamicSpanDecodeRejectsTruncation) {
+  const Buf buf = encoded(FrameHeader{});
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{43},
+                        FrameHeader::kWireSize - 1}) {
+    auto r = FrameHeader::decode(std::span<const std::byte>(buf.data(), n));
+    ASSERT_FALSE(r.is_ok()) << n;
+    EXPECT_EQ(r.code(), Errc::protocol_error) << n;
+  }
+  EXPECT_TRUE(FrameHeader::decode(std::span<const std::byte>(buf.data(), buf.size())).is_ok());
+}
+
+TEST(Wire, PayloadCrcStampAndVerify) {
+  std::vector<std::byte> payload(4096);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = std::byte{static_cast<unsigned char>(i * 31)};
+  }
+
+  FrameHeader h;
+  h.op = OpCode::write;
+  h.payload_len = payload.size();
+  h.stamp_payload_crc(payload);
+  EXPECT_NE(h.flags & FrameHeader::kFlagPayloadCrc, 0);
+
+  auto r = decoded(encoded(h));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().payload_crc_ok(payload));
+
+  payload[100] ^= std::byte{0x01};
+  EXPECT_FALSE(r.value().payload_crc_ok(payload));
+  payload[100] ^= std::byte{0x01};
+  EXPECT_TRUE(r.value().payload_crc_ok(payload));
+
+  // Without the flag (a v0 peer) any payload is accepted unchecked.
+  FrameHeader v0;
+  v0.payload_len = payload.size();
+  EXPECT_TRUE(v0.payload_crc_ok(payload));
+  payload[0] ^= std::byte{0xFF};
+  EXPECT_TRUE(v0.payload_crc_ok(payload));
 }
 
 TEST(Wire, OpcodeNamesAreStable) {
@@ -68,6 +241,20 @@ TEST(Wire, OpcodeNamesAreStable) {
   EXPECT_STREQ(opcode_name(OpCode::close), "close");
   EXPECT_STREQ(opcode_name(OpCode::fsync), "fsync");
   EXPECT_STREQ(opcode_name(OpCode::shutdown), "shutdown");
+  EXPECT_STREQ(opcode_name(OpCode::fstat), "fstat");
+  EXPECT_STREQ(opcode_name(OpCode::hello), "hello");
+}
+
+TEST(Wire, EveryOpcodeUpToMaxHasANameAndDecodes) {
+  // Ties decode's validity switch, opcode_name, and kMaxOpCode together:
+  // adding an opcode without updating all three fails here.
+  for (std::uint8_t op = 1; op <= kMaxOpCode; ++op) {
+    EXPECT_STRNE(opcode_name(static_cast<OpCode>(op)), "?") << int(op);
+    FrameHeader h;
+    h.op = static_cast<OpCode>(op);
+    EXPECT_TRUE(decoded(encoded(h)).is_ok()) << int(op);
+  }
+  EXPECT_STREQ(opcode_name(static_cast<OpCode>(kMaxOpCode + 1)), "?");
 }
 
 }  // namespace
