@@ -1,0 +1,133 @@
+// Extension experiment: connection-count scaling of the receiver lanes
+// (DESIGN.md §13).
+//
+// The paper's ZOID daemon multiplexes every compute-node connection over a
+// small poll()-driven thread pool instead of burning one receive thread per
+// CN; this repo's equivalent is the epoll receiver lane. The property that
+// makes that design viable is *flat aggregate throughput*: 256 connections
+// must move bytes about as fast as 16, because the lanes (not the
+// connection count) bound the receive-side work.
+//
+// This bench drives 1 -> 256 in-process clients against one IonServer.
+// Every client pushes the same number of fixed-size writes from its own
+// thread; aggregate throughput = total payload bytes / wall time from a
+// synchronized start to the last client's fsync barrier. Pipes are kept
+// small (64 KiB) so 256 connections stay modest in memory and the server
+// actually has to multiplex — a huge pipe would let clients buffer their
+// whole run without a single receiver wakeup.
+//
+// Gate (exit 1): throughput(256 clients) >= 90% of throughput(16 clients),
+// best-of-reps on both sides. The 1/4-client points are reported for the
+// curve but not gated — absolute speed is machine noise, the *shape* is the
+// design property.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "core/units.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+
+namespace {
+
+using namespace iofwd;
+
+constexpr std::size_t kPipeBytes = 64_KiB;   // per-direction in-proc ring
+constexpr std::size_t kWriteBytes = 16_KiB;  // per-op payload
+
+// Aggregate MiB/s for `clients` concurrent connections, each issuing
+// `writes` kWriteBytes writes and one fsync barrier.
+double aggregate_mibs(int clients, int writes, int reps) {
+  double best = 0.0;
+  const std::vector<std::byte> chunk(kWriteBytes, std::byte{0x5a});
+  for (int r = 0; r < reps; ++r) {
+    rt::ServerConfig scfg;
+    scfg.exec = rt::ExecModel::work_queue_async;
+    scfg.bml_bytes = 64_MiB;
+    rt::IonServer server(std::make_unique<rt::MemBackend>(), scfg);
+
+    std::vector<std::unique_ptr<rt::Client>> cs;
+    cs.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      auto [s, cl] = rt::InProcTransport::make_pair(kPipeBytes);
+      server.serve(std::move(s));
+      cs.push_back(std::make_unique<rt::Client>(std::move(cl)));
+      if (!cs.back()->open(c + 1, "conn" + std::to_string(c)).is_ok()) {
+        std::fprintf(stderr, "open failed for client %d\n", c);
+        return 0.0;
+      }
+    }
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        rt::Client& cl = *cs[static_cast<std::size_t>(c)];
+        for (int i = 0; i < writes; ++i) {
+          (void)cl.write(c + 1, static_cast<std::uint64_t>(i) * kWriteBytes, chunk);
+        }
+        (void)cl.fsync(c + 1);  // barrier: async acks land before the clock stops
+      });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    for (int c = 0; c < clients; ++c) (void)cs[static_cast<std::size_t>(c)]->close(c + 1);
+    server.stop();
+
+    const double total_mib = static_cast<double>(clients) * writes *
+                             static_cast<double>(kWriteBytes) / (1 << 20);
+    best = std::max(best, total_mib / secs);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int reps = args.quick ? 2 : 3;
+  // Constant total volume per point: every point pushes the same number of
+  // bytes through the server, split across however many connections, so the
+  // ratio compares steady-state multiplexing — not per-connection setup.
+  const std::uint64_t total_bytes = (args.quick ? 64 : 256) * std::uint64_t{1_MiB};
+
+  const int points[] = {1, 4, 16, 64, 256};
+  double mibs[std::size(points)] = {};
+  analysis::DiagTable t("ext_connscale: aggregate write throughput vs connection count");
+  for (std::size_t i = 0; i < std::size(points); ++i) {
+    const int clients = points[i];
+    const int writes = std::max(
+        8, static_cast<int>(total_bytes / (static_cast<std::uint64_t>(clients) * kWriteBytes)));
+    mibs[i] = aggregate_mibs(clients, writes, reps);
+    t.add(std::to_string(clients) + " clients", mibs[i],
+          "MiB/s aggregate, " + std::to_string(writes) + " x " + bench::mib(kWriteBytes) +
+              " writes/client, best of " + std::to_string(reps));
+  }
+
+  const double t16 = mibs[2];
+  const double t256 = mibs[4];
+  const double ratio = t16 > 0 ? t256 / t16 : 0.0;
+  t.add("256/16 ratio", ratio, "gate: >= 0.90 (receiver lanes must not collapse)");
+  std::fputs(t.render().c_str(), stdout);
+
+  if (ratio < 0.90) {
+    std::fprintf(stderr, "FAIL: 256-client throughput is %.1f%% of the 16-client point (< 90%%)\n",
+                 100.0 * ratio);
+    return 1;
+  }
+  std::printf("PASS: 256-client throughput holds at %.1f%% of the 16-client point\n",
+              100.0 * ratio);
+  return 0;
+}

@@ -2,7 +2,7 @@
 // UNIX-domain socket — the deployment shape of CIOD/ZOID on a real I/O node.
 //
 //   $ ./ion_daemon /tmp/iofwd.sock [exec=async|queue|thread] [workers=4]
-//                  [root=/tmp/iofwd_data] [bml_mib=256] [bb_mib=0]
+//                  [recv_lanes=0] [root=/tmp/iofwd_data] [bml_mib=256] [bb_mib=0]
 //                  [aggregate_kib=0] [downsample=0] [rle=0]
 //                  [retry=0] [bml_wait_ms=100] [degraded_high=0]
 //                  [degraded_low=0] [bb_stall_ms=100]
@@ -12,6 +12,8 @@
 // Every knob also accepts GNU style (--workers=4) and an IOFWD_<KEY>
 // environment fallback (core/flags.hpp).
 //
+// recv_lanes=N      epoll receiver lanes multiplexing all connections
+//                   (DESIGN.md §13); 0 = min(4, hardware threads)
 // aggregate_kib=N   coalesce sequential writes into N-KiB backend writes
 // bb_mib=N          burst-buffer staging cache of N MiB (DESIGN.md §9)
 // downsample=K      keep every K-th 8-byte element (in-situ data reduction)
@@ -75,7 +77,7 @@ int main(int argc, char** argv) {
   if (args.positionals().empty()) {
     std::fprintf(stderr,
                  "usage: %s <socket-path> [exec=async|queue|thread] [workers=N] "
-                 "[root=DIR] [bml_mib=N] [bb_mib=N] [--trace-out=FILE] "
+                 "[recv_lanes=N] [root=DIR] [bml_mib=N] [bb_mib=N] [--trace-out=FILE] "
                  "[stats_interval_s=N] [flight_ops=N]\n",
                  argv[0]);
     return 2;
@@ -94,6 +96,7 @@ int main(int argc, char** argv) {
 
   rt::ServerConfig cfg;
   cfg.workers = args.get_int("workers", 4);
+  cfg.recv_lanes = args.get_int("recv_lanes", 0);
   cfg.bml_bytes = args.get_u64("bml_mib", 256) << 20;
   cfg.bb_bytes = args.get_u64("bb_mib", 0) << 20;
   if (exec == "thread") {
@@ -165,10 +168,16 @@ int main(int argc, char** argv) {
   std::signal(SIGUSR1, on_dump);
 
   server.serve_listener(std::move(listener));
-  std::printf("ion_daemon listening on %s (exec=%s, workers=%d, root=%s, bb=%llu MiB%s)\n",
-              sock_path.c_str(), rt::to_string(cfg.exec), cfg.workers, root.c_str(),
-              static_cast<unsigned long long>(cfg.bb_bytes >> 20),
-              trace_out.empty() ? "" : ", tracing");
+  char lanes[16];
+  if (cfg.recv_lanes > 0) {
+    std::snprintf(lanes, sizeof(lanes), "%d", cfg.recv_lanes);
+  } else {
+    std::snprintf(lanes, sizeof(lanes), "auto");
+  }
+  std::printf(
+      "ion_daemon listening on %s (exec=%s, workers=%d, recv_lanes=%s, root=%s, bb=%llu MiB%s)\n",
+      sock_path.c_str(), rt::to_string(cfg.exec), cfg.workers, lanes, root.c_str(),
+      static_cast<unsigned long long>(cfg.bb_bytes >> 20), trace_out.empty() ? "" : ", tracing");
 
   // Main loop: poll the signal flags (a flight-recorder dump must run on
   // this thread, not in the handler) and run the periodic stats ticker.

@@ -98,6 +98,14 @@ FaultyStream::FaultyStream(std::unique_ptr<rt::ByteStream> inner,
                    StreamFaultConfig{.cut_after_write_bytes = cut_after_write_bytes}) {}
 
 Status FaultyStream::read_exact(void* buf, std::size_t n) {
+  // Consult the plan only AFTER the inner read succeeds. A read that fails
+  // (the peer already dropped the line) delivers nothing, so an injection
+  // on it could never be observed by any validator — counting it as fired
+  // would make fired() race against the peer's close timing. The stream is
+  // closed on every non-ok injection anyway, so consuming the bytes before
+  // deciding changes nothing the caller can observe.
+  Status st = inner_->read_exact(buf, n);
+  if (!st.is_ok()) return st;
   Injection inj = plan_->next(OpKind::stream_read);
   if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
   if (!inj.status.is_ok()) {
@@ -105,18 +113,36 @@ Status FaultyStream::read_exact(void* buf, std::size_t n) {
     return inj.status;
   }
   if (inj.action == FaultAction::truncate) {
-    // The peer "sent" only a prefix before the line died: deliver the
-    // seeded-length prefix, then cut.
-    const std::size_t keep = n > 0 ? static_cast<std::size_t>(inj.entropy % n) : 0;
-    if (keep > 0) (void)inner_->read_exact(buf, keep);
+    // The peer "sent" only a prefix before the line died: the caller sees
+    // the cut; the bytes it read stand in for the delivered prefix.
     inner_->close();
     return Status(Errc::shutdown, "injected truncation");
   }
-  Status st = inner_->read_exact(buf, n);
-  if (st.is_ok() && inj.corrupts()) {
+  if (inj.corrupts()) {
     corrupt_bytes(inj, static_cast<unsigned char*>(buf), n);
   }
   return st;
+}
+
+Result<std::size_t> FaultyStream::read_some(void* buf, std::size_t n) {
+  auto r = inner_->read_some(buf, n);
+  if (!r.is_ok()) return r;  // would_block / EOF: no plan consultation
+  Injection inj = plan_->next(OpKind::stream_read);
+  if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
+  if (!inj.status.is_ok()) {
+    inner_->close();
+    return inj.status;
+  }
+  if (inj.action == FaultAction::truncate) {
+    // The bytes already read stand in for the delivered prefix; the line
+    // dies before anything else arrives.
+    inner_->close();
+    return Status(Errc::shutdown, "injected truncation");
+  }
+  if (inj.corrupts()) {
+    corrupt_bytes(inj, static_cast<unsigned char*>(buf), r.value());
+  }
+  return r;
 }
 
 Status FaultyStream::write_all(const void* buf, std::size_t n) {

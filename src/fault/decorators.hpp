@@ -60,6 +60,13 @@ class FaultyStream final : public rt::ByteStream {
   Status write_all(const void* buf, std::size_t n) override;
   void close() override;
 
+  // Readiness forwards to the inner stream so a fault-wrapped connection can
+  // still live on an epoll receiver lane. read_some consults the plan only
+  // AFTER a successful inner read: would_block polls must not consume
+  // injections, or fired() accounting would drift from delivered faults.
+  [[nodiscard]] int readiness_fd() override { return inner_->readiness_fd(); }
+  Result<std::size_t> read_some(void* buf, std::size_t n) override;
+
   [[nodiscard]] FaultPlan& plan() { return *plan_; }
 
  private:

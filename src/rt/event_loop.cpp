@@ -1,0 +1,80 @@
+#include "rt/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace iofwd::rt {
+
+EventLoop::EventLoop() {
+  ep_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep_fd_ < 0) return;
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(ep_fd_);
+    ep_fd_ = -1;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: a pending wake survives re-entry
+  ev.data.u64 = kWakeKey;
+  if (::epoll_ctl(ep_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    ::close(wake_fd_);
+    ::close(ep_fd_);
+    wake_fd_ = ep_fd_ = -1;
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (ep_fd_ >= 0) ::close(ep_fd_);
+}
+
+Status EventLoop::add(int fd, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+  ev.data.u64 = key;
+  if (::epoll_ctl(ep_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status(Errc::io_error, std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(ep_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::close() {
+  closed_.store(true, std::memory_order_release);
+  wake();
+}
+
+bool EventLoop::wait(std::vector<std::uint64_t>& ready) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  std::array<epoll_event, 64> evs{};
+  int n = 0;
+  do {
+    n = ::epoll_wait(ep_fd_, evs.data(), static_cast<int>(evs.size()), -1);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return false;  // epoll itself broke; treat as closed
+  for (int i = 0; i < n; ++i) {
+    if (evs[static_cast<std::size_t>(i)].data.u64 == kWakeKey) {
+      std::uint64_t v = 0;
+      [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &v, sizeof v);
+      continue;
+    }
+    ready.push_back(evs[static_cast<std::size_t>(i)].data.u64);
+  }
+  return !closed_.load(std::memory_order_acquire);
+}
+
+}  // namespace iofwd::rt

@@ -1,0 +1,54 @@
+// A thin epoll(7) wrapper: the readiness core of a receiver lane.
+//
+// Each lane owns one EventLoop and registers every connection's readiness fd
+// edge-triggered (EPOLLIN | EPOLLET | EPOLLRDHUP). wait() blocks until at
+// least one fd fires (or wake()/close() is called) and reports the opaque
+// 64-bit keys the caller registered — the loop never dereferences anything.
+// Edge-triggered means the caller must drain each ready stream to
+// would_block before the next edge will fire; that contract is documented on
+// ByteStream::read_some and enforced by the lane's drain loop (DESIGN.md §13).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace iofwd::rt {
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False if epoll/eventfd creation failed at construction (no fds left);
+  // callers fall back to blocking receiver threads.
+  [[nodiscard]] bool valid() const { return ep_fd_ >= 0 && wake_fd_ >= 0; }
+
+  // Register `fd` edge-triggered; `key` comes back verbatim from wait().
+  Status add(int fd, std::uint64_t key);
+  void remove(int fd);
+
+  // Wake a blocked wait() without any fd being ready (used by close() and
+  // for shutdown nudges). Safe from any thread.
+  void wake();
+
+  // Mark the loop closed and wake it; wait() returns false from then on.
+  void close();
+
+  // Blocks until readiness or a wake; appends ready keys (possibly none, on
+  // a bare wake()). Returns false once the loop is closed.
+  bool wait(std::vector<std::uint64_t>& ready);
+
+ private:
+  int ep_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; registered with kWakeKey
+  std::atomic<bool> closed_{false};
+
+  static constexpr std::uint64_t kWakeKey = ~std::uint64_t{0};
+};
+
+}  // namespace iofwd::rt

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 #include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "bb/burst_buffer.hpp"
 #include "core/log.hpp"
@@ -25,7 +27,41 @@ std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
                                         std::chrono::steady_clock::now() - start)
                                         .count());
 }
+
+int default_recv_lanes() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(4u, std::max(1u, hw)));
+}
 }  // namespace
+
+// A receiver lane (DESIGN.md §13): one epoll event loop multiplexing many
+// connections on one thread — the paper's poll-based worker structure applied
+// to the receive side. Connections are keyed by an opaque 64-bit id; serve()
+// inserts under mu, the lane thread drops under mu, and n_conns feeds the
+// least-connections balancer without any lock.
+struct IonServer::Lane {
+  Lane(obs::MetricRegistry& reg, int idx)
+      : index(idx),
+        c_connections(reg.counter(prefix(idx) + "connections")),
+        c_wakeups(reg.counter(prefix(idx) + "wakeups")),
+        c_bytes(reg.counter(prefix(idx) + "bytes")),
+        h_loop_us(reg.histogram(prefix(idx) + "loop_us")),
+        g_open_connections(reg.gauge(prefix(idx) + "open_connections")) {}
+
+  static std::string prefix(int idx) { return "server.rt.lane." + std::to_string(idx) + "."; }
+
+  int index;
+  EventLoop loop;
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ClientConn>> conns;
+  std::atomic<std::size_t> n_conns{0};
+  obs::Counter& c_connections;       // total registrations
+  obs::Counter& c_wakeups;           // event-loop wakeups
+  obs::Counter& c_bytes;             // raw bytes drained by this lane
+  obs::Histogram& h_loop_us;         // time servicing one ready batch
+  obs::Gauge& g_open_connections;    // currently registered connections
+  std::jthread thread;               // started by ensure_lanes_locked
+};
 
 IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     : backend_(std::move(backend)),
@@ -86,6 +122,19 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
 
 IonServer::~IonServer() { stop(); }
 
+void IonServer::ensure_lanes_locked() {
+  if (!lanes_.empty()) return;
+  const int n = cfg_.recv_lanes > 0 ? cfg_.recv_lanes : default_recv_lanes();
+  for (int i = 0; i < n; ++i) {
+    auto lane = std::make_unique<Lane>(*reg_, i);
+    if (!lane->loop.valid()) break;  // out of fds: serve() falls back to threads
+    lanes_.push_back(std::move(lane));
+  }
+  for (auto& lane : lanes_) {
+    lane->thread = std::jthread([this, l = lane.get()] { lane_loop(*l); });
+  }
+}
+
 void IonServer::serve(std::unique_ptr<ByteStream> stream) {
   auto conn = std::make_shared<ClientConn>();
   conn->stream = std::move(stream);
@@ -95,7 +144,43 @@ void IonServer::serve(std::unique_ptr<ByteStream> stream) {
     return;
   }
   conns_.push_back(conn);
-  threads_.emplace_back([this, conn] { receiver_loop(conn); });
+  const int rfd = conn->stream->readiness_fd();
+  if (rfd >= 0) {
+    ensure_lanes_locked();
+    if (!lanes_.empty()) {
+      // Least-connections balancing across the lane pool (the paper's
+      // least-loaded-worker heuristic applied to receive).
+      Lane* lane = lanes_.front().get();
+      for (const auto& l : lanes_) {
+        if (l->n_conns.load(std::memory_order_relaxed) <
+            lane->n_conns.load(std::memory_order_relaxed)) {
+          lane = l.get();
+        }
+      }
+      const std::uint64_t key = next_conn_key_++;
+      conn->lane = lane;
+      conn->lane_key = key;
+      {
+        std::scoped_lock lane_lock(lane->mu);
+        lane->conns.emplace(key, conn);
+      }
+      lane->n_conns.fetch_add(1, std::memory_order_relaxed);
+      if (lane->loop.add(rfd, key).is_ok()) {
+        lane->c_connections.inc();
+        lane->g_open_connections.set(
+            static_cast<std::int64_t>(lane->n_conns.load(std::memory_order_relaxed)));
+        return;
+      }
+      // Registration failed (fd limit?): unwind and fall back to a thread.
+      {
+        std::scoped_lock lane_lock(lane->mu);
+        lane->conns.erase(key);
+      }
+      lane->n_conns.fetch_sub(1, std::memory_order_relaxed);
+      conn->lane = nullptr;
+    }
+  }
+  threads_.emplace_back([this, conn] { blocking_receiver_loop(conn); });
 }
 
 namespace {
@@ -129,7 +214,7 @@ class ScriptedStream final : public ByteStream {
 void IonServer::feed_bytes(std::span<const std::byte> bytes) {
   auto conn = std::make_shared<ClientConn>();
   conn->stream = std::make_unique<ScriptedStream>(bytes);
-  receiver_loop(std::move(conn));
+  blocking_receiver_loop(std::move(conn));
 }
 
 void IonServer::serve_listener(std::unique_ptr<Listener> listener) {
@@ -155,6 +240,14 @@ void IonServer::stop() {
   {
     std::scoped_lock lock(threads_mu_);
     for (auto& c : conns_) c->stream->close();
+  }
+  // Join receiver lanes before closing the queue: a lane mid-handler may
+  // still depend on workers making progress (BML releases, drain barriers).
+  // stopping_ is set and serve() checks it under threads_mu_, so lanes_ is
+  // immutable from here on.
+  for (auto& lane : lanes_) lane->loop.close();
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
   }
   queue_.close();
   std::vector<std::jthread> to_join;
@@ -265,81 +358,218 @@ bool IonServer::degraded_now(std::size_t queue_depth) {
 // Receiver path
 // ---------------------------------------------------------------------------
 
-void IonServer::receiver_loop(std::shared_ptr<ClientConn> conn) {
-  while (!stopping_) {
-    std::byte hdr_buf[FrameHeader::kWireSize];
-    if (!conn->stream->read_exact(hdr_buf, sizeof hdr_buf).is_ok()) break;
-    auto hdr = FrameHeader::decode(std::span<const std::byte, FrameHeader::kWireSize>(hdr_buf));
-    if (!hdr.is_ok()) {
-      // A corrupted header is unrecoverable on this connection: the framing
-      // is lost (payload_len is untrustworthy), so drop the client and let
-      // its reconnect-and-replay path recover. Protocol violations (valid
-      // CRC, bad fields) are a hostile or broken peer — also dropped.
-      if (hdr.code() == Errc::checksum_error) {
-        c_header_crc_errors_.inc();
-        if (fr_) fr_->record("hdr_crc_error", -1, 0, 0, static_cast<int>(hdr.code()));
-      } else {
-        c_frames_rejected_.inc();
-        if (fr_) fr_->record("frame_rejected", -1, 0, 0, static_cast<int>(hdr.code()));
+void IonServer::lane_loop(Lane& lane) {
+  std::vector<std::uint64_t> ready;
+  std::vector<std::byte> scratch(64 * 1024);
+  while (true) {
+    ready.clear();
+    if (!lane.loop.wait(ready)) break;
+    lane.c_wakeups.inc();
+    if (ready.empty()) continue;  // bare wake
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const std::uint64_t key : ready) {
+      std::shared_ptr<ClientConn> conn;
+      {
+        std::scoped_lock lock(lane.mu);
+        auto it = lane.conns.find(key);
+        if (it == lane.conns.end()) continue;  // dropped earlier this pass
+        conn = it->second;
       }
-      IOFWD_LOG_WARN("dropping client: %s", hdr.status().to_string().c_str());
-      break;
+      // Edge-triggered contract: drain to would_block before re-arming.
+      while (true) {
+        auto r = conn->stream->read_some(scratch.data(), scratch.size());
+        if (!r.is_ok()) {
+          if (r.code() == Errc::would_block) break;
+          drop_lane_conn(lane, key, *conn, r.code());  // EOF or hard error
+          break;
+        }
+        lane.c_bytes.add(r.value());
+        if (Status st = on_bytes(conn, std::span<const std::byte>(scratch.data(), r.value()));
+            !st.is_ok()) {
+          drop_lane_conn(lane, key, *conn, st.code());
+          break;
+        }
+      }
     }
-    const FrameHeader req = hdr.value();
-    const auto arrival = std::chrono::steady_clock::now();
-    if (req.type != MsgType::request) {
-      c_frames_rejected_.inc();
-      IOFWD_LOG_WARN("unexpected frame type from client");
-      break;
-    }
-    // Ops that carry no request payload must say so: a nonzero payload_len
-    // would desynchronize the stream (those bytes were never sent, or worse,
-    // are a smuggled frame). `read` passes the requested length here and
-    // `open`/`write` legitimately carry payloads.
-    if (req.payload_len != 0 &&
-        (req.op == OpCode::close || req.op == OpCode::fsync || req.op == OpCode::fstat ||
-         req.op == OpCode::shutdown || req.op == OpCode::hello)) {
-      c_frames_rejected_.inc();
-      IOFWD_LOG_WARN("dropping client: unexpected payload on %s", opcode_name(req.op));
-      break;
-    }
-    // hello is control-plane: it gets its own counter and stays out of
-    // server.ops so op accounting still means "forwarded I/O calls".
-    if (req.op != OpCode::hello) c_ops_.inc();
-    switch (req.op) {
-      case OpCode::hello:
-        handle_hello(*conn, req);
-        break;
-      case OpCode::open:
-        handle_open(*conn, req, arrival);
-        break;
-      case OpCode::write:
-        handle_write(conn, req, arrival);
-        break;
-      case OpCode::read:
-        handle_read(conn, req, arrival);
-        break;
-      case OpCode::fsync:
-        handle_fsync(*conn, req, arrival);
-        break;
-      case OpCode::fstat:
-        handle_fstat(*conn, req, arrival);
-        break;
-      case OpCode::close:
-        handle_close(*conn, req, arrival);
-        break;
-      case OpCode::shutdown:
-        (void)send_reply(*conn, req, Status::ok());
-        conn->stream->close();
-        return;
-    }
+    lane.h_loop_us.record(us_since(t0));
   }
+}
+
+void IonServer::drop_lane_conn(Lane& lane, std::uint64_t key, ClientConn& conn, Errc reason) {
+  const int rfd = conn.stream->readiness_fd();
+  if (rfd >= 0) lane.loop.remove(rfd);
   // Dropping a client (corrupt header, protocol violation, peer EOF) must
   // close our endpoint too: an in-process peer blocked in read_exact only
   // wakes when the shared pipe is marked closed — without this, a client
   // waiting for a reply to its (corrupted, never-executed) request would
   // hang instead of redialing.
+  conn.stream->close();
+  conn.assembler.reset();
+  conn.rx = RxPending{};  // releases any staged BML lease / heap payload
+  bool erased = false;
+  {
+    std::scoped_lock lock(lane.mu);
+    erased = lane.conns.erase(key) > 0;
+  }
+  if (erased) {
+    lane.n_conns.fetch_sub(1, std::memory_order_relaxed);
+    lane.g_open_connections.set(
+        static_cast<std::int64_t>(lane.n_conns.load(std::memory_order_relaxed)));
+    if (fr_) fr_->record("lane_drop", lane.index, 0, 0, static_cast<int>(reason));
+  }
+}
+
+void IonServer::blocking_receiver_loop(std::shared_ptr<ClientConn> conn) {
+  // Fallback for streams without a readiness fd (feed_bytes' scripted
+  // stream, exotic transports): same assembler, same callbacks, same bytes —
+  // just pumped by blocking reads of exactly what the state machine needs.
+  std::vector<std::byte> scratch(64 * 1024);
+  while (!stopping_) {
+    const std::size_t need = std::min(conn->assembler.needed(), scratch.size());
+    if (!conn->stream->read_exact(scratch.data(), need).is_ok()) break;
+    if (!on_bytes(conn, std::span<const std::byte>(scratch.data(), need)).is_ok()) break;
+  }
+  // See drop_lane_conn: our endpoint must close so an in-process peer
+  // blocked in read_exact wakes up and redials.
   conn->stream->close();
+}
+
+Status IonServer::on_bytes(const std::shared_ptr<ClientConn>& conn,
+                           std::span<const std::byte> bytes) {
+  return conn->assembler.feed(
+      bytes,
+      [&](std::span<const std::byte, FrameHeader::kWireSize> hdr) {
+        return on_header(*conn, hdr);
+      },
+      [&] { return on_frame(conn); });
+}
+
+Result<FrameAssembler::Sink> IonServer::on_header(
+    ClientConn& conn, std::span<const std::byte, FrameHeader::kWireSize> hdr_bytes) {
+  auto hdr = FrameHeader::decode(hdr_bytes);
+  if (!hdr.is_ok()) {
+    // A corrupted header is unrecoverable on this connection: the framing
+    // is lost (payload_len is untrustworthy), so drop the client and let
+    // its reconnect-and-replay path recover. Protocol violations (valid
+    // CRC, bad fields) are a hostile or broken peer — also dropped.
+    if (hdr.code() == Errc::checksum_error) {
+      c_header_crc_errors_.inc();
+      if (fr_) fr_->record("hdr_crc_error", -1, 0, 0, static_cast<int>(hdr.code()));
+    } else {
+      c_frames_rejected_.inc();
+      if (fr_) fr_->record("frame_rejected", -1, 0, 0, static_cast<int>(hdr.code()));
+    }
+    IOFWD_LOG_WARN("dropping client: %s", hdr.status().to_string().c_str());
+    return hdr.status();
+  }
+  const FrameHeader req = hdr.value();
+  const auto arrival = std::chrono::steady_clock::now();
+  if (req.type != MsgType::request) {
+    c_frames_rejected_.inc();
+    IOFWD_LOG_WARN("unexpected frame type from client");
+    return Status(Errc::protocol_error, "unexpected frame type");
+  }
+  // Ops that carry no request payload must say so: a nonzero payload_len
+  // would desynchronize the stream (those bytes were never sent, or worse,
+  // are a smuggled frame). `read` passes the requested length here and
+  // `open`/`write` legitimately carry payloads.
+  if (req.payload_len != 0 &&
+      (req.op == OpCode::close || req.op == OpCode::fsync || req.op == OpCode::fstat ||
+       req.op == OpCode::shutdown || req.op == OpCode::hello)) {
+    c_frames_rejected_.inc();
+    IOFWD_LOG_WARN("dropping client: unexpected payload on %s", opcode_name(req.op));
+    return Status(Errc::protocol_error, "unexpected payload");
+  }
+  // hello is control-plane: it gets its own counter and stays out of
+  // server.ops so op accounting still means "forwarded I/O calls".
+  if (req.op != OpCode::hello) c_ops_.inc();
+
+  RxPending& rx = conn.rx;
+  rx = RxPending{};
+  rx.req = req;
+  rx.arrival = arrival;
+
+  FrameAssembler::Sink sink;
+  switch (req.op) {
+    case OpCode::open:
+      rx.staging = RxPending::Staging::heap;
+      rx.heap.resize(req.payload_len);
+      sink = {req.payload_len, rx.heap.data()};
+      break;
+    case OpCode::write: {
+      // Staging space comes from the BML pool under a bounded wait, chosen
+      // before the payload bytes are consumed (same ordering as the old
+      // blocking receiver, so backpressure semantics are unchanged):
+      // exhaustion degrades to a BML-less synchronous pass-through instead
+      // of blocking the lane forever.
+      auto buf = pool_.try_acquire(req.payload_len);
+      if (!buf.is_ok() && buf.code() == Errc::would_block) {
+        buf = cfg_.bml_wait_ms > 0
+                  ? pool_.acquire_for(req.payload_len,
+                                      std::chrono::milliseconds(cfg_.bml_wait_ms))
+                  : pool_.acquire(req.payload_len);
+      }
+      if (buf.is_ok()) {
+        rx.staging = RxPending::Staging::bml;
+        rx.bml = std::move(buf).value();
+        sink = {req.payload_len, rx.bml.data()};
+      } else if (buf.code() == Errc::timed_out) {
+        // Degraded mode: receive into plain heap memory and execute inline,
+        // synchronously — slower, but bounded and correct.
+        rx.staging = RxPending::Staging::heap;
+        rx.degraded = true;
+        rx.heap.resize(req.payload_len);
+        sink = {req.payload_len, rx.heap.data()};
+      } else {
+        // Oversize request: swallow the payload without storing it, bounce
+        // at frame completion.
+        rx.staging = RxPending::Staging::discard;
+        rx.bounce = buf.status();
+        sink = {req.payload_len, nullptr};
+      }
+      break;
+    }
+    default:
+      // read's payload_len is the requested length, not wire bytes; the
+      // zero-payload ops were validated above.
+      sink = {0, nullptr};
+      break;
+  }
+  return sink;
+}
+
+Status IonServer::on_frame(const std::shared_ptr<ClientConn>& conn) {
+  RxPending& rx = conn->rx;
+  const FrameHeader req = rx.req;
+  switch (req.op) {
+    case OpCode::hello:
+      handle_hello(*conn, req);
+      break;
+    case OpCode::open:
+      handle_open(*conn, req, rx.heap, rx.arrival);
+      break;
+    case OpCode::write:
+      handle_write(conn, rx);
+      break;
+    case OpCode::read:
+      handle_read(conn, req, rx.arrival);
+      break;
+    case OpCode::fsync:
+      handle_fsync(*conn, req, rx.arrival);
+      break;
+    case OpCode::fstat:
+      handle_fstat(*conn, req, rx.arrival);
+      break;
+    case OpCode::close:
+      handle_close(*conn, req, rx.arrival);
+      break;
+    case OpCode::shutdown:
+      (void)send_reply(*conn, req, Status::ok());
+      rx = RxPending{};
+      return Status(Errc::shutdown, "client requested shutdown");
+  }
+  rx = RxPending{};  // drop payload staging before the next frame
+  return Status::ok();
 }
 
 Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status status,
@@ -401,13 +631,9 @@ void IonServer::handle_hello(ClientConn& conn, const FrameHeader& req) {
 }
 
 void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
+                            std::span<const std::byte> path_bytes,
                             std::chrono::steady_clock::time_point arrival) {
-  std::string path(req.payload_len, '\0');
-  if (req.payload_len > 0 &&
-      !conn.stream->read_exact(path.data(), path.size()).is_ok()) {
-    return;
-  }
-  if (!req.payload_crc_ok(std::as_bytes(std::span(path.data(), path.size())))) {
+  if (!req.payload_crc_ok(path_bytes)) {
     // Framing is intact (the header CRC passed), so the connection is still
     // usable: bounce just this op and let the client replay it.
     c_payload_crc_errors_.inc();
@@ -417,6 +643,10 @@ void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
     observe_op(req, arrival, st);
     (void)send_reply(conn, req, st);
     return;
+  }
+  std::string path;
+  if (!path_bytes.empty()) {
+    path.assign(reinterpret_cast<const char*>(path_bytes.data()), path_bytes.size());
   }
   Status st;
   {
@@ -510,36 +740,38 @@ void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
   (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
 }
 
-void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
-                             std::chrono::steady_clock::time_point arrival) {
-  // The payload always follows the header; it must be consumed from the
-  // stream even if the operation is going to bounce. Staging space comes
-  // from the BML pool under a bounded wait: exhaustion degrades to a
-  // BML-less synchronous pass-through instead of blocking the receiver.
-  auto buf = pool_.try_acquire(req.payload_len);
-  if (!buf.is_ok() && buf.code() == Errc::would_block) {
-    buf = cfg_.bml_wait_ms > 0
-              ? pool_.acquire_for(req.payload_len, std::chrono::milliseconds(cfg_.bml_wait_ms))
-              : pool_.acquire(req.payload_len);
+void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending& rx) {
+  const FrameHeader req = rx.req;
+  const auto arrival = rx.arrival;
+  if (rx.staging == RxPending::Staging::discard) {
+    // Oversize request: the assembler already swallowed the payload; bounce.
+    observe_op(req, arrival, rx.bounce);
+    (void)send_reply(*conn, req, rx.bounce);
+    return;
   }
-  if (!buf.is_ok() && buf.code() == Errc::timed_out) {
-    // Degraded mode: receive into plain heap memory and execute inline,
-    // synchronously — slower, but bounded and correct.
-    std::vector<std::byte> heap(req.payload_len);
-    if (req.payload_len > 0 &&
-        !conn->stream->read_exact(heap.data(), heap.size()).is_ok()) {
-      return;
-    }
-    c_bytes_in_.add(req.payload_len);
-    if (!req.payload_crc_ok(heap)) {
-      c_payload_crc_errors_.inc();
-      if (fr_) fr_->record("payload_crc_error", req.fd, req.payload_len, 0,
-                           static_cast<int>(Errc::checksum_error));
-      const Status st(Errc::checksum_error, "write payload crc mismatch");
-      observe_op(req, arrival, st);
-      (void)send_reply(*conn, req, st);
-      return;
-    }
+  c_bytes_in_.add(req.payload_len);
+  const std::span<const std::byte> data =
+      rx.staging == RxPending::Staging::bml
+          ? std::span<const std::byte>(rx.bml.data(), req.payload_len)
+          : std::span<const std::byte>(rx.heap.data(), rx.heap.size());
+
+  // Verify the payload checksum before the bytes reach the BML staging path
+  // or the descriptor database — a flipped bit bounces here, synchronously,
+  // so the staged early-ack can never acknowledge corrupt data.
+  if (!req.payload_crc_ok(data)) {
+    rx.bml.release();
+    c_payload_crc_errors_.inc();
+    if (fr_) fr_->record("payload_crc_error", req.fd, req.payload_len, 0,
+                         static_cast<int>(Errc::checksum_error));
+    const Status st(Errc::checksum_error, "write payload crc mismatch");
+    observe_op(req, arrival, st);
+    (void)send_reply(*conn, req, st);
+    return;
+  }
+
+  if (rx.degraded) {
+    // Degraded pass-through (BML wait expired at header time): execute
+    // inline, synchronously — slower, but bounded and correct.
     c_bml_timeouts_.inc();
     c_degraded_passthrough_.inc();
     if (cfg_.exec == ExecModel::work_queue_async) {
@@ -551,40 +783,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
     }
     std::optional<obs::RuntimeTracer::Span> sp;
     if (tracer_ != nullptr) sp.emplace(tracer_->span("write (passthrough)", "op", kInlineLane));
-    const Status st = do_write(req, heap);
-    observe_op(req, arrival, st);
-    (void)send_reply(*conn, req, st);
-    return;
-  }
-  if (!buf.is_ok()) {
-    // Oversize request: swallow the payload in pieces and bounce.
-    std::vector<std::byte> sink(1 << 16);
-    std::uint64_t left = req.payload_len;
-    while (left > 0) {
-      const std::size_t n = std::min<std::uint64_t>(left, sink.size());
-      if (!conn->stream->read_exact(sink.data(), n).is_ok()) return;
-      left -= n;
-    }
-    observe_op(req, arrival, buf.status());
-    (void)send_reply(*conn, req, buf.status());
-    return;
-  }
-  Buffer payload = std::move(buf).value();
-  if (req.payload_len > 0 &&
-      !conn->stream->read_exact(payload.data(), req.payload_len).is_ok()) {
-    return;
-  }
-  c_bytes_in_.add(req.payload_len);
-
-  // Verify the payload checksum before the bytes reach the BML staging path
-  // or the descriptor database — a flipped bit bounces here, synchronously,
-  // so the staged early-ack can never acknowledge corrupt data.
-  if (!req.payload_crc_ok(std::span<const std::byte>(payload.data(), req.payload_len))) {
-    payload.release();
-    c_payload_crc_errors_.inc();
-    if (fr_) fr_->record("payload_crc_error", req.fd, req.payload_len, 0,
-                         static_cast<int>(Errc::checksum_error));
-    const Status st(Errc::checksum_error, "write payload crc mismatch");
+    const Status st = do_write(req, data);
     observe_op(req, arrival, st);
     (void)send_reply(*conn, req, st);
     return;
@@ -603,7 +802,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, const Fram
   Task t;
   t.conn = conn;
   t.req = req;
-  t.payload = std::move(payload);
+  t.payload = std::move(rx.bml);
   t.arrival = arrival;
 
   // Overload hysteresis: past the queue-depth high watermark, staged writes

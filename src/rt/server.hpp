@@ -41,7 +41,9 @@
 #include "obs/trace.hpp"
 #include "proto/descriptor_db.hpp"
 #include "rt/backend.hpp"
+#include "rt/event_loop.hpp"
 #include "rt/filter.hpp"
+#include "rt/frame_assembler.hpp"
 #include "rt/bml.hpp"
 #include "rt/task_queue.hpp"
 #include "rt/transport.hpp"
@@ -63,6 +65,12 @@ struct ServerConfig {
   int workers = 4;           // paper's sweet spot on a 4-core ION (Fig. 11)
   int multiplex_depth = 8;   // tasks per event-loop pass
   bool balanced_batches = true;
+  // Receiver lanes (DESIGN.md §13): a fixed pool of epoll event-loop threads
+  // that multiplex every pollable connection, replacing thread-per-connection
+  // receive. New connections go to the lane with the fewest — the paper's
+  // least-loaded-worker heuristic. 0 = min(4, hardware_concurrency). Streams
+  // without a readiness fd still get a blocking receiver thread each.
+  int recv_lanes = 0;
   std::uint64_t bml_bytes = 256ull << 20;
   std::uint64_t bml_min_class = 4096;
   SizeClassPolicy bml_policy = SizeClassPolicy::pow2;
@@ -149,7 +157,9 @@ class IonServer {
   IonServer(const IonServer&) = delete;
   IonServer& operator=(const IonServer&) = delete;
 
-  // Serve a connected stream; spawns the per-client receiver thread.
+  // Serve a connected stream. Pollable streams (readiness_fd() >= 0) are
+  // registered with the least-loaded receiver lane; anything else falls back
+  // to a dedicated blocking receiver thread.
   void serve(std::unique_ptr<ByteStream> stream);
 
   // Accept clients from a listener (UNIX or TCP) until stop() (spawns a
@@ -190,6 +200,24 @@ class IonServer {
   [[nodiscard]] const bb::BurstBufferBackend* burst_buffer() const { return bb_; }
 
  private:
+  struct Lane;  // receiver lane: epoll loop + its connections (server.cpp)
+
+  // Receive-side state of the op currently being reassembled. Only the one
+  // lane (or blocking receiver) thread that owns the connection touches it,
+  // so it needs no locking. Staging is chosen at header time — exactly where
+  // the old blocking receiver chose it — so BML backpressure still lands
+  // before the payload bytes are consumed.
+  struct RxPending {
+    enum class Staging { none, bml, heap, discard };
+    FrameHeader req{};
+    std::chrono::steady_clock::time_point arrival{};
+    Staging staging = Staging::none;
+    Buffer bml;                    // staged write payload (BML lease)
+    std::vector<std::byte> heap;   // open path / degraded pass-through payload
+    Status bounce;                 // discard: replied once the bytes are consumed
+    bool degraded = false;         // heap staging came from a BML timeout
+  };
+
   struct ClientConn {
     std::unique_ptr<ByteStream> stream;
     std::mutex write_mu;  // serializes reply frames from receiver + workers
@@ -197,6 +225,11 @@ class IonServer {
     // then min(client, server). Atomic because workers stamp replies while
     // the receiver thread negotiates.
     std::atomic<std::uint16_t> version{0};
+    // Receiver-lane state (owned by the lane/receiver thread).
+    FrameAssembler assembler;
+    RxPending rx;
+    Lane* lane = nullptr;        // null: served by a blocking receiver thread
+    std::uint64_t lane_key = 0;  // epoll registration key within that lane
   };
 
   struct Task {
@@ -216,7 +249,19 @@ class IonServer {
   // their pool index 0..workers-1.
   static constexpr int kInlineLane = 99;
 
-  void receiver_loop(std::shared_ptr<ClientConn> conn);
+  // Receiver path (DESIGN.md §13). Lanes poll; both lane and blocking
+  // receivers funnel raw bytes through the same on_bytes -> FrameAssembler ->
+  // on_header/on_frame pipeline, so decode is byte-for-byte identical.
+  void lane_loop(Lane& lane);
+  void drop_lane_conn(Lane& lane, std::uint64_t key, ClientConn& conn, Errc reason);
+  void blocking_receiver_loop(std::shared_ptr<ClientConn> conn);
+  Status on_bytes(const std::shared_ptr<ClientConn>& conn, std::span<const std::byte> bytes);
+  Result<FrameAssembler::Sink> on_header(
+      ClientConn& conn, std::span<const std::byte, FrameHeader::kWireSize> hdr_bytes);
+  Status on_frame(const std::shared_ptr<ClientConn>& conn);
+  // Spawn the lane pool on first pollable connection (threads_mu_ held).
+  void ensure_lanes_locked();
+
   void worker_loop(int lane);
   void execute_task(Task& t, int lane);
   // Apply the filter chain (if any) and issue the backend write.
@@ -231,9 +276,12 @@ class IonServer {
   void observe_op(const FrameHeader& req, std::chrono::steady_clock::time_point arrival,
                   const Status& st);
 
-  // Inline op handlers (receiver thread).
+  // Inline op handlers (lane or blocking-receiver thread). Payload-carrying
+  // ops receive their fully assembled payload; the others run at frame
+  // completion exactly as before.
   void handle_hello(ClientConn& conn, const FrameHeader& req);
   void handle_open(ClientConn& conn, const FrameHeader& req,
+                   std::span<const std::byte> path_bytes,
                    std::chrono::steady_clock::time_point arrival);
   void handle_close(ClientConn& conn, const FrameHeader& req,
                     std::chrono::steady_clock::time_point arrival);
@@ -241,8 +289,7 @@ class IonServer {
                     std::chrono::steady_clock::time_point arrival);
   void handle_fstat(ClientConn& conn, const FrameHeader& req,
                     std::chrono::steady_clock::time_point arrival);
-  void handle_write(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
-                    std::chrono::steady_clock::time_point arrival);
+  void handle_write(const std::shared_ptr<ClientConn>& conn, RxPending& rx);
   void handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
                    std::chrono::steady_clock::time_point arrival);
 
@@ -302,6 +349,11 @@ class IonServer {
   std::vector<std::shared_ptr<ClientConn>> conns_;
   std::unique_ptr<Listener> listener_;
   std::atomic<bool> stopping_{false};
+
+  // Receiver lanes, spawned lazily on the first pollable connection
+  // (guarded by threads_mu_ until then; immutable afterwards).
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::uint64_t next_conn_key_ = 1;  // threads_mu_ held
 
   // Sync-staging degradation state (hysteresis), guarded by degraded_mu_.
   mutable std::mutex degraded_mu_;

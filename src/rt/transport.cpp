@@ -4,6 +4,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -17,6 +18,51 @@ namespace iofwd::rt {
 // ---------------------------------------------------------------------------
 // InProcPipe
 // ---------------------------------------------------------------------------
+
+InProcPipe::~InProcPipe() {
+  if (event_fd_ >= 0) ::close(event_fd_);
+}
+
+void InProcPipe::signal_locked() {
+  if (event_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(event_fd_, &one, sizeof one);
+}
+
+int InProcPipe::readiness_fd() {
+  std::scoped_lock lock(mu_);
+  if (event_fd_ < 0) {
+    event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    // Bytes (or a close) may already be buffered: signal immediately so an
+    // edge-triggered loop that registers this fd now still wakes up.
+    if (count_ > 0 || closed_) signal_locked();
+  }
+  return event_fd_;
+}
+
+Result<std::size_t> InProcPipe::read_some(void* buf, std::size_t n) {
+  auto* out = static_cast<std::byte*>(buf);
+  std::scoped_lock lock(mu_);
+  if (ring_.empty()) ring_.resize(capacity_);
+  if (count_ == 0) {
+    if (closed_) return Status(Errc::shutdown, "pipe closed by peer");
+    // Drain the eventfd under mu_: writers also signal under mu_, so any
+    // byte arriving after this drain re-ticks the fd — no lost wakeups.
+    if (event_fd_ >= 0) {
+      std::uint64_t v = 0;
+      [[maybe_unused]] const ssize_t r = ::read(event_fd_, &v, sizeof v);
+    }
+    return Status(Errc::would_block, "pipe empty");
+  }
+  const std::size_t take = std::min(n, count_);
+  const std::size_t first = std::min(take, capacity_ - head_);
+  std::memcpy(out, ring_.data() + head_, first);
+  if (take > first) std::memcpy(out + first, ring_.data(), take - first);
+  head_ = (head_ + take) % capacity_;
+  count_ -= take;
+  cv_.notify_all();  // writers may be waiting for space
+  return take;
+}
 
 Status InProcPipe::read_exact(void* buf, std::size_t n) {
   auto* out = static_cast<std::byte*>(buf);
@@ -57,6 +103,7 @@ Status InProcPipe::write_all(const void* buf, std::size_t n) {
     count_ += take;
     put += take;
     cv_.notify_all();
+    signal_locked();  // wake an event-loop reader, if one is attached
   }
   return Status::ok();
 }
@@ -65,6 +112,7 @@ void InProcPipe::close() {
   std::scoped_lock lock(mu_);
   closed_ = true;
   cv_.notify_all();
+  signal_locked();  // an event-loop reader must observe EOF promptly
 }
 
 std::pair<std::unique_ptr<InProcTransport>, std::unique_ptr<InProcTransport>>
@@ -158,6 +206,20 @@ Status SocketTransport::read_exact(void* buf, std::size_t n) {
     got += static_cast<std::size_t>(r);
   }
   return Status::ok();
+}
+
+Result<std::size_t> SocketTransport::read_some(void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::recv(fd_.load(), buf, n, MSG_DONTWAIT);
+    if (r > 0) return static_cast<std::size_t>(r);
+    if (r == 0) return Status(Errc::shutdown, "peer closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(Errc::would_block, "socket empty");
+    }
+    if (errno == ECONNRESET) return Status(Errc::shutdown, "connection reset");
+    return Status(Errc::io_error, std::string("recv: ") + std::strerror(errno));
+  }
 }
 
 Status SocketTransport::write_all(const void* buf, std::size_t n) {

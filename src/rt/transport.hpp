@@ -41,6 +41,23 @@ class ByteStream {
   virtual Status write_all(const void* buf, std::size_t n) = 0;
   // Close this end; concurrent and future reads/writes fail with shutdown.
   virtual void close() = 0;
+
+  // --- Non-blocking readiness API (receiver lanes, DESIGN.md §13) ---------
+  //
+  // A stream that can participate in an epoll event loop exposes a readable
+  // fd here: level/edge-triggered EPOLLIN on it means read_some() will make
+  // progress. Streams without readiness support return -1 and are served by
+  // a blocking receiver thread instead.
+  [[nodiscard]] virtual int readiness_fd() { return -1; }
+  // Reads up to n bytes without blocking. Returns the count read (> 0),
+  // would_block when no bytes are available right now, or shutdown at EOF.
+  // The edge-triggered contract: callers must loop until would_block before
+  // re-arming, and a would_block result re-arms the readiness fd.
+  virtual Result<std::size_t> read_some(void* buf, std::size_t n) {
+    (void)buf;
+    (void)n;
+    return Status(Errc::unsupported, "stream has no non-blocking read");
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -51,12 +68,21 @@ class ByteStream {
 class InProcPipe {
  public:
   explicit InProcPipe(std::size_t capacity = 1 << 20) : capacity_(capacity) {}
+  ~InProcPipe();
 
   Status read_exact(void* buf, std::size_t n);
   Status write_all(const void* buf, std::size_t n);
   void close();
 
+  // Readiness shim: an eventfd signalled whenever bytes (or close) arrive,
+  // created lazily on first request so pipes that never join an event loop
+  // (the client-read direction) cost no fd. Returns -1 if eventfd(2) fails.
+  [[nodiscard]] int readiness_fd();
+  Result<std::size_t> read_some(void* buf, std::size_t n);
+
  private:
+  void signal_locked();  // mu_ held: tick the eventfd if one exists
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::byte> ring_;
@@ -64,6 +90,7 @@ class InProcPipe {
   std::size_t head_ = 0;  // ring_ is lazily sized to capacity_
   std::size_t count_ = 0;
   bool closed_ = false;
+  int event_fd_ = -1;  // lazily created by readiness_fd()
 };
 
 class InProcTransport final : public ByteStream {
@@ -78,6 +105,10 @@ class InProcTransport final : public ByteStream {
   void close() override {
     in_->close();
     out_->close();
+  }
+  [[nodiscard]] int readiness_fd() override { return in_->readiness_fd(); }
+  Result<std::size_t> read_some(void* buf, std::size_t n) override {
+    return in_->read_some(buf, n);
   }
 
  private:
@@ -112,6 +143,11 @@ class SocketTransport final : public ByteStream {
   Status read_exact(void* buf, std::size_t n) override;
   Status write_all(const void* buf, std::size_t n) override;
   void close() override;
+
+  // Sockets are natively pollable; read_some is recv(MSG_DONTWAIT), so the
+  // fd itself stays blocking for the (backpressuring) write path.
+  [[nodiscard]] int readiness_fd() override { return fd_.load(); }
+  Result<std::size_t> read_some(void* buf, std::size_t n) override;
 
   [[nodiscard]] int fd() const { return fd_.load(); }
 

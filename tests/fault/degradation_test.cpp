@@ -6,57 +6,47 @@
 #include <future>
 
 #include "bb/burst_buffer.hpp"
-#include "core/rng.hpp"
 #include "core/units.hpp"
 #include "fault/decorators.hpp"
 #include "rt/async_client.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
+#include "testsupport/testsupport.hpp"
 
 namespace iofwd::fault {
 namespace {
 
 using namespace std::chrono_literals;
-
-std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> v(n);
-  for (auto& x : v) x = static_cast<std::byte>(rng.next());
-  return v;
-}
+using testsupport::ClusterOptions;
+using testsupport::TestCluster;
+using testsupport::pattern;
 
 TEST(Degradation, BmlExhaustionFallsBackToPassThrough) {
   // The pool holds exactly one 64 KiB buffer. The first write leases it and
   // then sits in a 400ms-slow backend write; the second write cannot lease
   // within bml_wait_ms and must execute inline, BML-less, instead of
   // blocking until the first completes.
-  auto plan = std::make_shared<FaultPlan>();
-  rt::ServerConfig cfg;
-  cfg.exec = rt::ExecModel::work_queue_async;
-  cfg.bml_bytes = 64_KiB;
-  cfg.bml_wait_ms = 20;
-  auto faulty = std::make_unique<FaultyBackend>(std::make_unique<rt::MemBackend>(), plan);
-  auto* mem = static_cast<rt::MemBackend*>(&faulty->inner());
-  rt::IonServer server(std::move(faulty), cfg);
-
-  auto [s, c] = rt::InProcTransport::make_pair();
-  server.serve(std::move(s));
-  rt::Client client(std::move(c));
+  ClusterOptions o;
+  o.server.exec = rt::ExecModel::work_queue_async;
+  o.server.bml_bytes = 64_KiB;
+  o.server.bml_wait_ms = 20;
+  TestCluster tc(o);
+  rt::Client& client = tc.client();
 
   ASSERT_TRUE(client.open(1, "f").is_ok());
-  plan->add({.op = OpKind::write, .nth = 1, .error = Errc::ok, .latency = 400'000us});
+  tc.backend_plan().add({.op = OpKind::write, .nth = 1, .error = Errc::ok, .latency = 400'000us});
   const auto a = pattern(64_KiB, 1);
   const auto b = pattern(64_KiB, 2);
   ASSERT_TRUE(client.write(1, 0, a).is_ok());  // staged; flush is slow
   ASSERT_TRUE(client.write(1, a.size(), b).is_ok()) << "degraded write must still succeed";
 
   ASSERT_TRUE(client.fsync(1).is_ok());
-  const auto st = server.stats();
+  const auto st = tc.server().stats();
   EXPECT_GE(st.bml_timeouts, 1u);
   EXPECT_GE(st.degraded_passthrough_ops, 1u);
 
   // Data integrity across both paths.
-  const auto all = mem->snapshot("f");
+  const auto all = tc.snapshot("f");
   ASSERT_EQ(all.size(), a.size() + b.size());
   EXPECT_TRUE(std::equal(a.begin(), a.end(), all.begin()));
   EXPECT_TRUE(std::equal(b.begin(), b.end(), all.begin() + static_cast<std::ptrdiff_t>(a.size())));
@@ -65,22 +55,20 @@ TEST(Degradation, BmlExhaustionFallsBackToPassThrough) {
 
 TEST(Degradation, OversizeWriteStillBouncesNoMemory) {
   // The degraded path must not swallow the documented oversize bounce.
-  rt::ServerConfig cfg;
-  cfg.exec = rt::ExecModel::work_queue_async;
-  cfg.bml_bytes = 64_KiB;
-  cfg.bml_wait_ms = 10;
-  rt::IonServer server(std::make_unique<rt::MemBackend>(), cfg);
-  auto [s, c] = rt::InProcTransport::make_pair();
-  server.serve(std::move(s));
-  rt::Client client(std::move(c));
-  ASSERT_TRUE(client.open(1, "f").is_ok());
-  EXPECT_EQ(client.write(1, 0, pattern(1_MiB, 3)).code(), Errc::no_memory);
+  ClusterOptions o;
+  o.server.exec = rt::ExecModel::work_queue_async;
+  o.server.bml_bytes = 64_KiB;
+  o.server.bml_wait_ms = 10;
+  TestCluster tc(o);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
+  EXPECT_EQ(tc.client().write(1, 0, pattern(1_MiB, 3)).code(), Errc::no_memory);
 }
 
 TEST(Degradation, BurstBufferStallBoundWritesThrough) {
   // Inner writes are slowed to 100ms, so the flushers cannot free capacity
   // within the 10ms stall bound; a writer facing a full cache must fall back
   // to a synchronous write-through instead of stalling indefinitely.
+  // Hand-built: this exercises the raw BurstBufferBackend, no server at all.
   auto plan = std::make_shared<FaultPlan>();
   plan->add({.op = OpKind::write,
              .probability = 1.0,
@@ -123,23 +111,22 @@ TEST(Degradation, QueueDepthWatermarkForcesSyncStaging) {
   // crosses the high watermark, so later writes must be staged synchronously
   // (acknowledged only on completion) until the queue drains below the low
   // watermark.
-  auto plan = std::make_shared<FaultPlan>();
-  plan->add({.op = OpKind::write,
-             .probability = 1.0,
-             .transient = false,
-             .error = Errc::ok,
-             .latency = 30'000us});
-  rt::ServerConfig cfg;
-  cfg.exec = rt::ExecModel::work_queue_async;
-  cfg.workers = 1;
-  cfg.degraded_high_watermark = 4;
-  cfg.degraded_low_watermark = 1;
-  rt::IonServer server(
-      std::make_unique<FaultyBackend>(std::make_unique<rt::MemBackend>(), plan), cfg);
+  ClusterOptions o;
+  o.server.exec = rt::ExecModel::work_queue_async;
+  o.server.workers = 1;
+  o.server.degraded_high_watermark = 4;
+  o.server.degraded_low_watermark = 1;
+  o.clients = 0;  // the pipelined AsyncClient below is the only client
+  TestCluster tc(o);
+  tc.backend_plan().add({.op = OpKind::write,
+                         .probability = 1.0,
+                         .transient = false,
+                         .error = Errc::ok,
+                         .latency = 30'000us});
 
-  auto [s, c] = rt::InProcTransport::make_pair();
-  server.serve(std::move(s));
-  rt::AsyncClient client(std::move(c), /*window=*/32);
+  auto stream = tc.factory()();
+  ASSERT_TRUE(stream.is_ok());
+  rt::AsyncClient client(std::move(stream).value(), /*window=*/32);
 
   ASSERT_TRUE(client.open(1, "q").get().is_ok());
   const auto data = pattern(4_KiB, 6);
@@ -150,7 +137,7 @@ TEST(Degradation, QueueDepthWatermarkForcesSyncStaging) {
   for (auto& f : futures) EXPECT_TRUE(f.get().is_ok());
   ASSERT_TRUE(client.fsync(1).get().is_ok());
 
-  const auto st = server.stats();
+  const auto st = tc.server().stats();
   EXPECT_GE(st.degraded_enters, 1u) << "queue depth never crossed the watermark";
   EXPECT_GE(st.degraded_sync_writes, 1u);
   EXPECT_GT(st.degraded_ns, 0u);

@@ -9,6 +9,8 @@
 //      faults, recovered by bounce-and-replay or reconnect-and-replay;
 //   3. the stored bytes match the golden model bit-for-bit, and reads
 //      return golden data — zero undetected corruptions.
+//
+// Replay any failure with the seed the run logs: IOFWD_TEST_SEED=0x... .
 #include <gtest/gtest.h>
 
 #include <map>
@@ -18,52 +20,41 @@
 #include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
+#include "testsupport/testsupport.hpp"
 
 namespace iofwd::fault {
 namespace {
 
-std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> v(n);
-  for (auto& x : v) x = static_cast<std::byte>(rng.next());
-  return v;
-}
-
-// Every stream the client uses — the first dial and every reconnect — goes
-// through the same plan, so plan->fired() is the total injected count.
-rt::StreamFactory corrupting_factory(rt::IonServer& server, std::shared_ptr<FaultPlan> plan) {
-  return [&server, plan]() -> Result<std::unique_ptr<rt::ByteStream>> {
-    auto [s, c] = rt::InProcTransport::make_pair();
-    server.serve(std::move(s));
-    return std::unique_ptr<rt::ByteStream>(
-        std::make_unique<FaultyStream>(std::move(c), plan));
-  };
-}
+using testsupport::ClusterOptions;
+using testsupport::TestCluster;
+using testsupport::pattern;
 
 TEST(IntegrityChaos, OnePercentBitFlipsAllDetectedAllRecovered) {
-  constexpr std::uint64_t kSeed = 0x1f1d5;
+  const std::uint64_t seed =
+      testsupport::test_seed("IntegrityChaos.OnePercentBitFlips", 0x1f1d5);
 
-  auto plan = std::make_shared<FaultPlan>(kSeed);
+  auto plan = std::make_shared<FaultPlan>(seed);
   plan->add({.op = OpKind::stream_write, .action = FaultAction::bit_flip, .probability = 0.01});
   plan->add({.op = OpKind::stream_read, .action = FaultAction::bit_flip, .probability = 0.01});
 
-  auto m = std::make_unique<rt::MemBackend>();
-  auto* mem = m.get();
-  rt::ServerConfig scfg;
-  scfg.bml_bytes = 16_MiB;
-  rt::IonServer server(std::move(m), scfg);
+  ClusterOptions o;
+  o.server.bml_bytes = 16_MiB;
+  o.clients = 0;
+  TestCluster tc(o);
 
-  auto factory = corrupting_factory(server, plan);
-  auto first = factory();
-  ASSERT_TRUE(first.is_ok());
-  rt::ClientConfig ccfg;
-  ccfg.reconnect_attempts = 10;  // ~4 corruption chances per roundtrip at 1%
-  ccfg.reconnect_backoff_ms = 0; // keep the storm fast
-  rt::Client client(std::move(first).value(), ccfg, factory);
+  // Every stream the client uses — the first dial and every reconnect — goes
+  // through the same plan, so plan->fired() is the total injected count.
+  TestCluster::ClientSpec spec;
+  spec.cfg.reconnect_attempts = 10;   // ~4 corruption chances per roundtrip at 1%
+  spec.cfg.reconnect_backoff_ms = 0;  // keep the storm fast
+  spec.stream_plan = plan;
+  spec.reconnectable = true;
+  spec.faulty_redials = true;
+  rt::Client& client = tc.client(tc.add_client(std::move(spec)));
 
   // Golden model: what the file must contain if no corruption slipped by.
   std::map<std::uint64_t, std::vector<std::byte>> golden;
-  Rng rng(kSeed ^ 0xdada);
+  Rng rng(seed ^ 0xdada);
 
   ASSERT_TRUE(client.open(1, "chaos").is_ok());
   std::uint64_t next_off = 0;
@@ -93,7 +84,7 @@ TEST(IntegrityChaos, OnePercentBitFlipsAllDetectedAllRecovered) {
 
   // --- 1. every corruption detected -------------------------------------
   const auto cs = client.stats();
-  const auto ss = server.stats();
+  const auto ss = tc.server().stats();
   const std::uint64_t injected = plan->fired();
   const std::uint64_t detected = cs.header_crc_errors + cs.payload_crc_errors +
                                  ss.header_crc_errors + ss.payload_crc_errors;
@@ -107,7 +98,7 @@ TEST(IntegrityChaos, OnePercentBitFlipsAllDetectedAllRecovered) {
   EXPECT_GE(cs.reconnects + cs.request_bounces, 1u) << "recovery paths never exercised";
 
   // --- 3. stored bytes match the golden model ----------------------------
-  const auto all = mem->snapshot("chaos");
+  const auto all = tc.snapshot("chaos");
   ASSERT_EQ(all.size(), next_off);
   for (const auto& [off, data] : golden) {
     ASSERT_TRUE(std::equal(data.begin(), data.end(),
@@ -126,16 +117,16 @@ TEST(IntegrityChaos, V0PeersStayBlindToCorruption) {
   // op (hello is suppressed at v0; open is hdr+path, writes are hdr+payload).
   plan->add({.op = OpKind::stream_write, .action = FaultAction::bit_flip, .nth = 6});
 
-  auto m = std::make_unique<rt::MemBackend>();
-  auto* mem = m.get();
-  rt::IonServer server(std::move(m), {});
+  ClusterOptions o;
+  o.clients = 0;
+  TestCluster tc(o);
 
-  auto factory = corrupting_factory(server, plan);
-  auto first = factory();
-  ASSERT_TRUE(first.is_ok());
-  rt::ClientConfig ccfg;
-  ccfg.max_wire_version = 0;  // legacy client: no hello, no checksums
-  rt::Client client(std::move(first).value(), ccfg, factory);
+  TestCluster::ClientSpec spec;
+  spec.cfg.max_wire_version = 0;  // legacy client: no hello, no checksums
+  spec.stream_plan = plan;
+  spec.reconnectable = true;
+  spec.faulty_redials = true;
+  rt::Client& client = tc.client(tc.add_client(std::move(spec)));
 
   ASSERT_TRUE(client.open(1, "blind").is_ok());
   const auto data = pattern(4_KiB, 5);
@@ -145,9 +136,9 @@ TEST(IntegrityChaos, V0PeersStayBlindToCorruption) {
   ASSERT_TRUE(client.close(1).is_ok());
 
   ASSERT_EQ(plan->fired(), 1u);
-  EXPECT_EQ(server.stats().payload_crc_errors, 0u);
-  EXPECT_EQ(server.stats().header_crc_errors, 0u);
-  const auto all = mem->snapshot("blind");
+  EXPECT_EQ(tc.server().stats().payload_crc_errors, 0u);
+  EXPECT_EQ(tc.server().stats().header_crc_errors, 0u);
+  const auto all = tc.snapshot("blind");
   ASSERT_EQ(all.size(), 3 * data.size());
   std::size_t mismatched = 0;
   for (std::size_t i = 0; i < all.size(); ++i) {

@@ -3,52 +3,40 @@
 // failed op replays transparently.
 #include <gtest/gtest.h>
 
-#include "core/rng.hpp"
 #include "core/units.hpp"
 #include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
+#include "testsupport/testsupport.hpp"
 
 namespace iofwd::fault {
 namespace {
 
-std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> v(n);
-  for (auto& x : v) x = static_cast<std::byte>(rng.next());
-  return v;
+using testsupport::ClusterOptions;
+using testsupport::TestCluster;
+using testsupport::pattern;
+
+TestCluster cluster() {
+  ClusterOptions o;
+  o.clients = 0;
+  return TestCluster(o);
 }
 
-// Dials a fresh in-process connection into `server` on every call.
-rt::StreamFactory factory_for(rt::IonServer& server) {
-  return [&server]() -> Result<std::unique_ptr<rt::ByteStream>> {
-    auto [s, c] = rt::InProcTransport::make_pair();
-    server.serve(std::move(s));
-    return std::unique_ptr<rt::ByteStream>(std::move(c));
-  };
+// A reconnectable client whose first connection dies after `cut_after`
+// written bytes; redials come up clean.
+std::size_t add_cut_client(TestCluster& tc, std::uint64_t cut_after) {
+  TestCluster::ClientSpec spec;
+  spec.cut_after_write_bytes = cut_after;
+  spec.reconnectable = true;
+  return tc.add_client(std::move(spec));
 }
-
-struct Fx {
-  rt::MemBackend* mem = nullptr;
-  std::unique_ptr<rt::IonServer> server;
-
-  explicit Fx(rt::ServerConfig cfg = {}) {
-    auto m = std::make_unique<rt::MemBackend>();
-    mem = m.get();
-    server = std::make_unique<rt::IonServer>(std::move(m), cfg);
-  }
-};
 
 TEST(Reconnect, MidBurstCutReplaysTransparently) {
-  Fx fx;
+  TestCluster tc = cluster();
   // First connection dies once this end has written ~1.5 frames of a
   // 16 KiB-per-write burst; the cut lands mid-payload.
-  auto [s0, c0] = rt::InProcTransport::make_pair();
-  fx.server->serve(std::move(s0));
-  auto cut = std::make_unique<FaultyStream>(
-      std::move(c0), rt::FrameHeader::kWireSize * 2 + 16_KiB + 8_KiB);
-
-  rt::Client client(std::move(cut), {}, factory_for(*fx.server));
+  rt::Client& client =
+      tc.client(add_cut_client(tc, rt::FrameHeader::kWireSize * 2 + 16_KiB + 8_KiB));
   ASSERT_TRUE(client.open(1, "burst").is_ok());
 
   const auto data = pattern(16_KiB, 11);
@@ -60,7 +48,7 @@ TEST(Reconnect, MidBurstCutReplaysTransparently) {
   ASSERT_TRUE(client.close(1).is_ok());
 
   // Every byte of every burst landed, including the cut-then-replayed one.
-  const auto all = fx.mem->snapshot("burst");
+  const auto all = tc.snapshot("burst");
   ASSERT_EQ(all.size(), 8 * data.size());
   for (int i = 0; i < 8; ++i) {
     EXPECT_TRUE(std::equal(data.begin(), data.end(),
@@ -74,15 +62,12 @@ TEST(Reconnect, MidBurstCutReplaysTransparently) {
 }
 
 TEST(Reconnect, ReplayedReadAfterReconnectSeesEarlierWrites) {
-  Fx fx;
-  auto [s0, c0] = rt::InProcTransport::make_pair();
-  fx.server->serve(std::move(s0));
+  TestCluster tc = cluster();
   // Budget: hello + open + first write survive; the read request later hits
   // the cut (hello 56 B, open 56+2 B, write 56 B + 4 KiB, then 10 B of the
   // read header).
-  auto cut = std::make_unique<FaultyStream>(std::move(c0),
-                                            rt::FrameHeader::kWireSize * 3 + 4_KiB + 12);
-  rt::Client client(std::move(cut), {}, factory_for(*fx.server));
+  rt::Client& client =
+      tc.client(add_cut_client(tc, rt::FrameHeader::kWireSize * 3 + 4_KiB + 12));
 
   ASSERT_TRUE(client.open(3, "rr").is_ok());
   const auto data = pattern(4_KiB, 12);
@@ -94,20 +79,20 @@ TEST(Reconnect, ReplayedReadAfterReconnectSeesEarlierWrites) {
 }
 
 TEST(Reconnect, WithoutFactoryTheCutSurfaces) {
-  Fx fx;
-  auto [s0, c0] = rt::InProcTransport::make_pair();
-  fx.server->serve(std::move(s0));
+  TestCluster tc = cluster();
   // hello + open (1-byte path) fit; the write's header hits the cut.
-  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize * 2 + 10);
-  rt::Client client(std::move(cut));  // no StreamFactory
+  TestCluster::ClientSpec spec;
+  spec.cut_after_write_bytes = rt::FrameHeader::kWireSize * 2 + 10;
+  rt::Client& client = tc.client(tc.add_client(std::move(spec)));  // no StreamFactory
   ASSERT_TRUE(client.open(1, "x").is_ok());
   EXPECT_FALSE(client.write(1, 0, pattern(4_KiB, 13)).is_ok());
 }
 
 TEST(Reconnect, BoundedAttemptsThenGiveup) {
   // The factory always dials a connection that dies immediately, so every
-  // replay fails; the client must stop after its attempt budget.
-  Fx fx;
+  // replay fails; the client must stop after its attempt budget. The dead
+  // factory is hand-built — TestCluster factories always reach the server.
+  TestCluster tc = cluster();
   int dials = 0;
   rt::StreamFactory dead_factory = [&]() -> Result<std::unique_ptr<rt::ByteStream>> {
     ++dials;
@@ -115,10 +100,11 @@ TEST(Reconnect, BoundedAttemptsThenGiveup) {
     s->close();  // server side never serves: instant dead line
     return std::unique_ptr<rt::ByteStream>(std::move(c));
   };
-  auto [s0, c0] = rt::InProcTransport::make_pair();
-  fx.server->serve(std::move(s0));
+  auto first = tc.factory()();
+  ASSERT_TRUE(first.is_ok());
   // hello + open fit; the write's header hits the cut.
-  auto cut = std::make_unique<FaultyStream>(std::move(c0), rt::FrameHeader::kWireSize * 2 + 5);
+  auto cut = std::make_unique<FaultyStream>(std::move(first).value(),
+                                            rt::FrameHeader::kWireSize * 2 + 5);
 
   rt::ClientConfig cfg;
   cfg.reconnect_attempts = 2;
@@ -134,17 +120,15 @@ TEST(Reconnect, BoundedAttemptsThenGiveup) {
 }
 
 TEST(Reconnect, ShutdownOpcodeNeverReconnects) {
-  Fx fx;
+  TestCluster tc = cluster();
   int dials = 0;
   rt::StreamFactory counting = [&]() -> Result<std::unique_ptr<rt::ByteStream>> {
     ++dials;
-    auto [s, c] = rt::InProcTransport::make_pair();
-    fx.server->serve(std::move(s));
-    return std::unique_ptr<rt::ByteStream>(std::move(c));
+    return tc.factory()();
   };
-  auto [s0, c0] = rt::InProcTransport::make_pair();
-  fx.server->serve(std::move(s0));
-  auto cut = std::make_unique<FaultyStream>(std::move(c0), 1);  // dies on first frame
+  auto first = tc.factory()();
+  ASSERT_TRUE(first.is_ok());
+  auto cut = std::make_unique<FaultyStream>(std::move(first).value(), 1);  // dies on first frame
   rt::Client client(std::move(cut), {}, std::move(counting));
   EXPECT_FALSE(client.shutdown().is_ok());
   EXPECT_EQ(dials, 0) << "a failed polite shutdown must not redial";

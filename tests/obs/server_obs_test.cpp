@@ -15,41 +15,36 @@
 #include "obs/trace.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
+#include "testsupport/testsupport.hpp"
 
 namespace iofwd::rt {
 namespace {
 
-struct ObsHarness {
-  obs::MetricRegistry registry;
-  obs::RuntimeTracer tracer;
-  std::unique_ptr<IonServer> server;
-  std::unique_ptr<Client> client;
+using testsupport::ClusterOptions;
+using testsupport::TestCluster;
 
-  explicit ObsHarness(ServerConfig cfg = {}) {
-    cfg.registry = &registry;
-    cfg.tracer = &tracer;
-    cfg.flight_recorder_ops = 16;
-    server = std::make_unique<IonServer>(std::make_unique<MemBackend>(), cfg);
-    auto [a, b] = InProcTransport::make_pair();
-    server->serve(std::move(a));
-    client = std::make_unique<Client>(std::move(b));
-  }
+TestCluster obs_cluster(ServerConfig cfg = {}) {
+  ClusterOptions o;
+  o.server = cfg;
+  o.server.flight_recorder_ops = 16;
+  o.with_tracer = true;
+  return TestCluster(o);
+}
 
-  void run_ops() {
-    ASSERT_TRUE(client->open(1, "f").is_ok());
-    const std::vector<std::byte> data(64_KiB, std::byte{0x5a});
-    ASSERT_TRUE(client->write(1, 0, data).is_ok());
-    ASSERT_TRUE(client->fsync(1).is_ok());
-    auto r = client->read(1, 0, data.size());
-    ASSERT_TRUE(r.is_ok());
-    ASSERT_TRUE(client->close(1).is_ok());
-  }
-};
+void run_ops(Client& client) {
+  ASSERT_TRUE(client.open(1, "f").is_ok());
+  const std::vector<std::byte> data(64_KiB, std::byte{0x5a});
+  ASSERT_TRUE(client.write(1, 0, data).is_ok());
+  ASSERT_TRUE(client.fsync(1).is_ok());
+  auto r = client.read(1, 0, data.size());
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_TRUE(client.close(1).is_ok());
+}
 
 TEST(ServerObs, SharedRegistryRecordsServerNamespace) {
-  ObsHarness h;
-  h.run_ops();
-  const obs::Snapshot snap = h.server->metrics();
+  TestCluster tc = obs_cluster();
+  run_ops(tc.client());
+  const obs::Snapshot snap = tc.server().metrics();
   // open + write + fsync + read + close = 5 ops.
   EXPECT_EQ(snap.counter("server.ops"), 5u);
   EXPECT_EQ(snap.counter("server.bytes_in"), 64_KiB);
@@ -59,15 +54,15 @@ TEST(ServerObs, SharedRegistryRecordsServerNamespace) {
   ASSERT_NE(snap.histogram("server.read_latency_us"), nullptr);
   EXPECT_EQ(snap.histogram("server.read_latency_us")->count, 1u);
   // The external registry IS the server's registry (no private copy).
-  EXPECT_EQ(&h.server->registry(), &h.registry);
-  EXPECT_EQ(h.registry.counter("server.ops").value(), 5u);
+  EXPECT_EQ(&tc.server().registry(), &tc.registry());
+  EXPECT_EQ(tc.registry().counter("server.ops").value(), 5u);
 }
 
 TEST(ServerObs, StatsStructIsASnapshotOfTheRegistry) {
-  ObsHarness h;
-  h.run_ops();
-  const ServerStats s = h.server->stats();
-  const obs::Snapshot snap = h.server->metrics();
+  TestCluster tc = obs_cluster();
+  run_ops(tc.client());
+  const ServerStats s = tc.server().stats();
+  const obs::Snapshot snap = tc.server().metrics();
   EXPECT_EQ(s.ops, snap.counter("server.ops"));
   EXPECT_EQ(s.bytes_in, snap.counter("server.bytes_in"));
   EXPECT_EQ(s.bytes_out, snap.counter("server.bytes_out"));
@@ -78,17 +73,17 @@ TEST(ServerObs, StatsStructIsASnapshotOfTheRegistry) {
 TEST(ServerObs, BurstBufferSharesTheRegistry) {
   ServerConfig cfg;
   cfg.bb_bytes = 4_MiB;
-  ObsHarness h(cfg);
-  h.run_ops();
-  const obs::Snapshot snap = h.server->metrics();
+  TestCluster tc = obs_cluster(cfg);
+  run_ops(tc.client());
+  const obs::Snapshot snap = tc.server().metrics();
   EXPECT_GT(snap.counter("bb.writes_in"), 0u);
   EXPECT_EQ(snap.counter("bb.bytes_in"), 64_KiB);
 }
 
 TEST(ServerObs, FlightRecorderCapturesCompletedOps) {
-  ObsHarness h;
-  h.run_ops();
-  const obs::FlightRecorder* fr = h.server->flight_recorder();
+  TestCluster tc = obs_cluster();
+  run_ops(tc.client());
+  const obs::FlightRecorder* fr = tc.server().flight_recorder();
   ASSERT_NE(fr, nullptr);
   EXPECT_EQ(fr->recorded(), 5u);
   const auto snap = fr->snapshot();
@@ -99,15 +94,17 @@ TEST(ServerObs, FlightRecorderCapturesCompletedOps) {
 }
 
 TEST(ServerObs, TracerReceivesSpansAndCounterTracks) {
-  ObsHarness h;
-  h.run_ops();
-  EXPECT_GT(h.tracer.event_count(), 0u);
-  const std::string j = h.tracer.to_json();
+  TestCluster tc = obs_cluster();
+  run_ops(tc.client());
+  EXPECT_GT(tc.tracer().event_count(), 0u);
+  const std::string j = tc.tracer().to_json();
   EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(j.find("queue_depth"), std::string::npos);
 }
 
+// Hand-built on purpose: pins that a server with NO registry in its config
+// self-provisions a private one (TestCluster always injects a registry).
 TEST(ServerObs, DefaultConfigOwnsAPrivateRegistry) {
   ServerConfig cfg;  // no registry: the server must self-provision
   auto server = std::make_unique<IonServer>(std::make_unique<MemBackend>(), cfg);
@@ -121,10 +118,10 @@ TEST(ServerObs, DefaultConfigOwnsAPrivateRegistry) {
 }
 
 TEST(ServerObs, MetricsTableRendersEveryKind) {
-  ObsHarness h;
-  h.run_ops();
+  TestCluster tc = obs_cluster();
+  run_ops(tc.client());
   const std::string out =
-      analysis::metrics_table(h.server->metrics(), "obs test").render();
+      analysis::metrics_table(tc.server().metrics(), "obs test").render();
   EXPECT_NE(out.find("server.ops"), std::string::npos);
   EXPECT_NE(out.find("server.write_latency_us"), std::string::npos);
   EXPECT_NE(out.find("p95"), std::string::npos);

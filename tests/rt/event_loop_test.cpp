@@ -1,0 +1,145 @@
+#include "rt/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "rt/transport.hpp"
+
+namespace iofwd::rt {
+namespace {
+
+TEST(EventLoop, ConstructsValid) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.valid());
+}
+
+TEST(EventLoop, WakeReturnsWithNoKeys) {
+  EventLoop loop;
+  std::vector<std::uint64_t> ready;
+  std::thread waker([&] { loop.wake(); });
+  EXPECT_TRUE(loop.wait(ready));
+  waker.join();
+  EXPECT_TRUE(ready.empty());
+}
+
+TEST(EventLoop, CloseMakesWaitReturnFalse) {
+  EventLoop loop;
+  std::vector<std::uint64_t> ready;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    loop.close();
+  });
+  EXPECT_FALSE(loop.wait(ready));
+  closer.join();
+  // Closed stays closed: an immediate re-wait must not block.
+  EXPECT_FALSE(loop.wait(ready));
+}
+
+TEST(EventLoop, ReportsRegisteredKeyOnReadiness) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(loop.add(fds[0], 0x1234).is_ok());
+
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  std::vector<std::uint64_t> ready;
+  ASSERT_TRUE(loop.wait(ready));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 0x1234u);
+
+  loop.remove(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, EdgeTriggeredFiresOncePerEdge) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(loop.add(fds[0], 7).is_ok());
+
+  ASSERT_EQ(::write(fds[1], "a", 1), 1);
+  std::vector<std::uint64_t> ready;
+  ASSERT_TRUE(loop.wait(ready));
+  ASSERT_EQ(ready.size(), 1u);
+
+  // Without draining fds[0], no *new* edge exists: a bare wake() must come
+  // back with no ready keys (this is the ET contract lanes rely on — they
+  // drain to would_block before waiting again).
+  ready.clear();
+  loop.wake();
+  ASSERT_TRUE(loop.wait(ready));
+  EXPECT_TRUE(ready.empty());
+
+  // A fresh write is a fresh edge.
+  ASSERT_EQ(::write(fds[1], "b", 1), 1);
+  ready.clear();
+  ASSERT_TRUE(loop.wait(ready));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 7u);
+
+  loop.remove(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoop, MultipleFdsReportDistinctKeys) {
+  EventLoop loop;
+  int p1[2], p2[2];
+  ASSERT_EQ(::pipe(p1), 0);
+  ASSERT_EQ(::pipe(p2), 0);
+  ASSERT_TRUE(loop.add(p1[0], 1).is_ok());
+  ASSERT_TRUE(loop.add(p2[0], 2).is_ok());
+
+  ASSERT_EQ(::write(p1[1], "x", 1), 1);
+  ASSERT_EQ(::write(p2[1], "y", 1), 1);
+  std::vector<std::uint64_t> ready;
+  while (ready.size() < 2) {
+    ASSERT_TRUE(loop.wait(ready));
+  }
+  std::sort(ready.begin(), ready.end());
+  EXPECT_EQ(ready[0], 1u);
+  EXPECT_EQ(ready[1], 2u);
+
+  for (int* p : {p1, p2}) {
+    loop.remove(p[0]);
+    ::close(p[0]);
+    ::close(p[1]);
+  }
+}
+
+TEST(EventLoop, WatchesInProcReadinessFd) {
+  // The shim a lane actually registers: an InProcPipe's eventfd.
+  EventLoop loop;
+  auto [a, b] = InProcTransport::make_pair(4096);
+  ASSERT_TRUE(loop.add(b->readiness_fd(), 42).is_ok());
+
+  ASSERT_TRUE(a->write_all("ping", 4).is_ok());
+  std::vector<std::uint64_t> ready;
+  ASSERT_TRUE(loop.wait(ready));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 42u);
+
+  // Drain to would_block, then a peer close must produce another edge.
+  char buf[8];
+  ASSERT_TRUE(b->read_some(buf, sizeof buf).is_ok());
+  ASSERT_EQ(b->read_some(buf, sizeof buf).code(), Errc::would_block);
+  a->close();
+  ready.clear();
+  ASSERT_TRUE(loop.wait(ready));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 42u);
+  EXPECT_EQ(b->read_some(buf, sizeof buf).code(), Errc::shutdown);
+}
+
+TEST(EventLoop, AddBadFdFails) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.add(-1, 9).is_ok());
+}
+
+}  // namespace
+}  // namespace iofwd::rt

@@ -7,45 +7,40 @@
 #include <atomic>
 
 #include "bb/burst_buffer.hpp"
-#include "core/rng.hpp"
 #include "core/units.hpp"
-#include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
+#include "testsupport/testsupport.hpp"
 
 namespace iofwd::rt {
 namespace {
 
-// Kills the connection after a byte budget written by this end (the old
-// test-local CuttingStream, now the shared fault::FaultyStream decorator).
-std::unique_ptr<ByteStream> cutting(std::unique_ptr<ByteStream> inner, std::uint64_t cut_after) {
-  return std::make_unique<fault::FaultyStream>(std::move(inner), cut_after);
-}
+using testsupport::ClusterOptions;
+using testsupport::TestCluster;
+using testsupport::pattern;
 
-std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> v(n);
-  for (auto& x : v) x = static_cast<std::byte>(rng.next());
-  return v;
+// A client whose connection dies after a written-byte budget (the old
+// test-local CuttingStream, now TestCluster's cut_after_write_bytes spec).
+std::size_t add_cut_client(TestCluster& tc, std::uint64_t cut_after) {
+  TestCluster::ClientSpec spec;
+  spec.cut_after_write_bytes = cut_after;
+  return tc.add_client(std::move(spec));
 }
 
 class FaultModels : public ::testing::TestWithParam<ExecModel> {};
 
 TEST_P(FaultModels, CutMidHeaderDoesNotWedgeServer) {
-  ServerConfig cfg;
-  cfg.exec = GetParam();
-  IonServer server(std::make_unique<MemBackend>(), cfg);
+  ClusterOptions o;
+  o.server.exec = GetParam();
+  o.clients = 0;
+  TestCluster tc(o);
 
-  auto [sa, ca] = InProcTransport::make_pair();
-  server.serve(std::move(sa));
   // Client cut after 10 bytes: the server sees a truncated frame header.
-  Client bad(cutting(std::move(ca), 10));
+  Client& bad = tc.client(add_cut_client(tc, 10));
   EXPECT_FALSE(bad.open(1, "x").is_ok());
 
   // A healthy client connected afterwards is fully served.
-  auto [sb, cb] = InProcTransport::make_pair();
-  server.serve(std::move(sb));
-  Client good(std::move(cb));
+  Client& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(2, "y").is_ok());
   const auto data = pattern(64_KiB, 1);
   ASSERT_TRUE(good.write(2, 0, data).is_ok());
@@ -54,48 +49,44 @@ TEST_P(FaultModels, CutMidHeaderDoesNotWedgeServer) {
 }
 
 TEST_P(FaultModels, CutMidPayloadReleasesStagingBuffer) {
-  ServerConfig cfg;
-  cfg.exec = GetParam();
-  cfg.bml_bytes = 1_MiB;
-  IonServer server(std::make_unique<MemBackend>(), cfg);
+  ClusterOptions o;
+  o.server.exec = GetParam();
+  o.server.bml_bytes = 1_MiB;
+  o.clients = 0;
+  TestCluster tc(o);
 
-  auto [sa, ca] = InProcTransport::make_pair();
-  server.serve(std::move(sa));
   // Header (44 B) goes through; the 256 KiB payload is cut at 50 KiB.
-  Client bad(cutting(std::move(ca), FrameHeader::kWireSize + 50 * 1024));
+  Client& bad = tc.client(add_cut_client(tc, FrameHeader::kWireSize + 50 * 1024));
   (void)bad.open(1, "x");  // open succeeds (small frames)... or dies; both fine
   const auto data = pattern(256_KiB, 2);
   EXPECT_FALSE(bad.write(1, 0, data).is_ok());
 
   // The staging buffer the server acquired for the half-received payload
   // must be back in the pool: a healthy client can stage the full 1 MiB.
-  auto [sb, cb] = InProcTransport::make_pair();
-  server.serve(std::move(sb));
-  Client good(std::move(cb));
+  Client& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(2, "y").is_ok());
   const auto big = pattern(1_MiB, 3);
   ASSERT_TRUE(good.write(2, 0, big).is_ok());
   ASSERT_TRUE(good.fsync(2).is_ok());
-  EXPECT_LE(server.stats().bml_high_watermark, cfg.bml_bytes);
+  EXPECT_LE(tc.server().stats().bml_high_watermark, o.server.bml_bytes);
 }
 
 TEST_P(FaultModels, GarbageFrameDropsClientOnly) {
-  ServerConfig cfg;
-  cfg.exec = GetParam();
-  IonServer server(std::make_unique<MemBackend>(), cfg);
+  ClusterOptions o;
+  o.server.exec = GetParam();
+  o.clients = 0;
+  TestCluster tc(o);
 
-  auto [sa, ca] = InProcTransport::make_pair();
-  server.serve(std::move(sa));
-  // Feed raw garbage instead of a frame.
+  // Feed raw garbage instead of a frame (raw stream, no Client framing).
+  auto raw = tc.factory()();
+  ASSERT_TRUE(raw.is_ok());
   std::vector<std::byte> junk(FrameHeader::kWireSize, std::byte{0x5a});
-  ASSERT_TRUE(ca->write_all(junk.data(), junk.size()).is_ok());
+  ASSERT_TRUE(raw.value()->write_all(junk.data(), junk.size()).is_ok());
 
-  auto [sb, cb] = InProcTransport::make_pair();
-  server.serve(std::move(sb));
-  Client good(std::move(cb));
+  Client& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(7, "z").is_ok());
   EXPECT_TRUE(good.close(7).is_ok());
-  ca->close();
+  raw.value()->close();
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, FaultModels,
@@ -104,16 +95,14 @@ INSTANTIATE_TEST_SUITE_P(Models, FaultModels,
                          [](const auto& pinfo) { return to_string(pinfo.param); });
 
 TEST(FaultInjection, RepeatedBadClientsDoNotExhaustServer) {
-  IonServer server(std::make_unique<MemBackend>(), {});
+  ClusterOptions o;
+  o.clients = 0;
+  TestCluster tc(o);
   for (int i = 0; i < 20; ++i) {
-    auto [sa, ca] = InProcTransport::make_pair();
-    server.serve(std::move(sa));
-    Client bad(cutting(std::move(ca), 5 + static_cast<std::uint64_t>(i)));
+    Client& bad = tc.client(add_cut_client(tc, 5 + static_cast<std::uint64_t>(i)));
     (void)bad.open(1, "x");
   }
-  auto [sb, cb] = InProcTransport::make_pair();
-  server.serve(std::move(sb));
-  Client good(std::move(cb));
+  Client& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(99, "final").is_ok());
   const auto data = pattern(128_KiB, 9);
   ASSERT_TRUE(good.write(99, 0, data).is_ok());
@@ -127,38 +116,23 @@ TEST(FaultInjection, RepeatedBadClientsDoNotExhaustServer) {
 // contract: surface exactly once on the next op on that descriptor, leave the
 // op unexecuted, and leak no cache buffers.
 
-struct BbFaultFixture {
-  MemBackend* mem = nullptr;
-  std::shared_ptr<fault::FaultPlan> plan = std::make_shared<fault::FaultPlan>();
-  IonServer server;
-
-  BbFaultFixture()
-      : server(
-            [this] {
-              auto m = std::make_unique<MemBackend>();
-              mem = m.get();
-              return std::make_unique<fault::FaultyBackend>(std::move(m), plan);
-            }(),
-            [] {
-              ServerConfig cfg;
-              cfg.exec = ExecModel::work_queue_async;
-              cfg.bb_bytes = 4_MiB;
-              cfg.bb_high_watermark = 1.0;  // flush only on explicit drains
-              cfg.bb_low_watermark = 1.0;
-              return cfg;
-            }()) {}
-};
+TestCluster bb_cluster() {
+  ClusterOptions o;
+  o.server.exec = ExecModel::work_queue_async;
+  o.server.bb_bytes = 4_MiB;
+  o.server.bb_high_watermark = 1.0;  // flush only on explicit drains
+  o.server.bb_low_watermark = 1.0;
+  return TestCluster(o);
+}
 
 TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
-  BbFaultFixture fx;
-  auto [se, ce] = InProcTransport::make_pair();
-  fx.server.serve(std::move(se));
-  Client client(std::move(ce));
+  TestCluster tc = bb_cluster();
+  Client& client = tc.client();
   ASSERT_TRUE(client.open(1, "x").is_ok());
 
   const auto data = pattern(64_KiB, 21);
   ASSERT_TRUE(client.write(1, 0, data).is_ok());  // ack'd: staged in the cache
-  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
+  tc.backend_plan().fail_always(fault::OpKind::write, Errc::io_error);
 
   // fsync forces the drain; the flush failure surfaces on this very call.
   Status st = client.fsync(1);
@@ -166,33 +140,31 @@ TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
   EXPECT_EQ(st.code(), Errc::io_error);
 
   // Exactly once: with the fault cleared the descriptor is healthy again.
-  fx.plan->clear();
+  tc.backend_plan().clear();
   EXPECT_TRUE(client.fsync(1).is_ok());
 
   // The failed extent's lease was dropped, not leaked: a fresh write of the
   // same data lands cleanly end-to-end.
   ASSERT_TRUE(client.write(1, 0, data).is_ok());
   ASSERT_TRUE(client.fsync(1).is_ok());
-  EXPECT_EQ(fx.mem->snapshot("x"), data);
+  EXPECT_EQ(tc.snapshot("x"), data);
   ASSERT_TRUE(client.close(1).is_ok());
-  ASSERT_NE(fx.server.burst_buffer(), nullptr);
-  EXPECT_EQ(fx.server.burst_buffer()->stats().cached_bytes, 0u) << "cache leaked a lease";
-  EXPECT_EQ(fx.server.burst_buffer()->stats().deferred_errors, 1u);
+  ASSERT_NE(tc.server().burst_buffer(), nullptr);
+  EXPECT_EQ(tc.server().burst_buffer()->stats().cached_bytes, 0u) << "cache leaked a lease";
+  EXPECT_EQ(tc.server().burst_buffer()->stats().deferred_errors, 1u);
 }
 
 TEST(FaultInjection, BurstBufferFlushErrorAtCloseIsReported) {
-  BbFaultFixture fx;
-  auto [se, ce] = InProcTransport::make_pair();
-  fx.server.serve(std::move(se));
-  Client client(std::move(ce));
+  TestCluster tc = bb_cluster();
+  Client& client = tc.client();
   ASSERT_TRUE(client.open(1, "x").is_ok());
   ASSERT_TRUE(client.write(1, 0, pattern(32_KiB, 22)).is_ok());
-  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
+  tc.backend_plan().fail_always(fault::OpKind::write, Errc::io_error);
 
   // close() drains; the flush failure must not vanish silently.
   EXPECT_FALSE(client.close(1).is_ok());
-  fx.plan->clear();
-  EXPECT_EQ(fx.server.burst_buffer()->stats().cached_bytes, 0u)
+  tc.backend_plan().clear();
+  EXPECT_EQ(tc.server().burst_buffer()->stats().cached_bytes, 0u)
       << "close must release every lease even when the drain fails";
 
   // The descriptor is gone and the server keeps serving.
@@ -200,7 +172,7 @@ TEST(FaultInjection, BurstBufferFlushErrorAtCloseIsReported) {
   const auto data = pattern(16_KiB, 23);
   ASSERT_TRUE(client.write(2, 0, data).is_ok());
   ASSERT_TRUE(client.fsync(2).is_ok());
-  EXPECT_EQ(fx.mem->snapshot("y"), data);
+  EXPECT_EQ(tc.snapshot("y"), data);
   EXPECT_TRUE(client.close(2).is_ok());
 }
 

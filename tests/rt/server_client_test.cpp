@@ -5,112 +5,92 @@
 #include <atomic>
 #include <thread>
 
-#include "core/rng.hpp"
 #include "core/units.hpp"
-#include "fault/decorators.hpp"
 #include "rt/client.hpp"
 #include "rt/server.hpp"
+#include "testsupport/testsupport.hpp"
 
 namespace iofwd::rt {
 namespace {
 
-struct Harness {
-  MemBackend* mem = nullptr;  // owned by server (inside the fault decorator)
-  std::shared_ptr<fault::FaultPlan> plan = std::make_shared<fault::FaultPlan>();
-  std::unique_ptr<IonServer> server;
-  std::unique_ptr<Client> client;
+using testsupport::ClusterOptions;
+using testsupport::TestCluster;
+using testsupport::pattern;
 
-  explicit Harness(ExecModel exec, ServerConfig cfg = {}) {
-    cfg.exec = exec;
-    auto inner = std::make_unique<MemBackend>();
-    mem = inner.get();
-    auto backend = std::make_unique<fault::FaultyBackend>(std::move(inner), plan);
-    server = std::make_unique<IonServer>(std::move(backend), cfg);
-    auto [a, b] = InProcTransport::make_pair();
-    server->serve(std::move(a));
-    client = std::make_unique<Client>(std::move(b));
-  }
-
-  std::unique_ptr<Client> extra_client() {
-    auto [a, b] = InProcTransport::make_pair();
-    server->serve(std::move(a));
-    return std::make_unique<Client>(std::move(b));
-  }
-};
-
-std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::byte> v(n);
-  for (auto& x : v) x = static_cast<std::byte>(rng.next());
-  return v;
+TestCluster cluster(ExecModel exec, ServerConfig cfg = {}) {
+  ClusterOptions o;
+  o.server = cfg;
+  o.server.exec = exec;
+  return TestCluster(o);
 }
 
 class AllModels : public ::testing::TestWithParam<ExecModel> {};
 
 TEST_P(AllModels, OpenWriteReadCloseRoundTrip) {
-  Harness h(GetParam());
-  ASSERT_TRUE(h.client->open(1, "file").is_ok());
+  TestCluster tc = cluster(GetParam());
+  ASSERT_TRUE(tc.client().open(1, "file").is_ok());
   const auto data = pattern(1_MiB, 7);
-  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
-  ASSERT_TRUE(h.client->fsync(1).is_ok());  // barrier so async lands
-  auto r = h.client->read(1, 0, data.size());
+  ASSERT_TRUE(tc.client().write(1, 0, data).is_ok());
+  ASSERT_TRUE(tc.client().fsync(1).is_ok());  // barrier so async lands
+  auto r = tc.client().read(1, 0, data.size());
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   EXPECT_EQ(r.value(), data);
-  EXPECT_TRUE(h.client->close(1).is_ok());
+  EXPECT_TRUE(tc.client().close(1).is_ok());
 }
 
 TEST_P(AllModels, OffsetWritesAssembleCorrectly) {
-  Harness h(GetParam());
-  ASSERT_TRUE(h.client->open(3, "f").is_ok());
+  TestCluster tc = cluster(GetParam());
+  ASSERT_TRUE(tc.client().open(3, "f").is_ok());
   const auto a = pattern(64_KiB, 1);
   const auto b = pattern(64_KiB, 2);
-  ASSERT_TRUE(h.client->write(3, 64_KiB, b).is_ok());
-  ASSERT_TRUE(h.client->write(3, 0, a).is_ok());
-  auto r = h.client->read(3, 0, 128_KiB);
+  ASSERT_TRUE(tc.client().write(3, 64_KiB, b).is_ok());
+  ASSERT_TRUE(tc.client().write(3, 0, a).is_ok());
+  auto r = tc.client().read(3, 0, 128_KiB);
   ASSERT_TRUE(r.is_ok());
   EXPECT_TRUE(std::equal(a.begin(), a.end(), r.value().begin()));
   EXPECT_TRUE(std::equal(b.begin(), b.end(), r.value().begin() + 64_KiB));
-  EXPECT_TRUE(h.client->close(3).is_ok());
+  EXPECT_TRUE(tc.client().close(3).is_ok());
 }
 
 TEST_P(AllModels, WriteToUnopenedFdFails) {
-  Harness h(GetParam());
+  TestCluster tc = cluster(GetParam());
   const auto data = pattern(4096, 3);
-  Status st = h.client->write(9, 0, data);
+  Status st = tc.client().write(9, 0, data);
   if (GetParam() == ExecModel::work_queue_async) {
     // Staging is acknowledged; the failure is deferred to the next op.
-    st = h.client->fsync(9);
+    st = tc.client().fsync(9);
   }
   EXPECT_EQ(st.code(), Errc::bad_descriptor);
 }
 
 TEST_P(AllModels, ManySequentialOps) {
-  Harness h(GetParam());
-  ASSERT_TRUE(h.client->open(1, "big").is_ok());
+  TestCluster tc = cluster(GetParam());
+  ASSERT_TRUE(tc.client().open(1, "big").is_ok());
   const auto chunk = pattern(16_KiB, 9);
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(h.client->write(1, static_cast<std::uint64_t>(i) * chunk.size(), chunk).is_ok());
+    ASSERT_TRUE(tc.client().write(1, static_cast<std::uint64_t>(i) * chunk.size(), chunk).is_ok());
   }
-  ASSERT_TRUE(h.client->fsync(1).is_ok());
-  auto r = h.client->read(1, 99 * chunk.size(), chunk.size());
+  ASSERT_TRUE(tc.client().fsync(1).is_ok());
+  auto r = tc.client().read(1, 99 * chunk.size(), chunk.size());
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value(), chunk);
-  EXPECT_TRUE(h.client->close(1).is_ok());
-  const auto s = h.server->stats();
+  EXPECT_TRUE(tc.client().close(1).is_ok());
+  const auto s = tc.server().stats();
   EXPECT_GE(s.ops, 103u);
   EXPECT_GE(s.bytes_in, 100 * chunk.size());
 }
 
 TEST_P(AllModels, ConcurrentClientsIntegrity) {
-  Harness h(GetParam());
   constexpr int kClients = 8;
-  std::vector<std::unique_ptr<Client>> clients;
-  for (int i = 0; i < kClients; ++i) clients.push_back(h.extra_client());
+  ClusterOptions o;
+  o.server.exec = GetParam();
+  o.clients = kClients;
+  TestCluster tc(o);
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
   for (int i = 0; i < kClients; ++i) {
     threads.emplace_back([&, i] {
-      Client& c = *clients[static_cast<std::size_t>(i)];
+      Client& c = tc.client(static_cast<std::size_t>(i));
       const int fd = 10 + i;
       const auto data = pattern(256_KiB, static_cast<std::uint64_t>(i));
       if (!c.open(fd, "client_" + std::to_string(i)).is_ok()) ++failures;
@@ -130,28 +110,28 @@ TEST_P(AllModels, ConcurrentClientsIntegrity) {
 }
 
 TEST_P(AllModels, FstatReportsSize) {
-  Harness h(GetParam());
-  ASSERT_TRUE(h.client->open(1, "sized").is_ok());
-  auto empty = h.client->fstat_size(1);
+  TestCluster tc = cluster(GetParam());
+  ASSERT_TRUE(tc.client().open(1, "sized").is_ok());
+  auto empty = tc.client().fstat_size(1);
   ASSERT_TRUE(empty.is_ok());
   EXPECT_EQ(empty.value(), 0u);
   const auto data = pattern(192_KiB, 21);
-  ASSERT_TRUE(h.client->write(1, 64_KiB, data).is_ok());
+  ASSERT_TRUE(tc.client().write(1, 64_KiB, data).is_ok());
   // fstat drains in-flight async writes, so the size is exact.
-  auto sz = h.client->fstat_size(1);
+  auto sz = tc.client().fstat_size(1);
   ASSERT_TRUE(sz.is_ok());
   EXPECT_EQ(sz.value(), 256_KiB);
-  EXPECT_TRUE(h.client->close(1).is_ok());
+  EXPECT_TRUE(tc.client().close(1).is_ok());
 }
 
 TEST_P(AllModels, FstatUnknownFdFails) {
-  Harness h(GetParam());
-  EXPECT_EQ(h.client->fstat_size(77).code(), Errc::bad_descriptor);
+  TestCluster tc = cluster(GetParam());
+  EXPECT_EQ(tc.client().fstat_size(77).code(), Errc::bad_descriptor);
 }
 
 TEST_P(AllModels, ShutdownOpcodeDisconnects) {
-  Harness h(GetParam());
-  EXPECT_TRUE(h.client->shutdown().is_ok());
+  TestCluster tc = cluster(GetParam());
+  EXPECT_TRUE(tc.client().shutdown().is_ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, AllModels,
@@ -164,89 +144,91 @@ INSTANTIATE_TEST_SUITE_P(Models, AllModels,
 // ---------------------------------------------------------------------------
 
 TEST(AsyncRt, WriteIsAcknowledgedAsStaged) {
-  Harness h(ExecModel::work_queue_async);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue_async);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   const auto data = pattern(64_KiB, 4);
-  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
-  EXPECT_TRUE(h.client->last_write_was_staged());
-  ASSERT_TRUE(h.client->close(1).is_ok());
+  ASSERT_TRUE(tc.client().write(1, 0, data).is_ok());
+  EXPECT_TRUE(tc.client().last_write_was_staged());
+  ASSERT_TRUE(tc.client().close(1).is_ok());
 }
 
 TEST(SyncRt, WriteIsNotStaged) {
-  Harness h(ExecModel::work_queue);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   const auto data = pattern(4096, 4);
-  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
-  EXPECT_FALSE(h.client->last_write_was_staged());
+  ASSERT_TRUE(tc.client().write(1, 0, data).is_ok());
+  EXPECT_FALSE(tc.client().last_write_was_staged());
 }
 
 TEST(AsyncRt, DeferredErrorReportedExactlyOnce) {
-  Harness h(ExecModel::work_queue_async);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue_async);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   // Transient single-shot fault: the next backend write fails, then clears.
-  h.plan->add({.op = fault::OpKind::write, .nth = 1, .error = Errc::io_error});
+  tc.backend_plan().add({.op = fault::OpKind::write, .nth = 1, .error = Errc::io_error});
   const auto data = pattern(4096, 5);
-  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
+  ASSERT_TRUE(tc.client().write(1, 0, data).is_ok());
   // fsync drains and must report the deferred failure.
-  EXPECT_EQ(h.client->fsync(1).code(), Errc::io_error);
+  EXPECT_EQ(tc.client().fsync(1).code(), Errc::io_error);
   // Consumed: everything after is clean.
-  EXPECT_TRUE(h.client->fsync(1).is_ok());
-  EXPECT_TRUE(h.client->write(1, 0, data).is_ok());
-  EXPECT_TRUE(h.client->close(1).is_ok());
+  EXPECT_TRUE(tc.client().fsync(1).is_ok());
+  EXPECT_TRUE(tc.client().write(1, 0, data).is_ok());
+  EXPECT_TRUE(tc.client().close(1).is_ok());
 }
 
 TEST(AsyncRt, CloseReportsDeferredError) {
-  Harness h(ExecModel::work_queue_async);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
-  h.plan->fail_always(fault::OpKind::write, Errc::io_error);
+  TestCluster tc = cluster(ExecModel::work_queue_async);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
+  tc.backend_plan().fail_always(fault::OpKind::write, Errc::io_error);
   const auto data = pattern(4096, 6);
-  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
-  EXPECT_EQ(h.client->close(1).code(), Errc::io_error);
-  const auto s = h.server->stats();
+  ASSERT_TRUE(tc.client().write(1, 0, data).is_ok());
+  EXPECT_EQ(tc.client().close(1).code(), Errc::io_error);
+  const auto s = tc.server().stats();
   EXPECT_GE(s.deferred_errors, 1u);
 }
 
 TEST(AsyncRt, ReadAfterWriteIsConsistent) {
   // The read barrier: a read observes all previously staged writes.
-  Harness h(ExecModel::work_queue_async);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue_async);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   const auto data = pattern(1_MiB, 8);
-  ASSERT_TRUE(h.client->write(1, 0, data).is_ok());
-  auto r = h.client->read(1, 0, data.size());  // no fsync in between
+  ASSERT_TRUE(tc.client().write(1, 0, data).is_ok());
+  auto r = tc.client().read(1, 0, data.size());  // no fsync in between
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value(), data);
-  EXPECT_TRUE(h.client->close(1).is_ok());
+  EXPECT_TRUE(tc.client().close(1).is_ok());
 }
 
 TEST(AsyncRt, BmlBackpressureStillDeliversEverything) {
   ServerConfig cfg;
   cfg.bml_bytes = 256 * 1024;  // tiny pool forces staging to block
-  Harness h(ExecModel::work_queue_async, cfg);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue_async, cfg);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   const auto data = pattern(64_KiB, 9);
   for (int i = 0; i < 64; ++i) {
-    ASSERT_TRUE(h.client->write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok());
+    ASSERT_TRUE(tc.client().write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok());
   }
-  ASSERT_TRUE(h.client->fsync(1).is_ok());
-  auto r = h.client->read(1, 63 * data.size(), data.size());
+  ASSERT_TRUE(tc.client().fsync(1).is_ok());
+  auto r = tc.client().read(1, 63 * data.size(), data.size());
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(r.value(), data);
-  EXPECT_TRUE(h.client->close(1).is_ok());
-  EXPECT_LE(h.server->stats().bml_high_watermark, 256u * 1024);
+  EXPECT_TRUE(tc.client().close(1).is_ok());
+  EXPECT_LE(tc.server().stats().bml_high_watermark, 256u * 1024);
 }
 
 TEST(Rt, OversizeWriteBouncesCleanly) {
   ServerConfig cfg;
   cfg.bml_bytes = 64 * 1024;
-  Harness h(ExecModel::work_queue, cfg);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue, cfg);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   const auto data = pattern(1_MiB, 10);  // exceeds the whole pool
-  EXPECT_EQ(h.client->write(1, 0, data).code(), Errc::no_memory);
+  EXPECT_EQ(tc.client().write(1, 0, data).code(), Errc::no_memory);
   // The connection remains usable afterwards.
   const auto small = pattern(4096, 11);
-  EXPECT_TRUE(h.client->write(1, 0, small).is_ok());
+  EXPECT_TRUE(tc.client().write(1, 0, small).is_ok());
 }
 
+// Raw socketpair wiring is deliberately hand-built: it pins the one transport
+// TestCluster doesn't use.
 TEST(Rt, WorksOverSocketpair) {
   auto pair = SocketTransport::make_socketpair();
   ASSERT_TRUE(pair.is_ok());
@@ -265,27 +247,27 @@ TEST(Rt, WorksOverSocketpair) {
 }
 
 TEST(Rt, StatsAccumulate) {
-  Harness h(ExecModel::work_queue_async);
-  ASSERT_TRUE(h.client->open(1, "f").is_ok());
+  TestCluster tc = cluster(ExecModel::work_queue_async);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
   const auto data = pattern(64_KiB, 13);
   for (int i = 0; i < 32; ++i) {
-    ASSERT_TRUE(h.client->write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok());
+    ASSERT_TRUE(tc.client().write(1, static_cast<std::uint64_t>(i) * data.size(), data).is_ok());
   }
-  ASSERT_TRUE(h.client->fsync(1).is_ok());
-  const auto s = h.server->stats();
+  ASSERT_TRUE(tc.client().fsync(1).is_ok());
+  const auto s = tc.server().stats();
   EXPECT_EQ(s.bytes_in, 32 * data.size());
   EXPECT_GE(s.queue_batches, 1u);
   EXPECT_GE(s.queue_max_depth, 1u);
 }
 
 TEST(Rt, StopIsIdempotentAndJoinsThreads) {
-  auto h = std::make_unique<Harness>(ExecModel::work_queue_async);
-  ASSERT_TRUE(h->client->open(1, "f").is_ok());
-  h->server->stop();
-  h->server->stop();
+  TestCluster tc = cluster(ExecModel::work_queue_async);
+  ASSERT_TRUE(tc.client().open(1, "f").is_ok());
+  tc.stop();
+  tc.stop();
   // Client calls now fail cleanly instead of hanging.
   const auto data = pattern(4096, 14);
-  EXPECT_FALSE(h->client->write(1, 0, data).is_ok());
+  EXPECT_FALSE(tc.client().write(1, 0, data).is_ok());
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -83,6 +85,86 @@ TEST(InProcTransport, ManySmallMessagesInterleaved) {
     ASSERT_EQ(v, i);
   }
   producer.join();
+}
+
+// --------------------------------------------------------------------------
+// Readiness API (epoll receiver lanes): readiness_fd + read_some.
+// --------------------------------------------------------------------------
+
+template <typename MakePair>
+void read_some_drains_then_would_blocks(MakePair make) {
+  auto [a, b] = make();
+  ASSERT_TRUE(a->write_all("abcdef", 6).is_ok());
+  char buf[16];
+  // A ready stream hands over what it has, without blocking.
+  auto r = b->read_some(buf, sizeof buf);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(r.value(), 6u);
+  EXPECT_EQ(std::memcmp(buf, "abcdef", 6), 0);
+  // Drained: the next read must report would_block, never block.
+  r = b->read_some(buf, sizeof buf);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::would_block);
+  // Peer close turns would_block into shutdown.
+  a->close();
+  r = b->read_some(buf, sizeof buf);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::shutdown);
+}
+
+TEST(InProcTransport, ReadSomeDrainsThenWouldBlocks) {
+  read_some_drains_then_would_blocks(make_inproc);
+}
+TEST(SocketTransport, ReadSomeDrainsThenWouldBlocks) {
+  read_some_drains_then_would_blocks(make_sockets);
+}
+
+TEST(InProcTransport, ReadinessFdSignalsOnWriteAndClose) {
+  auto [a, b] = InProcTransport::make_pair(4096);
+  const int rfd = b->readiness_fd();
+  ASSERT_GE(rfd, 0);
+  // Same fd on every call (lanes register it with epoll once).
+  EXPECT_EQ(b->readiness_fd(), rfd);
+
+  auto readable = [&](int timeout_ms) {
+    pollfd p{rfd, POLLIN, 0};
+    return ::poll(&p, 1, timeout_ms) == 1 && (p.revents & POLLIN) != 0;
+  };
+  EXPECT_FALSE(readable(0)) << "idle pipe must not be readable";
+  ASSERT_TRUE(a->write_all("x", 1).is_ok());
+  EXPECT_TRUE(readable(1000)) << "a buffered byte must signal readiness";
+
+  char c = 0;
+  auto r = b->read_some(&c, 1);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value(), 1u);
+  EXPECT_EQ(c, 'x');
+  // Drain-to-would_block rearms the eventfd for the next edge.
+  EXPECT_EQ(b->read_some(&c, 1).code(), Errc::would_block);
+  EXPECT_FALSE(readable(0)) << "drained pipe must clear readiness";
+
+  a->close();
+  EXPECT_TRUE(readable(1000)) << "peer close must signal readiness";
+  EXPECT_EQ(b->read_some(&c, 1).code(), Errc::shutdown);
+}
+
+TEST(InProcTransport, ReadinessFdCreatedAfterBufferedBytesStillSignals) {
+  // The eventfd is created lazily on first readiness_fd(); bytes written
+  // before that must still produce an immediate edge, or an edge-triggered
+  // lane would stall forever on a pre-loaded connection.
+  auto [a, b] = InProcTransport::make_pair(4096);
+  ASSERT_TRUE(a->write_all("pre", 3).is_ok());
+  const int rfd = b->readiness_fd();
+  ASSERT_GE(rfd, 0);
+  pollfd p{rfd, POLLIN, 0};
+  ASSERT_EQ(::poll(&p, 1, 1000), 1);
+  EXPECT_TRUE(p.revents & POLLIN);
+}
+
+TEST(SocketTransport, ReadinessFdIsTheSocket) {
+  auto [a, b] = make_sockets();
+  EXPECT_GE(a->readiness_fd(), 0);
+  EXPECT_GE(b->readiness_fd(), 0);
 }
 
 TEST(UnixListener, AcceptAndEcho) {

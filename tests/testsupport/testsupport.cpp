@@ -1,0 +1,98 @@
+#include "testsupport/testsupport.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/rng.hpp"
+
+namespace iofwd::testsupport {
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> v(n);
+  for (auto& x : v) x = static_cast<std::byte>(rng.next());
+  return v;
+}
+
+std::uint64_t test_seed(const char* label, std::uint64_t dflt) {
+  std::uint64_t seed = dflt;
+  const char* env = std::getenv("IOFWD_TEST_SEED");
+  const bool overridden = env != nullptr && *env != '\0';
+  if (overridden) {
+    seed = std::strtoull(env, nullptr, 0);  // base 0: decimal or 0x hex
+  }
+  std::fprintf(stderr, "[%s] seed 0x%" PRIx64 "%s (replay: IOFWD_TEST_SEED=0x%" PRIx64 ")\n",
+               label, seed, overridden ? " (from IOFWD_TEST_SEED)" : "", seed);
+  return seed;
+}
+
+TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
+  backend_plan_ = opts_.backend_plan ? opts_.backend_plan : std::make_shared<fault::FaultPlan>();
+
+  auto mem = std::make_unique<rt::MemBackend>();
+  mem_ = mem.get();
+  std::unique_ptr<rt::IoBackend> backend =
+      std::make_unique<fault::FaultyBackend>(std::move(mem), backend_plan_);
+  if (opts_.retry != nullptr) {
+    backend = std::make_unique<fault::RetryingBackend>(std::move(backend), *opts_.retry);
+  }
+
+  rt::ServerConfig cfg = opts_.server;
+  if (cfg.registry == nullptr) cfg.registry = &registry_;
+  if (opts_.with_tracer) cfg.tracer = &tracer_;
+  server_ = std::make_unique<rt::IonServer>(std::move(backend), cfg);
+
+  for (int i = 0; i < opts_.clients; ++i) {
+    ClientSpec spec;
+    spec.cfg = opts_.client;
+    spec.reconnectable = opts_.reconnectable;
+    spec.faulty_redials = opts_.stream_plan != nullptr;
+    add_client(std::move(spec));
+  }
+}
+
+TestCluster::~TestCluster() { stop(); }
+
+Result<std::unique_ptr<rt::ByteStream>> TestCluster::dial(
+    const std::shared_ptr<fault::FaultPlan>& stream_plan,
+    std::uint64_t cut_after_write_bytes) {
+  auto [s, c] = rt::InProcTransport::make_pair(opts_.pipe_bytes);
+  server_->serve(std::move(s));
+  std::unique_ptr<rt::ByteStream> stream = std::move(c);
+  const auto& plan = stream_plan ? stream_plan : opts_.stream_plan;
+  if (plan || cut_after_write_bytes > 0) {
+    fault::StreamFaultConfig scfg;
+    scfg.cut_after_write_bytes = cut_after_write_bytes;
+    stream = std::make_unique<fault::FaultyStream>(std::move(stream), plan, scfg);
+  }
+  return stream;
+}
+
+std::size_t TestCluster::add_client(ClientSpec spec) {
+  auto stream = dial(spec.stream_plan, spec.cut_after_write_bytes);
+  rt::StreamFactory redial;
+  if (spec.reconnectable) {
+    redial = factory(spec.faulty_redials ? spec.stream_plan : nullptr);
+  }
+  clients_.push_back(
+      std::make_unique<rt::Client>(std::move(stream).value(), spec.cfg, std::move(redial)));
+  return clients_.size() - 1;
+}
+
+rt::StreamFactory TestCluster::factory(std::shared_ptr<fault::FaultPlan> stream_plan) {
+  // The factory outlives no one: TestCluster joins the server (and with it
+  // every client connection) before its members are destroyed.
+  return [this, plan = std::move(stream_plan)] { return dial(plan); };
+}
+
+void TestCluster::stop() {
+  if (server_) server_->stop();
+}
+
+std::vector<std::byte> TestCluster::drain_and_snapshot(const std::string& path) {
+  stop();
+  return mem_->snapshot(path);
+}
+
+}  // namespace iofwd::testsupport

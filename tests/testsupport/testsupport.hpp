@@ -1,0 +1,139 @@
+// Shared test harness for runtime end-to-end tests (README "Test harness").
+//
+// Nearly every rt/fault/obs test builds the same little cluster by hand: a
+// MemBackend (usually behind a FaultyBackend), an IonServer with a few config
+// knobs, one or more in-process clients, and a drain-then-snapshot check at
+// the end. TestCluster packages exactly that shape — and nothing more: tests
+// that pin unusual wiring (private registries, raw socketpairs) keep building
+// by hand.
+//
+//   testsupport::ClusterOptions o;
+//   o.server.exec = rt::ExecModel::work_queue_async;
+//   o.clients = 4;
+//   testsupport::TestCluster tc(o);
+//   tc.client(0).open(1, "f");
+//   ...
+//   EXPECT_EQ(tc.drain_and_snapshot("f"), expected_bytes);
+//
+// Seeded tests pull their seed through test_seed(), which honors the
+// IOFWD_TEST_SEED environment override and logs the seed in use, so any
+// randomized failure reproduces from the line the run printed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/decorators.hpp"
+#include "fault/plan.hpp"
+#include "fault/retry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rt/client.hpp"
+#include "rt/server.hpp"
+#include "rt/transport.hpp"
+
+namespace iofwd::testsupport {
+
+// Seeded pseudo-random payload bytes (the pattern() helper formerly copied
+// into each test file).
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed);
+
+// The seed a randomized test should run with: `dflt` unless the
+// IOFWD_TEST_SEED environment variable overrides it (decimal or 0x hex).
+// Logs "<label>: seed 0x..." either way, so every failure report carries
+// the seed needed to replay it.
+std::uint64_t test_seed(const char* label, std::uint64_t dflt);
+
+struct ClusterOptions {
+  rt::ServerConfig server;      // knobs pass through untouched
+  rt::ClientConfig client;      // config for the initial clients
+  int clients = 1;              // clients dialed in at construction
+  std::size_t pipe_bytes = 1u << 20;  // in-proc ring capacity per direction
+  // Wrap the MemBackend in a FaultyBackend driven by this plan (a fresh,
+  // empty plan is created when null, so tests can always add rules later
+  // through backend_plan()).
+  std::shared_ptr<fault::FaultPlan> backend_plan;
+  // Wrap the backend chain in a RetryingBackend (applied above the faults).
+  const fault::RetryPolicy* retry = nullptr;
+  // Wrap every dialed client stream in a FaultyStream driven by this plan.
+  std::shared_ptr<fault::FaultPlan> stream_plan;
+  // Give the initial clients the cluster's redial factory, so transport
+  // faults reconnect-and-replay instead of surfacing.
+  bool reconnectable = false;
+  // Point cfg.tracer at the cluster-owned RuntimeTracer.
+  bool with_tracer = false;
+};
+
+class TestCluster {
+ public:
+  explicit TestCluster(ClusterOptions opts = {});
+  ~TestCluster();
+
+  [[nodiscard]] rt::IonServer& server() { return *server_; }
+  [[nodiscard]] rt::MemBackend& mem() { return *mem_; }
+  [[nodiscard]] fault::FaultPlan& backend_plan() { return *backend_plan_; }
+  [[nodiscard]] obs::MetricRegistry& registry() { return registry_; }
+  [[nodiscard]] obs::RuntimeTracer& tracer() { return tracer_; }
+
+  [[nodiscard]] rt::Client& client(std::size_t i = 0) { return *clients_.at(i); }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+  // One more client dialed into the live server, with its own fault wiring.
+  struct ClientSpec {
+    rt::ClientConfig cfg;
+    // Wrap this client's initial stream in a FaultyStream driven by this
+    // plan (falls back to the cluster-wide options.stream_plan).
+    std::shared_ptr<fault::FaultPlan> stream_plan;
+    // Kill the initial connection after this many written bytes (the old
+    // CuttingStream budget; 0 = no budget).
+    std::uint64_t cut_after_write_bytes = 0;
+    bool reconnectable = false;
+    // Redialed streams normally come up clean (a cut line is repaired by
+    // redialing); set this to wrap every redial in stream_plan too — the
+    // "whole fabric is flaky" shape of the integrity chaos tests.
+    bool faulty_redials = false;
+  };
+  std::size_t add_client(ClientSpec spec);
+  std::size_t add_client(rt::ClientConfig cfg = {}) {
+    ClientSpec spec;
+    spec.cfg = cfg;
+    return add_client(std::move(spec));
+  }
+
+  // A StreamFactory dialing fresh connections into this server, each wrapped
+  // per the explicit plan given here (NOT the cluster-wide stream_plan: a
+  // redial is a fresh physical line). This is what reconnectable clients
+  // redial through.
+  [[nodiscard]] rt::StreamFactory factory(
+      std::shared_ptr<fault::FaultPlan> stream_plan = nullptr);
+
+  // Quiesce the server: joins receiver lanes/threads, drains the task queue
+  // and the burst buffer. Idempotent (the destructor calls it too).
+  void stop();
+
+  // stop(), then return the terminal backend's bytes for `path` — the
+  // standard end-of-test integrity check.
+  std::vector<std::byte> drain_and_snapshot(const std::string& path);
+
+  // The live backend's bytes for `path`, without quiescing first.
+  [[nodiscard]] std::vector<std::byte> snapshot(const std::string& path) const {
+    return mem_->snapshot(path);
+  }
+
+ private:
+  [[nodiscard]] Result<std::unique_ptr<rt::ByteStream>> dial(
+      const std::shared_ptr<fault::FaultPlan>& stream_plan,
+      std::uint64_t cut_after_write_bytes = 0);
+
+  ClusterOptions opts_;
+  obs::MetricRegistry registry_;
+  obs::RuntimeTracer tracer_;
+  rt::MemBackend* mem_ = nullptr;  // owned by the server's backend chain
+  std::shared_ptr<fault::FaultPlan> backend_plan_;
+  std::unique_ptr<rt::IonServer> server_;
+  std::vector<std::unique_ptr<rt::Client>> clients_;
+};
+
+}  // namespace iofwd::testsupport
