@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "analysis/report.hpp"
@@ -29,12 +30,15 @@ struct BenchArgs {
     a.quick = p.get_flag("quick");
     a.iterations = p.get_int("iters", a.iterations);
     a.runs = p.get_int("runs", a.runs);
-    for (const auto& k : p.unknown()) {
-      std::fprintf(stderr, "unknown argument: %s\n", k.c_str());
-    }
+    // Fail loudly on anything unrecognized — a typoed knob silently running
+    // the default configuration poisons a whole result series.
+    bool ok = p.check_strict(argv != nullptr && argv[0] != nullptr ? argv[0] : "bench");
     for (const auto& s : p.positionals()) {
-      std::fprintf(stderr, "unknown argument: %s\n", s.c_str());
+      std::fprintf(stderr, "%s: error: unexpected positional argument '%s'\n",
+                   argv != nullptr && argv[0] != nullptr ? argv[0] : "bench", s.c_str());
+      ok = false;
     }
+    if (!ok) std::exit(2);
     if (a.quick) a.iterations = std::max(20, a.iterations / 10);
     return a;
   }

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "cluster/bb_budget.hpp"
+
 namespace iofwd::bb {
 
 namespace {
@@ -38,6 +40,7 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
       c_degraded_writes_(reg_->counter("bb.degraded_writes")),
       c_deferred_errors_(reg_->counter("bb.deferred_errors")),
       c_drains_(reg_->counter("bb.drains")),
+      c_budget_denied_(reg_->counter("bb.budget_denied")),
       g_cached_bytes_(reg_->gauge("bb.cached_bytes")),
       g_cached_high_watermark_(reg_->gauge("bb.cached_high_watermark")),
       g_dirty_bytes_(reg_->gauge("bb.dirty_bytes")) {
@@ -47,6 +50,16 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
   }
   cfg_.high_watermark = std::clamp(cfg_.high_watermark, 0.0, 1.0);
   cfg_.low_watermark = std::clamp(cfg_.low_watermark, 0.0, cfg_.high_watermark);
+  if (cfg_.cluster_budget != nullptr) {
+    // A hot sibling shard's pressure wakes this shard's flushers and any
+    // stalled writers, so the whole fleet helps drain past the global high
+    // watermark even when this cache is locally cold.
+    budget_token_ = cfg_.cluster_budget->subscribe([this] {
+      std::scoped_lock lk(flush_mu_);
+      flush_cv_.notify_all();
+      space_cv_.notify_all();
+    });
+  }
   const int n = std::max(1, cfg_.flushers);
   flushers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -55,6 +68,10 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
 }
 
 BurstBufferBackend::~BurstBufferBackend() {
+  // Unsubscribe before any teardown: no sibling poke may land mid-destruction.
+  if (cfg_.cluster_budget != nullptr && budget_token_ != 0) {
+    cfg_.cluster_budget->unsubscribe(budget_token_);
+  }
   drain_all();
   stop_.store(true);
   {
@@ -66,13 +83,27 @@ BurstBufferBackend::~BurstBufferBackend() {
 }
 
 bool BurstBufferBackend::over_high() const {
+  if (cfg_.cluster_budget != nullptr && cfg_.cluster_budget->over_high()) return true;
   return pool_.in_use() >=
          static_cast<std::uint64_t>(cfg_.high_watermark * static_cast<double>(pool_.capacity()));
 }
 
 bool BurstBufferBackend::over_low() const {
+  if (cfg_.cluster_budget != nullptr && cfg_.cluster_budget->over_low()) return true;
   return pool_.in_use() >
          static_cast<std::uint64_t>(cfg_.low_watermark * static_cast<double>(pool_.capacity()));
+}
+
+bool BurstBufferBackend::budget_reserve(std::uint64_t n) {
+  if (cfg_.cluster_budget == nullptr) return true;
+  if (cfg_.cluster_budget->try_stage(n)) return true;
+  c_budget_denied_.inc();
+  return false;
+}
+
+void BurstBufferBackend::budget_release(std::uint64_t n) {
+  if (n == 0 || cfg_.cluster_budget == nullptr) return;
+  cfg_.cluster_budget->unstage(n);
 }
 
 std::shared_ptr<BurstBufferBackend::Desc> BurstBufferBackend::find_desc(int fd) const {
@@ -117,18 +148,29 @@ Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
     {
       std::scoped_lock lk(d->mu);
       const std::uint64_t d0 = d->index.dirty_bytes();
-      auto r = d->index.insert(offset, data, pool_);
-      if (r.is_ok()) {
-        dirty_total_ += d->index.dirty_bytes() - d0;
-        c_writes_in_.inc();
-        c_bytes_in_.add(data.size());
-        if (r.value() != ExtentIndex::Insert::fresh) c_writes_absorbed_.inc();
-        break;
-      }
-      if (r.code() == Errc::message_too_large) {
-        too_large = true;
-      } else if (r.code() != Errc::would_block) {
-        return r.status();
+      const std::uint64_t b0 = d->index.data_bytes();
+      // Cluster admission first: a denied global reservation is the same
+      // backpressure as a full local cache — fall through to the stall
+      // machinery (and eventually the degraded write-through) below.
+      if (budget_reserve(data.size())) {
+        auto r = d->index.insert(offset, data, pool_);
+        if (r.is_ok()) {
+          // The insert may have overwritten cached bytes, so the index grew
+          // by less than we reserved; return the overshoot.
+          const std::uint64_t delta = d->index.data_bytes() - b0;
+          if (delta < data.size()) budget_release(data.size() - delta);
+          dirty_total_ += d->index.dirty_bytes() - d0;
+          c_writes_in_.inc();
+          c_bytes_in_.add(data.size());
+          if (r.value() != ExtentIndex::Insert::fresh) c_writes_absorbed_.inc();
+          break;
+        }
+        budget_release(data.size());  // nothing was cached
+        if (r.code() == Errc::message_too_large) {
+          too_large = true;
+        } else if (r.code() != Errc::would_block) {
+          return r.status();
+        }
       }
     }
     if (too_large) return write_through(fd, d, offset, data);
@@ -181,8 +223,10 @@ Result<std::uint64_t> BurstBufferBackend::write_through(int fd, const std::share
   // Any cached extents under the new range are superseded; dirty ones must
   // land first so the bypassing write wins.
   const std::uint64_t d0 = d->index.dirty_bytes();
+  const std::uint64_t b0 = d->index.data_bytes();
   auto taken = d->index.take_overlapping(offset, data.size());
   dirty_total_ -= d0 - d->index.dirty_bytes();
+  budget_release(b0 - d->index.data_bytes());
   std::uint64_t extra_writes = 0;
   for (auto& e : taken) {
     if (!e.dirty) continue;
@@ -274,6 +318,7 @@ Status BurstBufferBackend::close(int fd) {
   {
     std::scoped_lock lk(d->mu);
     drain_locked(fd, *d);
+    budget_release(d->index.data_bytes());  // clean extents about to drop
     d->index.clear();  // releases every lease — nothing may leak past close
   }
   Status deferred;
@@ -330,9 +375,14 @@ void BurstBufferBackend::flush_extent(int fd, Desc& d, Extent& e) {
 }
 
 void BurstBufferBackend::drain_locked(int fd, Desc& d) {
+  // A successful flush keeps the extent cached (clean) — still staged, still
+  // budgeted; only the failure path's evict removes bytes, captured by the
+  // data_bytes delta.
+  const std::uint64_t b0 = d.index.data_bytes();
   while (Extent* e = d.index.largest_dirty()) {
     flush_extent(fd, d, *e);
   }
+  budget_release(b0 - d.index.data_bytes());
   c_drains_.inc();
 }
 
@@ -378,10 +428,12 @@ bool BurstBufferBackend::flush_one_step() {
     std::scoped_lock lk(best->mu);
     if (Extent* e = best->index.largest_dirty()) {
       const std::uint64_t start = e->start;
+      const std::uint64_t b0 = best->index.data_bytes();
       flush_extent(best_fd, *best, *e);
       // Under memory pressure a flushed run is also evicted — write-back
       // then reclaim, not just write-back.
       best->index.evict(start);
+      budget_release(b0 - best->index.data_bytes());
     }
     return true;
   }
@@ -399,7 +451,9 @@ bool BurstBufferBackend::flush_one_step() {
   if (best) {
     std::scoped_lock lk(best->mu);
     if (Extent* e = best->index.largest_clean()) {
+      const std::uint64_t len = e->len;
       best->index.evict(e->start);
+      budget_release(len);
       c_evictions_.inc();
       return true;
     }

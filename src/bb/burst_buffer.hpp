@@ -38,6 +38,10 @@
 #include "rt/backend.hpp"
 #include "rt/bml.hpp"
 
+namespace iofwd::cluster {
+class ClusterBbBudget;
+}  // namespace iofwd::cluster
+
 namespace iofwd::bb {
 
 struct BurstBufferConfig {
@@ -57,6 +61,12 @@ struct BurstBufferConfig {
   // a private one). IonServer passes its own so the server and its cache
   // share one snapshot. See DESIGN.md §11.
   obs::MetricRegistry* registry = nullptr;
+  // Cluster-wide staging budget (src/cluster/bb_budget.hpp, DESIGN.md §14).
+  // When set, every cached byte is first reserved against this shared
+  // accountant — a denied reservation behaves like a full local cache (stall,
+  // then degrade to write-through) — and the global high/low watermarks are
+  // ORed into this cache's flusher hysteresis. Must outlive the backend.
+  cluster::ClusterBbBudget* cluster_budget = nullptr;
 };
 
 // Snapshot view over the registry's "bb.*" counters plus instantaneous pool
@@ -131,6 +141,13 @@ class BurstBufferBackend final : public rt::IoBackend {
   // Deferred-error gate: non-ok means the op must bounce without executing.
   Status consume_deferred(int fd);
 
+  // Cluster-budget accounting (no-ops when cfg_.cluster_budget is null).
+  // Reserve before insert; release the data_bytes() delta whenever extents
+  // leave the index (flush-evict, clean eviction, write-through overlap
+  // consolidation, close).
+  [[nodiscard]] bool budget_reserve(std::uint64_t n);
+  void budget_release(std::uint64_t n);
+
   // Flush one extent to the inner backend; desc->mu must be held. The extent
   // is marked clean on success and evicted on failure (error deferred).
   void flush_extent(int fd, Desc& d, Extent& e);
@@ -180,10 +197,14 @@ class BurstBufferBackend final : public rt::IoBackend {
   obs::Counter& c_degraded_writes_;
   obs::Counter& c_deferred_errors_;
   obs::Counter& c_drains_;
+  obs::Counter& c_budget_denied_;  // cluster-budget reservations refused
   // Instantaneous cache state, refreshed by refresh_gauges().
   obs::Gauge& g_cached_bytes_;
   obs::Gauge& g_cached_high_watermark_;
   obs::Gauge& g_dirty_bytes_;
+
+  // Pressure-poke subscription on the cluster budget (0 = not subscribed).
+  std::uint64_t budget_token_ = 0;
 };
 
 }  // namespace iofwd::bb

@@ -116,6 +116,20 @@ struct MachineConfig {
   // The Intrepid defaults above.
   static MachineConfig intrepid() { return {}; }
 
+  // A multi-ION sharded deployment at fixed total compute-node count: `ions`
+  // psets splitting `total_cns` CNs evenly — the CNs -> many IONs -> FSN
+  // topology the runtime cluster (src/cluster/, DESIGN.md §14) deploys, as a
+  // deterministic simulation config. Shared Storage keeps modeling the FSN
+  // tier, so adding IONs scales the forwarding layer against a fixed file
+  // system, exactly the production question.
+  static MachineConfig intrepid_cluster(int ions, int total_cns = 64) {
+    MachineConfig c;
+    c.num_psets = ions < 1 ? 1 : ions;
+    c.cns_per_pset = total_cns / c.num_psets;
+    if (c.cns_per_pset < 1) c.cns_per_pset = 1;
+    return c;
+  }
+
   // Derived: effective tree peak (payload MiB/s) after header overhead.
   [[nodiscard]] double tree_effective_peak_mib_s() const {
     const double raw_mib_s = tree_raw_mb_s * 1e6 / static_cast<double>(MiB);

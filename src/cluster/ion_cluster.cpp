@@ -1,0 +1,63 @@
+#include "cluster/ion_cluster.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace iofwd::cluster {
+
+IonCluster::IonCluster(const BackendFactory& make_backend, IonClusterConfig cfg)
+    : cfg_(std::move(cfg)), map_(cfg_.shards) {
+  assert(make_backend && "IonCluster needs a backend factory");
+  if (cfg_.cluster_bb_bytes > 0) {
+    budget_ = std::make_unique<ClusterBbBudget>(
+        cfg_.cluster_bb_bytes, cfg_.cluster_bb_high_watermark, cfg_.cluster_bb_low_watermark);
+  }
+  const int n = map_.shards();
+  registries_.reserve(static_cast<std::size_t>(n));
+  servers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    registries_.push_back(std::make_unique<obs::MetricRegistry>());
+    rt::ServerConfig scfg = cfg_.server;
+    scfg.registry = registries_.back().get();
+    scfg.bb_cluster_budget = budget_.get();
+    servers_.push_back(std::make_unique<rt::IonServer>(make_backend(i), scfg));
+  }
+}
+
+IonCluster::~IonCluster() { stop(); }
+
+void IonCluster::serve(int shard_idx, std::unique_ptr<rt::ByteStream> stream) {
+  shard(shard_idx).serve(std::move(stream));
+}
+
+void IonCluster::serve_listener(int shard_idx, std::unique_ptr<rt::Listener> listener) {
+  shard(shard_idx).serve_listener(std::move(listener));
+}
+
+void IonCluster::drain_shard(int i) { shard(i).drain(); }
+
+void IonCluster::stop() {
+  // Servers stop in shard order; each stop() drains its own burst buffer, so
+  // the shared budget is fully unstaged once the loop completes.
+  for (auto& s : servers_) s->stop();
+}
+
+obs::Snapshot IonCluster::metrics() const {
+  obs::Snapshot out;
+  for (int i = 0; i < shards(); ++i) {
+    obs::merge_prefixed(out, shard(i).metrics(),
+                        "cluster.shard." + std::to_string(i) + ".");
+  }
+  out.gauges["cluster.shards"] = shards();
+  out.gauges["cluster.epoch"] = static_cast<std::int64_t>(map_.epoch());
+  if (budget_) {
+    out.gauges["cluster.bb.capacity"] = static_cast<std::int64_t>(budget_->capacity());
+    out.gauges["cluster.bb.staged_bytes"] = static_cast<std::int64_t>(budget_->staged_bytes());
+    out.gauges["cluster.bb.staged_high_watermark"] =
+        static_cast<std::int64_t>(budget_->staged_high_water());
+    out.counters["cluster.bb.denials"] = budget_->denials();
+  }
+  return out;
+}
+
+}  // namespace iofwd::cluster

@@ -1,0 +1,94 @@
+// IonCluster: a fleet of IonServer shards managed as one unit.
+//
+// The paper scales one ION serving a pset of compute nodes; production scale
+// (ROADMAP open item 2) means many IONs with the descriptor space
+// partitioned across them. IonCluster owns N shards — each a full IonServer
+// with its own backend, burst buffer, worker pool, and epoll receiver lanes
+// — plus the two pieces of genuinely shared state:
+//
+//   * the ShardMap every router agrees on (descriptor id -> shard), and
+//   * the ClusterBbBudget, so aggregate staged bytes across every shard's
+//     burst buffer respect one global watermark (DESIGN.md §14).
+//
+// Observability: each shard runs against a cluster-owned private registry
+// (metric names like "server.ops" are fixed, so shards cannot share one),
+// and metrics() merges the per-shard snapshots under
+// "cluster.shard.<i>.*" plus cluster-level "cluster.*" values.
+//
+// Lifecycle: shards start at construction, stop() quiesces the whole fleet;
+// drain_shard(i) quiesces exactly one shard (queue + burst buffer) while its
+// siblings keep serving — the building block for rolling maintenance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/bb_budget.hpp"
+#include "cluster/shard_map.hpp"
+#include "obs/metrics.hpp"
+#include "rt/server.hpp"
+#include "rt/transport.hpp"
+
+namespace iofwd::cluster {
+
+struct IonClusterConfig {
+  int shards = 1;  // clamped to >= 1
+  // Template applied to every shard. Per-shard fields the cluster overrides:
+  // `registry` (cluster-owned private registry per shard) and
+  // `bb_cluster_budget` (pointed at the shared budget when enabled).
+  rt::ServerConfig server;
+  // Global staging budget across every shard's burst buffer. 0 disables the
+  // budget (shards enforce only their local watermarks).
+  std::uint64_t cluster_bb_bytes = 0;
+  double cluster_bb_high_watermark = 0.75;
+  double cluster_bb_low_watermark = 0.50;
+};
+
+class IonCluster {
+ public:
+  // Builds the backend for shard i (called once per shard, in order).
+  using BackendFactory = std::function<std::unique_ptr<rt::IoBackend>(int shard)>;
+
+  IonCluster(const BackendFactory& make_backend, IonClusterConfig cfg);
+  ~IonCluster();  // stop()
+  IonCluster(const IonCluster&) = delete;
+  IonCluster& operator=(const IonCluster&) = delete;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(servers_.size()); }
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+  [[nodiscard]] rt::IonServer& shard(int i) { return *servers_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const rt::IonServer& shard(int i) const {
+    return *servers_.at(static_cast<std::size_t>(i));
+  }
+  // The shared staging accountant, or nullptr when cluster_bb_bytes == 0.
+  [[nodiscard]] ClusterBbBudget* budget() { return budget_.get(); }
+
+  // Hand a connected stream / listener to one shard.
+  void serve(int shard_idx, std::unique_ptr<rt::ByteStream> stream);
+  void serve_listener(int shard_idx, std::unique_ptr<rt::Listener> listener);
+
+  // Quiesce shard i — its task queue drains and its burst buffer flushes —
+  // while every other shard keeps serving. Connections to shard i stay open.
+  void drain_shard(int i);
+
+  // Stop the whole fleet (drain + join every shard). Idempotent.
+  void stop();
+
+  // Merged point-in-time view: every shard's registry under
+  // "cluster.shard.<i>.*" plus cluster-level gauges/counters —
+  //   cluster.shards, cluster.epoch,
+  //   cluster.bb.capacity, cluster.bb.staged_bytes,
+  //   cluster.bb.staged_high_watermark, cluster.bb.denials.
+  [[nodiscard]] obs::Snapshot metrics() const;
+
+ private:
+  IonClusterConfig cfg_;
+  ShardMap map_;
+  std::unique_ptr<ClusterBbBudget> budget_;
+  std::vector<std::unique_ptr<obs::MetricRegistry>> registries_;
+  std::vector<std::unique_ptr<rt::IonServer>> servers_;
+};
+
+}  // namespace iofwd::cluster

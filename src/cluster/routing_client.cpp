@@ -1,0 +1,66 @@
+#include "cluster/routing_client.hpp"
+
+#include <cassert>
+
+namespace iofwd::cluster {
+
+RoutingClient::RoutingClient(std::vector<ShardLink> links, rt::ClientConfig cfg)
+    : map_(static_cast<int>(links.size())) {
+  assert(!links.empty() && "RoutingClient needs at least one shard link");
+  cfg.registry = nullptr;  // per-shard private registries (stats attribution)
+  clients_.reserve(links.size());
+  for (auto& link : links) {
+    clients_.push_back(
+        std::make_unique<rt::Client>(std::move(link.stream), cfg, std::move(link.factory)));
+  }
+}
+
+Status RoutingClient::open(int fd, const std::string& path) { return route(fd).open(fd, path); }
+
+Status RoutingClient::write(int fd, std::uint64_t offset, std::span<const std::byte> data) {
+  const int shard = shard_of(fd);
+  Status st = shard_client(shard).write(fd, offset, data);
+  last_write_shard_.store(shard, std::memory_order_relaxed);
+  return st;
+}
+
+Result<std::vector<std::byte>> RoutingClient::read(int fd, std::uint64_t offset,
+                                                   std::uint64_t len) {
+  return route(fd).read(fd, offset, len);
+}
+
+Status RoutingClient::fsync(int fd) { return route(fd).fsync(fd); }
+
+Result<std::uint64_t> RoutingClient::fstat_size(int fd) { return route(fd).fstat_size(fd); }
+
+Status RoutingClient::close(int fd) { return route(fd).close(fd); }
+
+Status RoutingClient::shutdown() {
+  Status first = Status::ok();
+  for (auto& c : clients_) {
+    if (Status st = c->shutdown(); !st.is_ok() && first.is_ok()) first = st;
+  }
+  return first;
+}
+
+bool RoutingClient::last_write_was_staged() const {
+  const int shard = last_write_shard_.load(std::memory_order_relaxed);
+  return shard >= 0 && shard_client(shard).last_write_was_staged();
+}
+
+rt::ClientStats RoutingClient::stats() const {
+  rt::ClientStats sum;
+  for (const auto& c : clients_) {
+    const rt::ClientStats s = c->stats();
+    sum.reconnects += s.reconnects;
+    sum.replays += s.replays;
+    sum.timeouts += s.timeouts;
+    sum.giveups += s.giveups;
+    sum.header_crc_errors += s.header_crc_errors;
+    sum.payload_crc_errors += s.payload_crc_errors;
+    sum.request_bounces += s.request_bounces;
+  }
+  return sum;
+}
+
+}  // namespace iofwd::cluster

@@ -1,0 +1,41 @@
+#include "cluster/shard_map.hpp"
+
+namespace iofwd::cluster {
+
+namespace {
+
+// splitmix64 finalizer: a full-avalanche 64-bit mix. Fixed constants keep
+// shard_of() identical across builds and platforms, which the routing
+// protocol depends on (client and server compute the map independently).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(int shards, std::uint32_t epoch)
+    : shards_(shards < 1 ? 1 : shards), epoch_(epoch) {}
+
+std::uint64_t ShardMap::weight(std::uint64_t key, int shard) {
+  // Two mix rounds decorrelate (key, shard) pairs; one round leaves enough
+  // linear structure that adjacent shards track each other on small keys.
+  return mix64(mix64(key) ^ (0xA0B1C2D3E4F50617ull + static_cast<std::uint64_t>(shard)));
+}
+
+int ShardMap::shard_of(std::uint64_t key) const {
+  int best = 0;
+  std::uint64_t best_w = weight(key, 0);
+  for (int i = 1; i < shards_; ++i) {
+    const std::uint64_t w = weight(key, i);
+    if (w > best_w) {
+      best_w = w;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace iofwd::cluster

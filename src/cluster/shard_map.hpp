@@ -1,0 +1,55 @@
+// ShardMap: descriptor-space partitioning for a multi-ION cluster.
+//
+// Rendezvous (highest-random-weight) hashing assigns every descriptor id to
+// exactly one ION shard: shard_of(key) = argmax_i weight(key, i). The weight
+// function depends only on (key, shard index), so growing or shrinking the
+// fleet moves the theoretical minimum of keys — on a resize N -> N+1 only
+// the keys whose new shard wins the argmax move (expected 1/(N+1) of the
+// space), and every key that stays mapped stays on the same shard. That is
+// the property that lets a resize proceed as per-shard drains instead of a
+// whole-cluster flush.
+//
+// The map carries an explicit epoch: a monotonically increasing generation
+// stamp bumped by resized(). Client and cluster compare epochs to detect a
+// stale routing view deterministically (same epoch => byte-identical
+// routing), which keeps replay after a resize well-defined instead of
+// heuristic.
+//
+// Pure and unit-testable: no I/O, no clocks, no globals. The sim side
+// (tests/cluster/sim_topology_test.cpp) uses the same map to lay CNs out
+// across simulated IONs, so the runtime cluster and the deterministic model
+// agree on the partitioning by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace iofwd::cluster {
+
+class ShardMap {
+ public:
+  // A map over `shards` shards (clamped to >= 1) at generation `epoch`.
+  explicit ShardMap(int shards, std::uint32_t epoch = 0);
+
+  // The shard owning `key` (a descriptor id widened to u64). Deterministic
+  // across processes and platforms: the weight is a fixed 64-bit mix.
+  [[nodiscard]] int shard_of(std::uint64_t key) const;
+
+  [[nodiscard]] int shards() const { return shards_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  // The same key space over a different shard count, one generation later.
+  // Minimal-movement: keys keep their shard unless the argmax changes.
+  [[nodiscard]] ShardMap resized(int new_shards) const {
+    return ShardMap(new_shards, epoch_ + 1);
+  }
+
+  // The HRW weight of `key` on `shard` — exposed so tests (and the sim-side
+  // topology validation) can cross-check the argmax independently.
+  [[nodiscard]] static std::uint64_t weight(std::uint64_t key, int shard);
+
+ private:
+  int shards_;
+  std::uint32_t epoch_;
+};
+
+}  // namespace iofwd::cluster

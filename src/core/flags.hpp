@@ -54,6 +54,19 @@ class Parser {
   // after all knobs have been read.
   [[nodiscard]] std::vector<std::string> unknown() const;
 
+  // IOFWD_* environment variables whose (lowercased) key was never queried —
+  // the environment-side typo check. Variables on a small allowlist
+  // (IOFWD_TEST_SEED, read directly by the test harness rather than through
+  // a Parser) are exempt.
+  [[nodiscard]] std::vector<std::string> unknown_env() const;
+
+  // Fail-loud gate: after every knob has been read, returns false and prints
+  // one clear line per leftover — unknown command-line knobs and IOFWD_* env
+  // typos, each with a did-you-mean suggestion against the queried knob set.
+  // Binaries exit non-zero on false, so `shardz=4` can never silently run
+  // with default sharding.
+  [[nodiscard]] bool check_strict(const char* prog) const;
+
  private:
   static std::string normalize(const std::string& key);
   // Command-line value, else IOFWD_<KEY> from the environment, else null.

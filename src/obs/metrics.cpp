@@ -85,6 +85,12 @@ Histogram& MetricRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+void merge_prefixed(Snapshot& dst, const Snapshot& src, const std::string& prefix) {
+  for (const auto& [name, v] : src.counters) dst.counters[prefix + name] = v;
+  for (const auto& [name, v] : src.gauges) dst.gauges[prefix + name] = v;
+  for (const auto& [name, v] : src.histograms) dst.histograms[prefix + name] = v;
+}
+
 Snapshot MetricRegistry::snapshot() const {
   Snapshot s;
   std::scoped_lock lk(mu_);

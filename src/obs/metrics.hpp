@@ -169,6 +169,11 @@ struct Snapshot {
   [[nodiscard]] const HistogramSnapshot* histogram(const std::string& name) const;
 };
 
+// Merge `src` into `dst` with every metric name prefixed — the mechanism
+// behind cluster snapshots, where shard i's registry lands under
+// "cluster.shard.<i>.*". Prefixed names that already exist are overwritten.
+void merge_prefixed(Snapshot& dst, const Snapshot& src, const std::string& prefix);
+
 // Named handle registry. Registration (first lookup of a name) takes a
 // mutex; the returned references are stable for the registry's lifetime, so
 // hot paths cache them and never look up again. Lookups of an existing name

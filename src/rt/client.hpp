@@ -80,35 +80,60 @@ struct ClientStats {
   std::uint64_t request_bounces = 0;     // requests the server bounced as corrupt
 };
 
-class Client {
+// The forwarded-call surface a compute-node application programs against,
+// independent of how many IONs stand behind it. rt::Client implements it
+// over one connection; cluster::RoutingClient implements it over N shards.
+// The test harness and fault specs hold this interface, so the same spec
+// runs unchanged against a single server or a sharded cluster.
+class ForwardingClient {
  public:
-  explicit Client(std::unique_ptr<ByteStream> stream, ClientConfig cfg = {},
-                  StreamFactory factory = nullptr);
-  ~Client();
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
+  virtual ~ForwardingClient() = default;
 
   // Forwarded calls. `fd` is chosen by the caller (client-managed namespace,
   // like MPI-IO file handles).
-  Status open(int fd, const std::string& path);
-  Status write(int fd, std::uint64_t offset, std::span<const std::byte> data);
-  Result<std::vector<std::byte>> read(int fd, std::uint64_t offset, std::uint64_t len);
-  Status fsync(int fd);
-  Result<std::uint64_t> fstat_size(int fd);
-  Status close(int fd);
+  virtual Status open(int fd, const std::string& path) = 0;
+  virtual Status write(int fd, std::uint64_t offset, std::span<const std::byte> data) = 0;
+  virtual Result<std::vector<std::byte>> read(int fd, std::uint64_t offset,
+                                              std::uint64_t len) = 0;
+  virtual Status fsync(int fd) = 0;
+  virtual Result<std::uint64_t> fstat_size(int fd) = 0;
+  virtual Status close(int fd) = 0;
 
   // Polite disconnect (server releases the connection). Never reconnects.
-  Status shutdown();
+  virtual Status shutdown() = 0;
 
   // True if the last write() was acknowledged as staged (async mode).
-  [[nodiscard]] bool last_write_was_staged() const { return last_staged_; }
+  [[nodiscard]] virtual bool last_write_was_staged() const = 0;
+
+  [[nodiscard]] virtual ClientStats stats() const = 0;
+};
+
+class Client final : public ForwardingClient {
+ public:
+  explicit Client(std::unique_ptr<ByteStream> stream, ClientConfig cfg = {},
+                  StreamFactory factory = nullptr);
+  ~Client() override;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status open(int fd, const std::string& path) override;
+  Status write(int fd, std::uint64_t offset, std::span<const std::byte> data) override;
+  Result<std::vector<std::byte>> read(int fd, std::uint64_t offset,
+                                      std::uint64_t len) override;
+  Status fsync(int fd) override;
+  Result<std::uint64_t> fstat_size(int fd) override;
+  Status close(int fd) override;
+
+  Status shutdown() override;
+
+  [[nodiscard]] bool last_write_was_staged() const override { return last_staged_; }
 
   // The wire version negotiated on the current connection: 0 before the
   // first roundtrip (or when either side is v0), >= 1 when payload
   // checksums are active.
   [[nodiscard]] std::uint16_t negotiated_version() const;
 
-  [[nodiscard]] ClientStats stats() const;
+  [[nodiscard]] ClientStats stats() const override;
 
   // The registry backing stats() — client-owned unless ClientConfig::registry
   // was set.

@@ -107,6 +107,7 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     bcfg.flushers = cfg_.bb_flushers;
     bcfg.max_stall_ms = cfg_.bb_max_stall_ms;
     bcfg.registry = reg_;  // one namespace: "server.*" + "bb.*"
+    bcfg.cluster_budget = cfg_.bb_cluster_budget;
     auto wrapped = std::make_unique<bb::BurstBufferBackend>(std::move(backend_), bcfg);
     bb_ = wrapped.get();
     backend_ = std::move(wrapped);
@@ -257,6 +258,20 @@ void IonServer::stop() {
   }
   to_join.clear();  // jthread joins on destruction
   if (bb_) bb_->drain_all();  // shutdown drains every descriptor's extents
+}
+
+void IonServer::drain() {
+  // Two consecutive quiet observations guard the window between a worker
+  // popping a batch and bumping tasks_in_flight_.
+  for (int stable = 0; stable < 2;) {
+    if (queue_.size() == 0 && tasks_in_flight_.load(std::memory_order_acquire) == 0) {
+      ++stable;
+    } else {
+      stable = 0;
+    }
+    if (stable < 2) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  if (bb_) bb_->drain_all();
 }
 
 ServerStats IonServer::stats() const {
@@ -884,10 +899,14 @@ void IonServer::worker_loop(int lane) {
   while (true) {
     auto batch = queue_.pop_batch(cfg_.multiplex_depth, cfg_.balanced_batches);
     if (batch.empty()) return;  // queue closed and drained
+    tasks_in_flight_.fetch_add(batch.size(), std::memory_order_acq_rel);
     if (tracer_ != nullptr) {
       tracer_->counter("queue_depth", static_cast<double>(queue_.size()));
     }
-    for (auto& t : batch) execute_task(t, lane);
+    for (auto& t : batch) {
+      execute_task(t, lane);
+      tasks_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
 }
 

@@ -54,6 +54,10 @@ class BurstBufferBackend;
 struct BurstBufferStats;
 }  // namespace iofwd::bb
 
+namespace iofwd::cluster {
+class ClusterBbBudget;
+}  // namespace iofwd::cluster
+
 namespace iofwd::rt {
 
 enum class ExecModel { thread_per_client, work_queue, work_queue_async };
@@ -81,6 +85,11 @@ struct ServerConfig {
   double bb_high_watermark = 0.75;
   double bb_low_watermark = 0.50;
   int bb_flushers = 2;
+  // Cluster-wide staging budget (src/cluster/, DESIGN.md §14): when set, the
+  // burst buffer reserves every cached byte against this shared accountant,
+  // so the fleet's aggregate staged bytes respect one global watermark. Null
+  // = standalone server (per-shard watermarks only). Must outlive the server.
+  cluster::ClusterBbBudget* bb_cluster_budget = nullptr;
   // Graceful degradation (DESIGN.md §10). A writer that cannot lease BML
   // staging space within bml_wait_ms falls back to synchronous pass-through
   // execution on the receiver thread instead of blocking forever (0 = wait
@@ -181,6 +190,14 @@ class IonServer {
 
   // Drain the queue, close client streams, join every thread. Idempotent.
   void stop();
+
+  // Quiesce without shutting down: wait until the task queue and every
+  // in-flight worker task have drained, then flush the burst buffer.
+  // Connections stay open and new ops keep flowing afterward — this is the
+  // shard-aware drain a cluster uses to quiesce one ION while its siblings
+  // keep serving. Callers stop issuing ops to this server first (the quiesce
+  // assumption); concurrent traffic just keeps drain() polling longer.
+  void drain();
 
   // Deprecated-style snapshot view (kept for tests/benches); assembled from
   // the metric registry plus queue/pool/burst-buffer instantaneous state.
@@ -349,6 +366,9 @@ class IonServer {
   std::vector<std::shared_ptr<ClientConn>> conns_;
   std::unique_ptr<Listener> listener_;
   std::atomic<bool> stopping_{false};
+  // Tasks popped from the queue but not yet executed to completion; drain()
+  // waits for queue empty AND this zero before flushing the burst buffer.
+  std::atomic<std::uint64_t> tasks_in_flight_{0};
 
   // Receiver lanes, spawned lazily on the first pollable connection
   // (guarded by threads_mu_ until then; immutable afterwards).

@@ -1,0 +1,121 @@
+// ShardMap unit coverage: the three properties the cluster leans on —
+// deterministic routing, balanced distribution, and minimal movement on
+// resize — each checked directly against the HRW definition.
+#include "cluster/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace iofwd::cluster {
+namespace {
+
+constexpr std::uint64_t kKeys = 64 * 1024;
+
+TEST(ShardMap, DeterministicAndInRange) {
+  ShardMap m(5);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const int s = m.shard_of(k);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 5);
+    EXPECT_EQ(s, m.shard_of(k)) << "routing must be stable";
+  }
+  // A second map with the same shard count routes identically — the property
+  // that lets RoutingClient and IonCluster hold independent copies.
+  ShardMap m2(5);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(m.shard_of(k), m2.shard_of(k));
+}
+
+TEST(ShardMap, SingleShardTakesEverything) {
+  ShardMap m(1);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(m.shard_of(k), 0);
+}
+
+TEST(ShardMap, ShardOfMatchesWeightArgmax) {
+  // shard_of is definitionally argmax_i weight(key, i); verify against the
+  // exposed weight function so the sim-side cross-check stays honest.
+  ShardMap m(7);
+  for (std::uint64_t k = 0; k < 2000; ++k) {
+    int best = 0;
+    std::uint64_t best_w = ShardMap::weight(k, 0);
+    for (int s = 1; s < 7; ++s) {
+      const std::uint64_t w = ShardMap::weight(k, s);
+      if (w > best_w) {
+        best_w = w;
+        best = s;
+      }
+    }
+    ASSERT_EQ(m.shard_of(k), best) << "key " << k;
+  }
+}
+
+TEST(ShardMap, BalancedDistributionOneToSixteenShards) {
+  // 64k sequential keys (descriptor ids are small and dense in practice)
+  // must spread evenly: max/min shard load within 15% at every fleet size.
+  for (int shards = 1; shards <= 16; ++shards) {
+    ShardMap m(shards);
+    std::vector<std::uint64_t> load(static_cast<std::size_t>(shards), 0);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      ++load[static_cast<std::size_t>(m.shard_of(k))];
+    }
+    const auto [mn, mx] = std::minmax_element(load.begin(), load.end());
+    ASSERT_GT(*mn, 0u) << shards << " shards: a shard got no keys";
+    EXPECT_LT(static_cast<double>(*mx) / static_cast<double>(*mn), 1.15)
+        << shards << " shards: max/min load ratio too skewed";
+  }
+}
+
+TEST(ShardMap, ResizeMovesOnlyTheMinimum) {
+  // Growing N -> N+1 may move only keys that land on the new shard
+  // (expected 1/(N+1) of the space); every other key stays put. Allow a
+  // statistical margin on the fraction, but the stay-put rule is exact.
+  for (int n = 1; n <= 8; ++n) {
+    ShardMap before(n);
+    ShardMap after = before.resized(n + 1);
+    std::uint64_t moved = 0;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      const int b = before.shard_of(k);
+      const int a = after.shard_of(k);
+      if (a != b) {
+        ++moved;
+        ASSERT_EQ(a, n) << "key " << k << " moved between two surviving shards";
+      }
+    }
+    const double frac = static_cast<double>(moved) / static_cast<double>(kKeys);
+    const double expect = 1.0 / static_cast<double>(n + 1);
+    EXPECT_GT(frac, expect * 0.8) << n << "->" << n + 1;
+    EXPECT_LT(frac, expect * 1.2) << n << "->" << n + 1;
+  }
+}
+
+TEST(ShardMap, ShrinkReassignsOnlyTheLostShard) {
+  // Shrinking N+1 -> N moves exactly the keys that lived on the removed
+  // highest shard; survivors keep their assignment.
+  ShardMap before(5);
+  ShardMap after = before.resized(4);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const int b = before.shard_of(k);
+    if (b < 4) {
+      EXPECT_EQ(after.shard_of(k), b) << "key " << k;
+    }
+  }
+}
+
+TEST(ShardMap, EpochAdvancesThroughResize) {
+  ShardMap m(2, 7);
+  EXPECT_EQ(m.epoch(), 7u);
+  ShardMap grown = m.resized(3);
+  EXPECT_EQ(grown.epoch(), 8u);
+  EXPECT_EQ(grown.shards(), 3);
+  EXPECT_EQ(grown.resized(2).epoch(), 9u);
+}
+
+TEST(ShardMap, ClampsNonsenseShardCounts) {
+  EXPECT_EQ(ShardMap(0).shards(), 1);
+  EXPECT_EQ(ShardMap(-3).shards(), 1);
+}
+
+}  // namespace
+}  // namespace iofwd::cluster

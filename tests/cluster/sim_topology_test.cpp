@@ -1,0 +1,116 @@
+// Deterministic validation of the CNs -> many IONs -> FSN cluster topology:
+// MachineConfig::intrepid_cluster holds the compute-node count fixed while
+// the ION fleet grows, and the simulated stream workload must conserve
+// bytes, stay bit-deterministic, and scale throughput with the fleet. The
+// same ShardMap the runtime routes by lays the CNs out across simulated
+// IONs, so model and runtime agree on the partitioning by construction
+// (DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "cluster/shard_map.hpp"
+#include "wl/stream.hpp"
+
+namespace iofwd::wl {
+namespace {
+
+// The fleet under test forwards for the same 64 CNs throughout.
+constexpr int kTotalCns = 64;
+
+StreamParams fixed_total(int ions, int iters = 10) {
+  StreamParams p;
+  p.cns_per_pset = kTotalCns / ions;
+  p.iterations = iters;
+  p.distribute_das = true;
+  return p;
+}
+
+bgp::MachineConfig fleet(int ions) {
+  auto cfg = bgp::MachineConfig::intrepid_cluster(ions, kTotalCns);
+  cfg.num_da_nodes = ions;  // the analysis tier scales with the fleet
+  return cfg;
+}
+
+TEST(SimTopology, IntrepidClusterHoldsTotalCnsFixed) {
+  for (int ions : {1, 2, 4, 8}) {
+    const auto cfg = bgp::MachineConfig::intrepid_cluster(ions, kTotalCns);
+    EXPECT_EQ(cfg.num_psets, ions);
+    EXPECT_EQ(cfg.total_cns(), kTotalCns) << ions << " IONs";
+    std::string why;
+    EXPECT_TRUE(cfg.validate(&why)) << why;
+  }
+  // Degenerate inputs clamp instead of dividing by zero.
+  EXPECT_EQ(bgp::MachineConfig::intrepid_cluster(0).num_psets, 1);
+  EXPECT_GE(bgp::MachineConfig::intrepid_cluster(128, 64).cns_per_pset, 1);
+}
+
+TEST(SimTopology, BytesConservedAtEveryFleetSize) {
+  for (int ions : {1, 2, 4}) {
+    auto r = run_stream(proto::Mechanism::zoid_sched_async, fleet(ions), {},
+                        fixed_total(ions));
+    EXPECT_EQ(r.metrics.bytes_delivered, static_cast<std::uint64_t>(kTotalCns) * 10 * 1_MiB)
+        << ions << " IONs dropped or duplicated bytes";
+    EXPECT_GT(r.sim_events, 0u);
+  }
+}
+
+TEST(SimTopology, DeterministicAcrossRuns) {
+  const auto cfg = fleet(4);
+  const auto p = fixed_total(4);
+  auto a = run_stream(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  auto b = run_stream(proto::Mechanism::zoid_sched_async, cfg, {}, p);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_DOUBLE_EQ(a.throughput_mib_s, b.throughput_mib_s);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(SimTopology, MoreIonsMoreThroughputAtFixedCns) {
+  // 64 CNs through one ION saturate the forwarding layer; splitting the same
+  // CNs across more IONs multiplies forwarding capacity against the shared
+  // (far faster) FSN tier — the production question the cluster answers.
+  const double t1 =
+      run_stream(proto::Mechanism::zoid_sched_async, fleet(1), {}, fixed_total(1))
+          .throughput_mib_s;
+  const double t2 =
+      run_stream(proto::Mechanism::zoid_sched_async, fleet(2), {}, fixed_total(2))
+          .throughput_mib_s;
+  const double t4 =
+      run_stream(proto::Mechanism::zoid_sched_async, fleet(4), {}, fixed_total(4))
+          .throughput_mib_s;
+  EXPECT_GT(t2, 1.5 * t1) << "2 IONs should nearly double delivered bandwidth";
+  EXPECT_GT(t4, 1.3 * t2) << "4 IONs should keep scaling at fixed CN count";
+}
+
+TEST(SimTopology, RuntimeShardMapLaysOutCnsAcrossIons) {
+  // Assign each CN id to an ION with the runtime's own ShardMap and check
+  // the layout is usable: deterministic, every ION populated, no ION
+  // starved or overloaded beyond HRW's small-sample skew.
+  for (int ions : {2, 4, 8}) {
+    const cluster::ShardMap map(ions);
+    std::vector<int> load(static_cast<std::size_t>(ions), 0);
+    for (int cn = 0; cn < kTotalCns; ++cn) {
+      const int ion = map.shard_of(static_cast<std::uint64_t>(cn));
+      ASSERT_GE(ion, 0);
+      ASSERT_LT(ion, ions);
+      // The assignment is definitionally the HRW argmax — the exact rule
+      // the RoutingClient applies to descriptors.
+      for (int other = 0; other < ions; ++other) {
+        ASSERT_LE(cluster::ShardMap::weight(static_cast<std::uint64_t>(cn), other),
+                  cluster::ShardMap::weight(static_cast<std::uint64_t>(cn), ion));
+      }
+      ++load[static_cast<std::size_t>(ion)];
+    }
+    const int expect = kTotalCns / ions;
+    for (int i = 0; i < ions; ++i) {
+      EXPECT_GE(load[static_cast<std::size_t>(i)], expect / 4)
+          << ions << " IONs: ION " << i << " starved";
+      EXPECT_LE(load[static_cast<std::size_t>(i)], expect * 3)
+          << ions << " IONs: ION " << i << " overloaded";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iofwd::wl

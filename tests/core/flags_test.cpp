@@ -78,5 +78,57 @@ TEST(Flags, UnknownReportsOnlyUnqueriedKeys) {
   EXPECT_EQ(unknown[0], "tpyo");
 }
 
+TEST(Flags, CheckStrictPassesWhenEveryKnobWasQueried) {
+  auto av = argv_of({"shards=4", "--bml-mib=256"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  (void)p.get_int("shards", 1);
+  (void)p.get_u64("bml_mib", 0);
+  EXPECT_TRUE(p.check_strict("prog"));
+}
+
+TEST(Flags, CheckStrictRejectsMisspelledKnob) {
+  // The motivating bug: "shardz=4" silently running single-sharded. It must
+  // fail loudly instead.
+  auto av = argv_of({"shardz=4"});
+  Parser p(static_cast<int>(av.size()), av.data());
+  EXPECT_EQ(p.get_int("shards", 1), 1) << "the typo must not reach the knob";
+  EXPECT_FALSE(p.check_strict("prog"));
+}
+
+TEST(Flags, CheckStrictRejectsEnvironmentTypo) {
+  ::setenv("IOFWD_SHARDZ", "4", 1);
+  auto av = argv_of({});
+  Parser p(static_cast<int>(av.size()), av.data());
+  (void)p.get_int("shards", 1);
+  const auto bad = p.unknown_env();
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "IOFWD_SHARDZ");
+  EXPECT_FALSE(p.check_strict("prog"));
+  ::unsetenv("IOFWD_SHARDZ");
+}
+
+TEST(Flags, CheckStrictAllowsMatchingEnvOverride) {
+  // A correctly spelled env override is a queried knob, not a typo.
+  ::setenv("IOFWD_SHARDS", "4", 1);
+  auto av = argv_of({});
+  Parser p(static_cast<int>(av.size()), av.data());
+  EXPECT_EQ(p.get_int("shards", 1), 4);
+  EXPECT_TRUE(p.unknown_env().empty());
+  EXPECT_TRUE(p.check_strict("prog"));
+  ::unsetenv("IOFWD_SHARDS");
+}
+
+TEST(Flags, EnvAllowlistCoversHarnessVariables) {
+  // IOFWD_TEST_SEED is read by the test harness outside any Parser; the
+  // typo scan must not flag it.
+  ::setenv("IOFWD_TEST_SEED", "0x123", 1);
+  auto av = argv_of({});
+  Parser p(static_cast<int>(av.size()), av.data());
+  (void)p.get_int("shards", 1);
+  EXPECT_TRUE(p.unknown_env().empty());
+  EXPECT_TRUE(p.check_strict("prog"));
+  ::unsetenv("IOFWD_TEST_SEED");
+}
+
 }  // namespace
 }  // namespace iofwd::flags

@@ -87,7 +87,7 @@ TEST(Chaos, SeededFaultStormLeavesServerHealthy) {
 
   for (int id = 0; id < kFaulty; ++id) {
     threads.emplace_back([&, id] {
-      rt::Client& client = tc.client(static_cast<std::size_t>(id));
+      auto& client = tc.client(static_cast<std::size_t>(id));
       const int fd = 10 + id;
       if (!client.open(fd, "faulty" + std::to_string(id)).is_ok()) return;
       const auto data = pattern(kBurstSize, seed + static_cast<std::uint64_t>(id));
@@ -101,7 +101,7 @@ TEST(Chaos, SeededFaultStormLeavesServerHealthy) {
 
   for (int id = 0; id < kHealthy; ++id) {
     threads.emplace_back([&, id] {
-      rt::Client& client = tc.client(static_cast<std::size_t>(kFaulty + id));
+      auto& client = tc.client(static_cast<std::size_t>(kFaulty + id));
       const int fd = 50 + id;
       const std::string path = "healthy" + std::to_string(id);
       ASSERT_TRUE(client.open(fd, path).is_ok());

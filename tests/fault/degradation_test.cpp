@@ -31,7 +31,7 @@ TEST(Degradation, BmlExhaustionFallsBackToPassThrough) {
   o.server.bml_bytes = 64_KiB;
   o.server.bml_wait_ms = 20;
   TestCluster tc(o);
-  rt::Client& client = tc.client();
+  auto& client = tc.client();
 
   ASSERT_TRUE(client.open(1, "f").is_ok());
   tc.backend_plan().add({.op = OpKind::write, .nth = 1, .error = Errc::ok, .latency = 400'000us});

@@ -50,7 +50,7 @@ TEST(IntegrityChaos, OnePercentBitFlipsAllDetectedAllRecovered) {
   spec.stream_plan = plan;
   spec.reconnectable = true;
   spec.faulty_redials = true;
-  rt::Client& client = tc.client(tc.add_client(std::move(spec)));
+  auto& client = tc.client(tc.add_client(std::move(spec)));
 
   // Golden model: what the file must contain if no corruption slipped by.
   std::map<std::uint64_t, std::vector<std::byte>> golden;
@@ -126,7 +126,7 @@ TEST(IntegrityChaos, V0PeersStayBlindToCorruption) {
   spec.stream_plan = plan;
   spec.reconnectable = true;
   spec.faulty_redials = true;
-  rt::Client& client = tc.client(tc.add_client(std::move(spec)));
+  auto& client = tc.client(tc.add_client(std::move(spec)));
 
   ASSERT_TRUE(client.open(1, "blind").is_ok());
   const auto data = pattern(4_KiB, 5);

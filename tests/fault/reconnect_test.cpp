@@ -35,7 +35,7 @@ TEST(Reconnect, MidBurstCutReplaysTransparently) {
   TestCluster tc = cluster();
   // First connection dies once this end has written ~1.5 frames of a
   // 16 KiB-per-write burst; the cut lands mid-payload.
-  rt::Client& client =
+  auto& client =
       tc.client(add_cut_client(tc, rt::FrameHeader::kWireSize * 2 + 16_KiB + 8_KiB));
   ASSERT_TRUE(client.open(1, "burst").is_ok());
 
@@ -66,7 +66,7 @@ TEST(Reconnect, ReplayedReadAfterReconnectSeesEarlierWrites) {
   // Budget: hello + open + first write survive; the read request later hits
   // the cut (hello 56 B, open 56+2 B, write 56 B + 4 KiB, then 10 B of the
   // read header).
-  rt::Client& client =
+  auto& client =
       tc.client(add_cut_client(tc, rt::FrameHeader::kWireSize * 3 + 4_KiB + 12));
 
   ASSERT_TRUE(client.open(3, "rr").is_ok());
@@ -83,7 +83,7 @@ TEST(Reconnect, WithoutFactoryTheCutSurfaces) {
   // hello + open (1-byte path) fit; the write's header hits the cut.
   TestCluster::ClientSpec spec;
   spec.cut_after_write_bytes = rt::FrameHeader::kWireSize * 2 + 10;
-  rt::Client& client = tc.client(tc.add_client(std::move(spec)));  // no StreamFactory
+  auto& client = tc.client(tc.add_client(std::move(spec)));  // no StreamFactory
   ASSERT_TRUE(client.open(1, "x").is_ok());
   EXPECT_FALSE(client.write(1, 0, pattern(4_KiB, 13)).is_ok());
 }

@@ -31,7 +31,7 @@ TestCluster obs_cluster(ServerConfig cfg = {}) {
   return TestCluster(o);
 }
 
-void run_ops(Client& client) {
+void run_ops(ForwardingClient& client) {
   ASSERT_TRUE(client.open(1, "f").is_ok());
   const std::vector<std::byte> data(64_KiB, std::byte{0x5a});
   ASSERT_TRUE(client.write(1, 0, data).is_ok());

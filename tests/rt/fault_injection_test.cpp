@@ -36,11 +36,11 @@ TEST_P(FaultModels, CutMidHeaderDoesNotWedgeServer) {
   TestCluster tc(o);
 
   // Client cut after 10 bytes: the server sees a truncated frame header.
-  Client& bad = tc.client(add_cut_client(tc, 10));
+  auto& bad = tc.client(add_cut_client(tc, 10));
   EXPECT_FALSE(bad.open(1, "x").is_ok());
 
   // A healthy client connected afterwards is fully served.
-  Client& good = tc.client(tc.add_client());
+  auto& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(2, "y").is_ok());
   const auto data = pattern(64_KiB, 1);
   ASSERT_TRUE(good.write(2, 0, data).is_ok());
@@ -56,14 +56,14 @@ TEST_P(FaultModels, CutMidPayloadReleasesStagingBuffer) {
   TestCluster tc(o);
 
   // Header (44 B) goes through; the 256 KiB payload is cut at 50 KiB.
-  Client& bad = tc.client(add_cut_client(tc, FrameHeader::kWireSize + 50 * 1024));
+  auto& bad = tc.client(add_cut_client(tc, FrameHeader::kWireSize + 50 * 1024));
   (void)bad.open(1, "x");  // open succeeds (small frames)... or dies; both fine
   const auto data = pattern(256_KiB, 2);
   EXPECT_FALSE(bad.write(1, 0, data).is_ok());
 
   // The staging buffer the server acquired for the half-received payload
   // must be back in the pool: a healthy client can stage the full 1 MiB.
-  Client& good = tc.client(tc.add_client());
+  auto& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(2, "y").is_ok());
   const auto big = pattern(1_MiB, 3);
   ASSERT_TRUE(good.write(2, 0, big).is_ok());
@@ -83,7 +83,7 @@ TEST_P(FaultModels, GarbageFrameDropsClientOnly) {
   std::vector<std::byte> junk(FrameHeader::kWireSize, std::byte{0x5a});
   ASSERT_TRUE(raw.value()->write_all(junk.data(), junk.size()).is_ok());
 
-  Client& good = tc.client(tc.add_client());
+  auto& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(7, "z").is_ok());
   EXPECT_TRUE(good.close(7).is_ok());
   raw.value()->close();
@@ -99,10 +99,10 @@ TEST(FaultInjection, RepeatedBadClientsDoNotExhaustServer) {
   o.clients = 0;
   TestCluster tc(o);
   for (int i = 0; i < 20; ++i) {
-    Client& bad = tc.client(add_cut_client(tc, 5 + static_cast<std::uint64_t>(i)));
+    auto& bad = tc.client(add_cut_client(tc, 5 + static_cast<std::uint64_t>(i)));
     (void)bad.open(1, "x");
   }
-  Client& good = tc.client(tc.add_client());
+  auto& good = tc.client(tc.add_client());
   ASSERT_TRUE(good.open(99, "final").is_ok());
   const auto data = pattern(128_KiB, 9);
   ASSERT_TRUE(good.write(99, 0, data).is_ok());
@@ -127,7 +127,7 @@ TestCluster bb_cluster() {
 
 TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
   TestCluster tc = bb_cluster();
-  Client& client = tc.client();
+  auto& client = tc.client();
   ASSERT_TRUE(client.open(1, "x").is_ok());
 
   const auto data = pattern(64_KiB, 21);
@@ -156,7 +156,7 @@ TEST(FaultInjection, BurstBufferFlushErrorDefersAndSurfacesOnce) {
 
 TEST(FaultInjection, BurstBufferFlushErrorAtCloseIsReported) {
   TestCluster tc = bb_cluster();
-  Client& client = tc.client();
+  auto& client = tc.client();
   ASSERT_TRUE(client.open(1, "x").is_ok());
   ASSERT_TRUE(client.write(1, 0, pattern(32_KiB, 22)).is_ok());
   tc.backend_plan().fail_always(fault::OpKind::write, Errc::io_error);

@@ -90,7 +90,7 @@ TEST_P(AllModels, ConcurrentClientsIntegrity) {
   std::atomic<int> failures{0};
   for (int i = 0; i < kClients; ++i) {
     threads.emplace_back([&, i] {
-      Client& c = tc.client(static_cast<std::size_t>(i));
+      auto& c = tc.client(static_cast<std::size_t>(i));
       const int fd = 10 + i;
       const auto data = pattern(256_KiB, static_cast<std::uint64_t>(i));
       if (!c.open(fd, "client_" + std::to_string(i)).is_ok()) ++failures;

@@ -117,7 +117,7 @@ TEST_P(SoakMatrix, EveryClientIsolatedNoSilentCorruptionCleanDrain) {
   std::vector<std::thread> threads;
   for (int id = 0; id < n_clients; ++id) {
     threads.emplace_back([&, id] {
-      rt::Client& client = tc.client(static_cast<std::size_t>(id));
+      auto& client = tc.client(static_cast<std::size_t>(id));
       Rng rng(seed ^ (0x1000 + static_cast<std::uint64_t>(id)));
       const int fd = 10 + id;
       auto& file = expected[static_cast<std::size_t>(id)];

@@ -1,5 +1,6 @@
 #include "testsupport/testsupport.hpp"
 
+#include <cassert>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -27,21 +28,36 @@ std::uint64_t test_seed(const char* label, std::uint64_t dflt) {
   return seed;
 }
 
-TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
-  backend_plan_ = opts_.backend_plan ? opts_.backend_plan : std::make_shared<fault::FaultPlan>();
-
+std::unique_ptr<rt::IoBackend> TestCluster::make_backend_chain() {
   auto mem = std::make_unique<rt::MemBackend>();
-  mem_ = mem.get();
+  mems_.push_back(mem.get());
   std::unique_ptr<rt::IoBackend> backend =
       std::make_unique<fault::FaultyBackend>(std::move(mem), backend_plan_);
   if (opts_.retry != nullptr) {
     backend = std::make_unique<fault::RetryingBackend>(std::move(backend), *opts_.retry);
   }
+  return backend;
+}
 
-  rt::ServerConfig cfg = opts_.server;
-  if (cfg.registry == nullptr) cfg.registry = &registry_;
-  if (opts_.with_tracer) cfg.tracer = &tracer_;
-  server_ = std::make_unique<rt::IonServer>(std::move(backend), cfg);
+TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
+  backend_plan_ = opts_.backend_plan ? opts_.backend_plan : std::make_shared<fault::FaultPlan>();
+
+  if (opts_.shards > 0) {
+    cluster::IonClusterConfig ccfg;
+    ccfg.shards = opts_.shards;
+    ccfg.server = opts_.server;
+    if (opts_.with_tracer) ccfg.server.tracer = &tracer_;
+    ccfg.cluster_bb_bytes = opts_.cluster_bb_bytes;
+    ccfg.cluster_bb_high_watermark = opts_.cluster_bb_high_watermark;
+    ccfg.cluster_bb_low_watermark = opts_.cluster_bb_low_watermark;
+    cluster_ = std::make_unique<cluster::IonCluster>(
+        [this](int) { return make_backend_chain(); }, ccfg);
+  } else {
+    rt::ServerConfig cfg = opts_.server;
+    if (cfg.registry == nullptr) cfg.registry = &registry_;
+    if (opts_.with_tracer) cfg.tracer = &tracer_;
+    server_ = std::make_unique<rt::IonServer>(make_backend_chain(), cfg);
+  }
 
   for (int i = 0; i < opts_.clients; ++i) {
     ClientSpec spec;
@@ -54,11 +70,23 @@ TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
 
 TestCluster::~TestCluster() { stop(); }
 
+rt::IonServer& TestCluster::server(int i) {
+  if (cluster_) return cluster_->shard(i);
+  assert(i == 0 && "classic TestCluster has exactly one server");
+  return *server_;
+}
+
+cluster::RoutingClient& TestCluster::routing_client(std::size_t i) {
+  auto* rc = dynamic_cast<cluster::RoutingClient*>(clients_.at(i).get());
+  assert(rc != nullptr && "routing_client() requires a sharded TestCluster");
+  return *rc;
+}
+
 Result<std::unique_ptr<rt::ByteStream>> TestCluster::dial(
-    const std::shared_ptr<fault::FaultPlan>& stream_plan,
+    int shard, const std::shared_ptr<fault::FaultPlan>& stream_plan,
     std::uint64_t cut_after_write_bytes) {
   auto [s, c] = rt::InProcTransport::make_pair(opts_.pipe_bytes);
-  server_->serve(std::move(s));
+  server(shard).serve(std::move(s));
   std::unique_ptr<rt::ByteStream> stream = std::move(c);
   const auto& plan = stream_plan ? stream_plan : opts_.stream_plan;
   if (plan || cut_after_write_bytes > 0) {
@@ -70,7 +98,30 @@ Result<std::unique_ptr<rt::ByteStream>> TestCluster::dial(
 }
 
 std::size_t TestCluster::add_client(ClientSpec spec) {
-  auto stream = dial(spec.stream_plan, spec.cut_after_write_bytes);
+  if (cluster_) {
+    std::vector<cluster::RoutingClient::ShardLink> links;
+    links.reserve(static_cast<std::size_t>(cluster_->shards()));
+    for (int s = 0; s < cluster_->shards(); ++s) {
+      const auto& plan = static_cast<std::size_t>(s) < spec.shard_stream_plans.size() &&
+                                 spec.shard_stream_plans[static_cast<std::size_t>(s)]
+                             ? spec.shard_stream_plans[static_cast<std::size_t>(s)]
+                             : spec.stream_plan;
+      const std::uint64_t cut = (spec.cut_shard < 0 || spec.cut_shard == s)
+                                    ? spec.cut_after_write_bytes
+                                    : 0;
+      cluster::RoutingClient::ShardLink link;
+      link.stream = dial(s, plan, cut).value();
+      if (spec.reconnectable) {
+        link.factory = factory(spec.faulty_redials ? plan : nullptr, s);
+      }
+      links.push_back(std::move(link));
+    }
+    clients_.push_back(
+        std::make_unique<cluster::RoutingClient>(std::move(links), spec.cfg));
+    return clients_.size() - 1;
+  }
+
+  auto stream = dial(0, spec.stream_plan, spec.cut_after_write_bytes);
   rt::StreamFactory redial;
   if (spec.reconnectable) {
     redial = factory(spec.faulty_redials ? spec.stream_plan : nullptr);
@@ -80,19 +131,29 @@ std::size_t TestCluster::add_client(ClientSpec spec) {
   return clients_.size() - 1;
 }
 
-rt::StreamFactory TestCluster::factory(std::shared_ptr<fault::FaultPlan> stream_plan) {
+rt::StreamFactory TestCluster::factory(std::shared_ptr<fault::FaultPlan> stream_plan,
+                                       int shard) {
   // The factory outlives no one: TestCluster joins the server (and with it
   // every client connection) before its members are destroyed.
-  return [this, plan = std::move(stream_plan)] { return dial(plan); };
+  return [this, shard, plan = std::move(stream_plan)] { return dial(shard, plan); };
 }
 
 void TestCluster::stop() {
+  if (cluster_) cluster_->stop();
   if (server_) server_->stop();
 }
 
 std::vector<std::byte> TestCluster::drain_and_snapshot(const std::string& path) {
   stop();
-  return mem_->snapshot(path);
+  return snapshot(path);
+}
+
+std::vector<std::byte> TestCluster::snapshot(const std::string& path) const {
+  for (rt::MemBackend* mem : mems_) {
+    auto bytes = mem->snapshot(path);
+    if (!bytes.empty()) return bytes;
+  }
+  return {};
 }
 
 }  // namespace iofwd::testsupport

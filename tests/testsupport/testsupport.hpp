@@ -15,6 +15,13 @@
 //   ...
 //   EXPECT_EQ(tc.drain_and_snapshot("f"), expected_bytes);
 //
+// Sharded deployments (src/cluster/): set options.shards > 0 and the server
+// under test becomes an IonCluster of N IonServer shards, every client a
+// RoutingClient over N connections — and because client() hands back the
+// rt::ForwardingClient interface, the same fault-plan/cut/redial spec runs
+// unchanged against one ION or a fleet. shards == 0 keeps the classic
+// single-server wiring byte-for-byte.
+//
 // Seeded tests pull their seed through test_seed(), which honors the
 // IOFWD_TEST_SEED environment override and logs the seed in use, so any
 // randomized failure reproduces from the line the run printed.
@@ -25,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/ion_cluster.hpp"
+#include "cluster/routing_client.hpp"
 #include "fault/decorators.hpp"
 #include "fault/plan.hpp"
 #include "fault/retry.hpp"
@@ -51,9 +60,19 @@ struct ClusterOptions {
   rt::ClientConfig client;      // config for the initial clients
   int clients = 1;              // clients dialed in at construction
   std::size_t pipe_bytes = 1u << 20;  // in-proc ring capacity per direction
+  // Sharded mode: > 0 builds an IonCluster of this many IonServer shards
+  // (each with `server` as its config template) and every client becomes a
+  // RoutingClient over one connection per shard. 0 = the classic single
+  // IonServer.
+  int shards = 0;
+  // Cluster-wide burst-buffer budget (sharded mode only; 0 = no budget).
+  std::uint64_t cluster_bb_bytes = 0;
+  double cluster_bb_high_watermark = 0.75;
+  double cluster_bb_low_watermark = 0.50;
   // Wrap the MemBackend in a FaultyBackend driven by this plan (a fresh,
   // empty plan is created when null, so tests can always add rules later
-  // through backend_plan()).
+  // through backend_plan()). Sharded mode: one shared plan drives every
+  // shard's FaultyBackend.
   std::shared_ptr<fault::FaultPlan> backend_plan;
   // Wrap the backend chain in a RetryingBackend (applied above the faults).
   const fault::RetryPolicy* retry = nullptr;
@@ -71,24 +90,48 @@ class TestCluster {
   explicit TestCluster(ClusterOptions opts = {});
   ~TestCluster();
 
-  [[nodiscard]] rt::IonServer& server() { return *server_; }
-  [[nodiscard]] rt::MemBackend& mem() { return *mem_; }
+  // The server under test. Classic mode ignores `i`; sharded mode returns
+  // shard i.
+  [[nodiscard]] rt::IonServer& server(int i = 0);
+  // The sharded deployment, or nullptr in classic mode.
+  [[nodiscard]] cluster::IonCluster* ion_cluster() { return cluster_.get(); }
+  [[nodiscard]] int shards() const { return cluster_ ? cluster_->shards() : 1; }
+
+  [[nodiscard]] rt::MemBackend& mem(int shard = 0) {
+    return *mems_.at(static_cast<std::size_t>(shard));
+  }
   [[nodiscard]] fault::FaultPlan& backend_plan() { return *backend_plan_; }
   [[nodiscard]] obs::MetricRegistry& registry() { return registry_; }
   [[nodiscard]] obs::RuntimeTracer& tracer() { return tracer_; }
 
-  [[nodiscard]] rt::Client& client(std::size_t i = 0) { return *clients_.at(i); }
+  // The application-facing client surface: an rt::Client in classic mode, a
+  // cluster::RoutingClient in sharded mode. Specs written against this
+  // interface run unchanged in both.
+  [[nodiscard]] rt::ForwardingClient& client(std::size_t i = 0) { return *clients_.at(i); }
+  // The same client downcast to its sharded type (sharded mode only) — for
+  // per-shard stats attribution in cluster tests.
+  [[nodiscard]] cluster::RoutingClient& routing_client(std::size_t i = 0);
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
 
   // One more client dialed into the live server, with its own fault wiring.
   struct ClientSpec {
     rt::ClientConfig cfg;
     // Wrap this client's initial stream in a FaultyStream driven by this
-    // plan (falls back to the cluster-wide options.stream_plan).
+    // plan (falls back to the cluster-wide options.stream_plan). Sharded
+    // mode: applies to every shard connection unless shard_stream_plans
+    // overrides it.
     std::shared_ptr<fault::FaultPlan> stream_plan;
+    // Sharded mode: per-shard stream plans (index = shard), so injected
+    // faults — and their fired() accounting — attribute to one shard.
+    // Shorter than the shard count is fine; missing entries fall back to
+    // stream_plan.
+    std::vector<std::shared_ptr<fault::FaultPlan>> shard_stream_plans;
     // Kill the initial connection after this many written bytes (the old
     // CuttingStream budget; 0 = no budget).
     std::uint64_t cut_after_write_bytes = 0;
+    // Sharded mode: apply the cut budget only to this shard's connection
+    // (-1 = every shard connection gets its own budget).
+    int cut_shard = -1;
     bool reconnectable = false;
     // Redialed streams normally come up clean (a cut line is repaired by
     // redialing); set this to wrap every redial in stream_plan too — the
@@ -105,9 +148,9 @@ class TestCluster {
   // A StreamFactory dialing fresh connections into this server, each wrapped
   // per the explicit plan given here (NOT the cluster-wide stream_plan: a
   // redial is a fresh physical line). This is what reconnectable clients
-  // redial through.
+  // redial through. Sharded mode: dials into `shard`.
   [[nodiscard]] rt::StreamFactory factory(
-      std::shared_ptr<fault::FaultPlan> stream_plan = nullptr);
+      std::shared_ptr<fault::FaultPlan> stream_plan = nullptr, int shard = 0);
 
   // Quiesce the server: joins receiver lanes/threads, drains the task queue
   // and the burst buffer. Idempotent (the destructor calls it too).
@@ -117,23 +160,25 @@ class TestCluster {
   // standard end-of-test integrity check.
   std::vector<std::byte> drain_and_snapshot(const std::string& path);
 
-  // The live backend's bytes for `path`, without quiescing first.
-  [[nodiscard]] std::vector<std::byte> snapshot(const std::string& path) const {
-    return mem_->snapshot(path);
-  }
+  // The live backend's bytes for `path`, without quiescing first. Sharded
+  // mode searches every shard's MemBackend (a path lives on exactly the
+  // shard its descriptor routed to).
+  [[nodiscard]] std::vector<std::byte> snapshot(const std::string& path) const;
 
  private:
   [[nodiscard]] Result<std::unique_ptr<rt::ByteStream>> dial(
-      const std::shared_ptr<fault::FaultPlan>& stream_plan,
+      int shard, const std::shared_ptr<fault::FaultPlan>& stream_plan,
       std::uint64_t cut_after_write_bytes = 0);
+  [[nodiscard]] std::unique_ptr<rt::IoBackend> make_backend_chain();
 
   ClusterOptions opts_;
   obs::MetricRegistry registry_;
   obs::RuntimeTracer tracer_;
-  rt::MemBackend* mem_ = nullptr;  // owned by the server's backend chain
+  std::vector<rt::MemBackend*> mems_;  // owned by the backend chains
   std::shared_ptr<fault::FaultPlan> backend_plan_;
-  std::unique_ptr<rt::IonServer> server_;
-  std::vector<std::unique_ptr<rt::Client>> clients_;
+  std::unique_ptr<rt::IonServer> server_;          // classic mode
+  std::unique_ptr<cluster::IonCluster> cluster_;   // sharded mode
+  std::vector<std::unique_ptr<rt::ForwardingClient>> clients_;
 };
 
 }  // namespace iofwd::testsupport
