@@ -40,6 +40,7 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
       c_degraded_writes_(reg_->counter("bb.degraded_writes")),
       c_deferred_errors_(reg_->counter("bb.deferred_errors")),
       c_drains_(reg_->counter("bb.drains")),
+      c_pinned_reads_(reg_->counter("bb.pinned_reads")),
       c_budget_denied_(reg_->counter("bb.budget_denied")),
       g_cached_bytes_(reg_->gauge("bb.cached_bytes")),
       g_cached_high_watermark_(reg_->gauge("bb.cached_high_watermark")),
@@ -230,7 +231,7 @@ Result<std::uint64_t> BurstBufferBackend::write_through(int fd, const std::share
   std::uint64_t extra_writes = 0;
   for (auto& e : taken) {
     if (!e.dirty) continue;
-    auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf.data(), e.len));
+    auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf->data(), e.len));
     ++extra_writes;
     if (!r.is_ok()) {
       std::optional<std::uint64_t> seq;
@@ -266,7 +267,7 @@ Result<std::uint64_t> BurstBufferBackend::read(int fd, std::uint64_t offset,
     auto slice = out.subspan(static_cast<std::size_t>(seg.offset - offset),
                              static_cast<std::size_t>(seg.len));
     if (seg.ext != nullptr) {
-      std::memcpy(slice.data(), seg.ext->buf.data() + (seg.offset - seg.ext->start), seg.len);
+      std::memcpy(slice.data(), seg.ext->buf->data() + (seg.offset - seg.ext->start), seg.len);
       hit += seg.len;
       produced = seg.offset + seg.len - offset;
       continue;
@@ -288,6 +289,33 @@ Result<std::uint64_t> BurstBufferBackend::read(int fd, std::uint64_t offset,
   c_read_bytes_.add(produced);
   c_read_hit_bytes_.add(hit);
   return produced;
+}
+
+std::optional<PinnedRead> BurstBufferBackend::read_pinned(int fd, std::uint64_t offset,
+                                                          std::uint64_t len) {
+  if (len == 0) return std::nullopt;
+  auto d = find_desc(fd);
+  if (!d) return std::nullopt;
+  {
+    // Peek only: a pending deferred error must surface (and be consumed) on
+    // the regular read() the caller falls back to, never be skipped here.
+    std::scoped_lock lk(db_mu_);
+    if (db_.has_pending_error(fd)) return std::nullopt;
+  }
+  std::scoped_lock lk(d->mu);
+  const auto segs = d->index.segments(offset, len);
+  if (segs.size() != 1 || segs.front().ext == nullptr || segs.front().len != len) {
+    return std::nullopt;  // hole or partial coverage: the copying path handles it
+  }
+  const Extent& e = *segs.front().ext;
+  PinnedRead pin;
+  pin.lease = e.buf;  // pinned: insert() now treats this extent as immutable
+  pin.bytes = std::span<const std::byte>(e.buf->data() + (offset - e.start),
+                                         static_cast<std::size_t>(len));
+  c_read_bytes_.add(len);
+  c_read_hit_bytes_.add(len);
+  c_pinned_reads_.inc();
+  return pin;
 }
 
 Status BurstBufferBackend::fsync(int fd) {
@@ -351,7 +379,7 @@ void BurstBufferBackend::flush_extent(int fd, Desc& d, Extent& e) {
     std::scoped_lock lk(db_mu_);
     seq = db_.begin_op(fd);
   }
-  auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf.data(), e.len));
+  auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf->data(), e.len));
   const Status st = r.is_ok() ? Status::ok() : r.status();
   {
     std::scoped_lock lk(db_mu_);
@@ -504,6 +532,7 @@ BurstBufferStats BurstBufferBackend::stats() const {
   s.degraded_writes = c_degraded_writes_.value();
   s.deferred_errors = c_deferred_errors_.value();
   s.drains = c_drains_.value();
+  s.pinned_reads = c_pinned_reads_.value();
   s.cached_bytes = pool_.in_use();
   s.cached_high_watermark = pool_.high_watermark();
   s.dirty_bytes = dirty_total_.load();

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
@@ -87,6 +88,7 @@ struct BurstBufferStats {
   std::uint64_t degraded_writes = 0;   // stalled past max_stall_ms: wrote through
   std::uint64_t deferred_errors = 0;   // flush failures recorded for later
   std::uint64_t drains = 0;            // fsync/close/shutdown drain passes
+  std::uint64_t pinned_reads = 0;      // zero-copy reads served via read_pinned
   std::uint64_t cached_bytes = 0;      // pool bytes leased right now
   std::uint64_t cached_high_watermark = 0;
   std::uint64_t dirty_bytes = 0;
@@ -102,6 +104,15 @@ struct BurstBufferStats {
   }
 };
 
+// A zero-copy read lease (DESIGN.md §15): `bytes` views staged data inside
+// the pinned pool lease. The pin keeps the lease alive — and its pool bytes
+// accounted — even if the cache evicts or rewrites the extent meanwhile, so
+// an asynchronous reply may writev from `bytes` until the pin is dropped.
+struct PinnedRead {
+  std::shared_ptr<rt::Buffer> lease;
+  std::span<const std::byte> bytes;
+};
+
 class BurstBufferBackend final : public rt::IoBackend {
  public:
   BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner, BurstBufferConfig cfg);
@@ -114,6 +125,15 @@ class BurstBufferBackend final : public rt::IoBackend {
   Status fsync(int fd) override;
   Status close(int fd) override;
   Result<std::uint64_t> size(int fd) override;
+
+  // Zero-copy read fast path: when a single cached extent fully covers
+  // [offset, offset+len), returns a pin on its lease and the covering byte
+  // view — no memcpy. Misses (nullopt) on holes, partial coverage, unknown
+  // descriptors, or a pending deferred error (deliberately NOT consumed
+  // here: the caller's fallback to read() surfaces and consumes it, keeping
+  // the deferred-error contract on one path). Counted as a full cache hit.
+  [[nodiscard]] std::optional<PinnedRead> read_pinned(int fd, std::uint64_t offset,
+                                                      std::uint64_t len);
 
   // Flush this descriptor's dirty extents (kept cached as clean). Errors are
   // recorded as deferred, not returned.
@@ -197,6 +217,7 @@ class BurstBufferBackend final : public rt::IoBackend {
   obs::Counter& c_degraded_writes_;
   obs::Counter& c_deferred_errors_;
   obs::Counter& c_drains_;
+  obs::Counter& c_pinned_reads_;
   obs::Counter& c_budget_denied_;  // cluster-budget reservations refused
   // Instantaneous cache state, refreshed by refresh_gauges().
   obs::Gauge& g_cached_bytes_;

@@ -38,9 +38,9 @@ Result<ExtentIndex::Insert> ExtentIndex::insert(std::uint64_t offset,
     Extent e;
     e.start = offset;
     e.len = len;
-    e.buf = std::move(b).value();
+    e.buf = std::make_shared<rt::Buffer>(std::move(b).value());
     e.dirty = true;
-    std::memcpy(e.buf.data(), data.data(), len);
+    std::memcpy(e.buf->data(), data.data(), len);
     data_bytes_ += len;
     dirty_bytes_ += len;
     extents_.emplace(offset, std::move(e));
@@ -49,12 +49,18 @@ Result<ExtentIndex::Insert> ExtentIndex::insert(std::uint64_t offset,
 
   // In-place fast path: the write lands entirely inside one extent's leased
   // capacity, at or after its start, and touches no other extent. Sequential
-  // appends hit this until the size class is full.
+  // appends hit this until the size class is full. A pinned buffer
+  // (use_count > 1: an in-flight send still reads it) is immutable — fall
+  // through to the merge path, which re-leases and leaves the pinned bytes
+  // to the pin holder. Pins are only created under the descriptor mutex the
+  // caller already holds, so use_count == 1 here cannot race upward; a
+  // concurrent release can only make the copy conservative, never unsafe.
   Extent& first = touch->second;
   const bool single = (std::next(touch) == extents_.end() ||
                        std::next(touch)->first > offset + len);
-  if (single && offset >= first.start && offset + len <= first.start + first.capacity()) {
-    std::memcpy(first.buf.data() + (offset - first.start), data.data(), len);
+  if (single && first.buf.use_count() == 1 && offset >= first.start &&
+      offset + len <= first.start + first.capacity()) {
+    std::memcpy(first.buf->data() + (offset - first.start), data.data(), len);
     const std::uint64_t new_len = std::max(first.len, (offset + len) - first.start);
     data_bytes_ += new_len - first.len;
     if (first.dirty) {
@@ -87,18 +93,18 @@ Result<ExtentIndex::Insert> ExtentIndex::insert(std::uint64_t offset,
   Extent merged;
   merged.start = merged_start;
   merged.len = merged_len;
-  merged.buf = std::move(b).value();
+  merged.buf = std::make_shared<rt::Buffer>(std::move(b).value());
   merged.dirty = true;
   // Gaps between old extents inside the union are zero-filled (they read as
   // file holes until something lands there).
-  std::memset(merged.buf.data(), 0, merged_len);
+  std::memset(merged.buf->data(), 0, merged_len);
   for (auto it = touch; it != std::next(last); ++it) {
     const Extent& e = it->second;
-    std::memcpy(merged.buf.data() + (e.start - merged_start), e.buf.data(), e.len);
+    std::memcpy(merged.buf->data() + (e.start - merged_start), e.buf->data(), e.len);
     account_remove(e);
   }
   extents_.erase(touch, std::next(last));
-  std::memcpy(merged.buf.data() + (offset - merged_start), data.data(), len);
+  std::memcpy(merged.buf->data() + (offset - merged_start), data.data(), len);
   data_bytes_ += merged_len;
   dirty_bytes_ += merged_len;
   extents_.emplace(merged_start, std::move(merged));

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,16 +27,20 @@
 
 namespace iofwd::bb {
 
-// One cached run. `buf.size()` is the leased size class (capacity); only the
-// first `len` bytes are valid data.
+// One cached run. `buf->size()` is the leased size class (capacity); only
+// the first `len` bytes are valid data. The lease is held by shared_ptr so a
+// pinned read (BurstBufferBackend::read_pinned, DESIGN.md §15) can keep the
+// bytes alive across an asynchronous send after the index dropped or
+// replaced the extent; insert() treats a pinned buffer (use_count > 1) as
+// immutable and re-leases instead of mutating in place.
 struct Extent {
   std::uint64_t start = 0;
   std::uint64_t len = 0;
-  rt::Buffer buf;
+  std::shared_ptr<rt::Buffer> buf;
   bool dirty = false;
 
   [[nodiscard]] std::uint64_t end() const { return start + len; }
-  [[nodiscard]] std::uint64_t capacity() const { return buf.size(); }
+  [[nodiscard]] std::uint64_t capacity() const { return buf ? buf->size() : 0; }
 };
 
 class ExtentIndex {

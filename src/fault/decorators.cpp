@@ -145,6 +145,47 @@ Result<std::size_t> FaultyStream::read_some(void* buf, std::size_t n) {
   return r;
 }
 
+Result<std::size_t> FaultyStream::write_some(const void* buf, std::size_t n) {
+  Injection inj = plan_->next(OpKind::stream_write);
+  if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
+  if (!inj.status.is_ok()) {
+    inner_->close();
+    return inj.status;
+  }
+  if (inj.action == FaultAction::truncate) {
+    const std::size_t keep = n > 0 ? static_cast<std::size_t>(inj.entropy % n) : 0;
+    if (keep > 0) (void)inner_->write_all(buf, keep);
+    inner_->close();
+    return Status(Errc::shutdown, "injected truncation");
+  }
+  std::vector<unsigned char> damaged;
+  if (inj.corrupts() && n > 0) {
+    // Damage a copy; only the accepted prefix carries the injected bytes —
+    // the caller resends the rest from its own (clean) buffer.
+    damaged.assign(static_cast<const unsigned char*>(buf),
+                   static_cast<const unsigned char*>(buf) + n);
+    corrupt_bytes(inj, damaged.data(), n);
+    buf = damaged.data();
+  }
+  if (cfg_.cut_after_write_bytes > 0) {
+    std::scoped_lock lock(mu_);
+    if (cut_) return Status(Errc::shutdown, "injected cut");
+    const std::uint64_t budget = cfg_.cut_after_write_bytes - written_;
+    const std::size_t attempt = static_cast<std::size_t>(std::min<std::uint64_t>(budget, n));
+    auto r = inner_->write_some(buf, attempt);
+    if (!r.is_ok()) return r;
+    written_ += r.value();
+    if (written_ >= cfg_.cut_after_write_bytes) {
+      // The budget's prefix was delivered; the line drops now.
+      inner_->close();
+      cut_ = true;
+      if (r.value() == 0) return Status(Errc::shutdown, "injected cut");
+    }
+    return r;
+  }
+  return inner_->write_some(buf, n);
+}
+
 Status FaultyStream::write_all(const void* buf, std::size_t n) {
   Injection inj = plan_->next(OpKind::stream_write);
   if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);

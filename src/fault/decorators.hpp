@@ -61,11 +61,18 @@ class FaultyStream final : public rt::ByteStream {
   void close() override;
 
   // Readiness forwards to the inner stream so a fault-wrapped connection can
-  // still live on an epoll receiver lane. read_some consults the plan only
-  // AFTER a successful inner read: would_block polls must not consume
+  // still live on an epoll receiver/send lane. read_some consults the plan
+  // only AFTER a successful inner read: would_block polls must not consume
   // injections, or fired() accounting would drift from delivered faults.
-  [[nodiscard]] int readiness_fd() override { return inner_->readiness_fd(); }
+  // write_some consults it BEFORE the inner write (like write_all) but only
+  // once per frame-sized attempt that makes progress — a would_block result
+  // refunds nothing because the plan was consulted first; keeping the
+  // blocking and non-blocking write paths consistent matters more than
+  // refunds, and latency injections on a would_block still model a slow NIC.
+  [[nodiscard]] int read_readiness_fd() override { return inner_->read_readiness_fd(); }
   Result<std::size_t> read_some(void* buf, std::size_t n) override;
+  [[nodiscard]] int write_readiness_fd() override { return inner_->write_readiness_fd(); }
+  Result<std::size_t> write_some(const void* buf, std::size_t n) override;
 
   [[nodiscard]] FaultPlan& plan() { return *plan_; }
 

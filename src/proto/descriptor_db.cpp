@@ -41,6 +41,11 @@ Status DescriptorDb::consume_pending_error(int fd) {
   return first;
 }
 
+bool DescriptorDb::has_pending_error(int fd) const {
+  auto it = table_.find(fd);
+  return it != table_.end() && !it->second.pending_errors.empty();
+}
+
 Status DescriptorDb::close_descriptor(int fd) {
   auto it = table_.find(fd);
   if (it == table_.end()) return Status(Errc::bad_descriptor, "unknown descriptor");

@@ -45,6 +45,12 @@ class DescriptorDb {
   // ok() if none. Unknown descriptors report bad_descriptor.
   Status consume_pending_error(int fd);
 
+  // Non-consuming peek: true when consume_pending_error(fd) would return an
+  // error. Fast-path gates (the burst buffer's pinned reads) use this to
+  // miss-and-fall-back so the error still surfaces — and is consumed — on
+  // the regular path.
+  [[nodiscard]] bool has_pending_error(int fd) const;
+
   // Close: returns the first pending error (like consume, but also requires
   // all operations to have completed — callers drain first). Removes the
   // descriptor. in_flight(fd) must be 0.

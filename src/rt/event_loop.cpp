@@ -34,12 +34,33 @@ EventLoop::~EventLoop() {
   if (ep_fd_ >= 0) ::close(ep_fd_);
 }
 
-Status EventLoop::add(int fd, std::uint64_t key) {
+std::uint32_t EventLoop::epoll_mask(Interest interest) {
+  std::uint32_t events = EPOLLET;
+  if (interest == Interest::read || interest == Interest::read_write) {
+    events |= EPOLLIN | EPOLLRDHUP;
+  }
+  if (interest == Interest::write || interest == Interest::read_write) {
+    events |= EPOLLOUT;
+  }
+  return events;
+}
+
+Status EventLoop::add(int fd, std::uint64_t key, Interest interest) {
   epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+  ev.events = epoll_mask(interest);
   ev.data.u64 = key;
   if (::epoll_ctl(ep_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
     return Status(Errc::io_error, std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Status EventLoop::modify(int fd, std::uint64_t key, Interest interest) {
+  epoll_event ev{};
+  ev.events = epoll_mask(interest);
+  ev.data.u64 = key;
+  if (::epoll_ctl(ep_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status(Errc::io_error, std::string("epoll_ctl(MOD): ") + std::strerror(errno));
   }
   return Status::ok();
 }
@@ -58,7 +79,7 @@ void EventLoop::close() {
   wake();
 }
 
-bool EventLoop::wait(std::vector<std::uint64_t>& ready) {
+bool EventLoop::wait(std::vector<Event>& ready) {
   if (closed_.load(std::memory_order_acquire)) return false;
   std::array<epoll_event, 64> evs{};
   int n = 0;
@@ -67,12 +88,20 @@ bool EventLoop::wait(std::vector<std::uint64_t>& ready) {
   } while (n < 0 && errno == EINTR);
   if (n < 0) return false;  // epoll itself broke; treat as closed
   for (int i = 0; i < n; ++i) {
-    if (evs[static_cast<std::size_t>(i)].data.u64 == kWakeKey) {
+    const epoll_event& ev = evs[static_cast<std::size_t>(i)];
+    if (ev.data.u64 == kWakeKey) {
       std::uint64_t v = 0;
       [[maybe_unused]] const ssize_t r = ::read(wake_fd_, &v, sizeof v);
       continue;
     }
-    ready.push_back(evs[static_cast<std::size_t>(i)].data.u64);
+    Event e;
+    e.key = ev.data.u64;
+    // Errors and hangups count as both directions: whichever drain loop runs
+    // next hits the failure and drops the connection.
+    const bool broken = (ev.events & (EPOLLERR | EPOLLHUP)) != 0;
+    e.readable = broken || (ev.events & (EPOLLIN | EPOLLRDHUP)) != 0;
+    e.writable = broken || (ev.events & EPOLLOUT) != 0;
+    ready.push_back(e);
   }
   return !closed_.load(std::memory_order_acquire);
 }

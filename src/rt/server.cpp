@@ -1,5 +1,7 @@
 #include "rt/server.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -32,6 +34,16 @@ int default_recv_lanes() {
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::min(4u, std::max(1u, hw)));
 }
+
+// Epoll keys with this bit set are write-readiness shim registrations (a
+// stream whose write_readiness_fd() differs from its read fd); the low bits
+// are the owning connection's lane key. Connection keys count up from 1 and
+// never reach the bit; the wake key (~0) is handled before dispatch.
+constexpr std::uint64_t kSendKeyBit = 1ull << 63;
+
+// Gather width per writev_some call: enough for 8 queued replies
+// (header + payload each) without a heap allocation.
+constexpr std::size_t kMaxGatherSpans = 16;
 }  // namespace
 
 // A receiver lane (DESIGN.md §13): one epoll event loop multiplexing many
@@ -45,21 +57,34 @@ struct IonServer::Lane {
         c_connections(reg.counter(prefix(idx) + "connections")),
         c_wakeups(reg.counter(prefix(idx) + "wakeups")),
         c_bytes(reg.counter(prefix(idx) + "bytes")),
+        c_send_bytes(reg.counter(prefix(idx) + "send.bytes")),
+        c_send_writev_calls(reg.counter(prefix(idx) + "send.writev_calls")),
+        c_send_would_blocks(reg.counter(prefix(idx) + "send.would_blocks")),
         h_loop_us(reg.histogram(prefix(idx) + "loop_us")),
-        g_open_connections(reg.gauge(prefix(idx) + "open_connections")) {}
+        g_open_connections(reg.gauge(prefix(idx) + "open_connections")),
+        g_send_queued(reg.gauge(prefix(idx) + "send.queued_bytes")) {}
 
   static std::string prefix(int idx) { return "server.rt.lane." + std::to_string(idx) + "."; }
+
+  void note_send_queued(std::int64_t delta) {
+    g_send_queued.set(send_queued.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
 
   int index;
   EventLoop loop;
   std::mutex mu;
   std::unordered_map<std::uint64_t, std::shared_ptr<ClientConn>> conns;
   std::atomic<std::size_t> n_conns{0};
+  std::atomic<std::int64_t> send_queued{0};  // unsent reply bytes on this lane
   obs::Counter& c_connections;       // total registrations
   obs::Counter& c_wakeups;           // event-loop wakeups
   obs::Counter& c_bytes;             // raw bytes drained by this lane
+  obs::Counter& c_send_bytes;        // reply bytes written by the async path
+  obs::Counter& c_send_writev_calls; // gathered writev_some calls
+  obs::Counter& c_send_would_blocks; // drains paused awaiting write readiness
   obs::Histogram& h_loop_us;         // time servicing one ready batch
   obs::Gauge& g_open_connections;    // currently registered connections
+  obs::Gauge& g_send_queued;         // send-queue depth in bytes, lane-wide
   std::jthread thread;               // started by ensure_lanes_locked
 };
 
@@ -91,6 +116,12 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
       c_header_crc_errors_(reg_->counter("server.integrity.header_crc_errors")),
       c_payload_crc_errors_(reg_->counter("server.integrity.payload_crc_errors")),
       c_frames_rejected_(reg_->counter("server.integrity.frames_rejected")),
+      c_replies_enqueued_(reg_->counter("server.reply.enqueued")),
+      c_replies_sent_(reg_->counter("server.reply.sent")),
+      c_reply_queue_full_(reg_->counter("server.reply.queue_full")),
+      c_reply_peer_gone_(reg_->counter("server.reply.peer_gone")),
+      c_reply_sync_fallback_(reg_->counter("server.reply.sync_fallback")),
+      c_reply_copy_bytes_(reg_->counter("server.reply.payload_copy_bytes")),
       h_write_lat_us_(reg_->histogram("server.write_latency_us")),
       h_read_lat_us_(reg_->histogram("server.read_latency_us")),
       g_queue_depth_(reg_->gauge("server.queue_depth")),
@@ -145,7 +176,12 @@ void IonServer::serve(std::unique_ptr<ByteStream> stream) {
     return;
   }
   conns_.push_back(conn);
-  const int rfd = conn->stream->readiness_fd();
+  conn->rfd = conn->stream->read_readiness_fd();
+  // Resolve the write shim up front: InProcPipe creates its eventfd lazily,
+  // and doing it here (single-threaded, pre-traffic) keeps the hot path free
+  // of setup work.
+  conn->wfd = conn->stream->write_readiness_fd();
+  const int rfd = conn->rfd;
   if (rfd >= 0) {
     ensure_lanes_locked();
     if (!lanes_.empty()) {
@@ -257,6 +293,16 @@ void IonServer::stop() {
     to_join.swap(threads_);
   }
   to_join.clear();  // jthread joins on destruction
+  // Every producer is joined: discard undeliverable queued replies so their
+  // BML leases and burst-buffer pins return before the pool/cache teardown
+  // invariants (bml_in_use == 0, cached bytes drainable) are checked.
+  {
+    std::scoped_lock lock(threads_mu_);
+    for (auto& c : conns_) {
+      std::scoped_lock lk(c->send_mu);
+      abort_send_queue_locked(*c);
+    }
+  }
   if (bb_) bb_->drain_all();  // shutdown drains every descriptor's extents
 }
 
@@ -292,6 +338,12 @@ ServerStats IonServer::stats() const {
   s.header_crc_errors = c_header_crc_errors_.value();
   s.payload_crc_errors = c_payload_crc_errors_.value();
   s.frames_rejected = c_frames_rejected_.value();
+  s.replies_enqueued = c_replies_enqueued_.value();
+  s.replies_sent = c_replies_sent_.value();
+  s.reply_queue_full = c_reply_queue_full_.value();
+  s.reply_peer_gone = c_reply_peer_gone_.value();
+  s.reply_sync_fallback = c_reply_sync_fallback_.value();
+  s.reply_payload_copy_bytes = c_reply_copy_bytes_.value();
   s.queue_batches = queue_.batches();
   s.queue_max_depth = queue_.max_depth();
   s.bml_blocked = pool_.blocked_acquires();
@@ -374,7 +426,7 @@ bool IonServer::degraded_now(std::size_t queue_depth) {
 // ---------------------------------------------------------------------------
 
 void IonServer::lane_loop(Lane& lane) {
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   std::vector<std::byte> scratch(64 * 1024);
   while (true) {
     ready.clear();
@@ -382,7 +434,8 @@ void IonServer::lane_loop(Lane& lane) {
     lane.c_wakeups.inc();
     if (ready.empty()) continue;  // bare wake
     const auto t0 = std::chrono::steady_clock::now();
-    for (const std::uint64_t key : ready) {
+    for (const Event& ev : ready) {
+      const std::uint64_t key = ev.key & ~kSendKeyBit;
       std::shared_ptr<ClientConn> conn;
       {
         std::scoped_lock lock(lane.mu);
@@ -390,6 +443,14 @@ void IonServer::lane_loop(Lane& lane) {
         if (it == lane.conns.end()) continue;  // dropped earlier this pass
         conn = it->second;
       }
+      if ((ev.key & kSendKeyBit) != 0) {
+        // Write-readiness shim tick (eventfd): resume the send drain only.
+        on_send_ready(*conn);
+        continue;
+      }
+      // Same-fd streams (sockets) deliver EPOLLOUT on the connection key.
+      if (ev.writable) on_send_ready(*conn);
+      if (!ev.readable) continue;
       // Edge-triggered contract: drain to would_block before re-arming.
       while (true) {
         auto r = conn->stream->read_some(scratch.data(), scratch.size());
@@ -411,8 +472,16 @@ void IonServer::lane_loop(Lane& lane) {
 }
 
 void IonServer::drop_lane_conn(Lane& lane, std::uint64_t key, ClientConn& conn, Errc reason) {
-  const int rfd = conn.stream->readiness_fd();
-  if (rfd >= 0) lane.loop.remove(rfd);
+  if (conn.rfd >= 0) lane.loop.remove(conn.rfd);
+  {
+    // Undeliverable replies die with the connection; their leases return.
+    std::scoped_lock lk(conn.send_mu);
+    if (conn.shim_registered && conn.wfd >= 0) {
+      lane.loop.remove(conn.wfd);
+      conn.shim_registered = false;
+    }
+    abort_send_queue_locked(conn);
+  }
   // Dropping a client (corrupt header, protocol violation, peer EOF) must
   // close our endpoint too: an in-process peer blocked in read_exact only
   // wakes when the shared pipe is marked closed — without this, a client
@@ -579,7 +648,10 @@ Status IonServer::on_frame(const std::shared_ptr<ClientConn>& conn) {
       handle_close(*conn, req, rx.arrival);
       break;
     case OpCode::shutdown:
-      (void)send_reply(*conn, req, Status::ok());
+      enqueue_reply(*conn, req, Status::ok());
+      // The goodbye must beat the teardown: drop_lane_conn closes the stream
+      // as soon as we return shutdown, so flush the queue first.
+      flush_send_queue_blocking(*conn);
       rx = RxPending{};
       return Status(Errc::shutdown, "client requested shutdown");
   }
@@ -587,8 +659,16 @@ Status IonServer::on_frame(const std::shared_ptr<ClientConn>& conn) {
   return Status::ok();
 }
 
-Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status status,
-                             std::span<const std::byte> payload, bool staged) {
+// ---------------------------------------------------------------------------
+// Reply path (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void IonServer::enqueue_reply(ClientConn& conn, const FrameHeader& req, Status status) {
+  enqueue_reply(conn, req, std::move(status), ReplyPayload{});
+}
+
+void IonServer::enqueue_reply(ClientConn& conn, const FrameHeader& req, Status status,
+                              ReplyPayload payload, bool staged) {
   FrameHeader rep;
   rep.type = MsgType::reply;
   rep.op = req.op;
@@ -596,22 +676,174 @@ Status IonServer::send_reply(ClientConn& conn, const FrameHeader& req, Status st
   rep.seq = req.seq;
   rep.offset = req.offset;
   rep.status = static_cast<std::int32_t>(status.code());
-  rep.payload_len = payload.size();
+  rep.payload_len = payload.bytes.size();
   if (staged) rep.flags |= FrameHeader::kFlagStaged;
   rep.version = conn.version.load(std::memory_order_relaxed);
-  if (rep.version >= 1 && !payload.empty()) rep.stamp_payload_crc(payload);
+  // The CRC is computed straight from the lease bytes — the single pass the
+  // payload takes through the CPU before the kernel gathers it.
+  if (rep.version >= 1 && !payload.bytes.empty()) rep.stamp_payload_crc(payload.bytes);
 
-  std::byte buf[FrameHeader::kWireSize];
-  rep.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
-  std::scoped_lock lock(conn.write_mu);
-  if (Status st = conn.stream->write_all(buf, sizeof buf); !st.is_ok()) return st;
-  if (!payload.empty()) {
-    if (Status st = conn.stream->write_all(payload.data(), payload.size()); !st.is_ok()) {
-      return st;
+  if (conn.lane == nullptr || conn.wfd < 0) {
+    // Blocking fallback: streams without write readiness (feed_bytes'
+    // scripted stream, blocking receiver conns, exotic transports) reply
+    // inline exactly as the pre-async server did.
+    c_reply_sync_fallback_.inc();
+    std::byte buf[FrameHeader::kWireSize];
+    rep.encode(std::span<std::byte, FrameHeader::kWireSize>(buf));
+    std::scoped_lock lock(conn.write_mu);
+    if (!conn.stream->write_all(buf, sizeof buf).is_ok()) return;
+    if (!payload.bytes.empty()) {
+      if (!conn.stream->write_all(payload.bytes.data(), payload.bytes.size()).is_ok()) return;
+      c_bytes_out_.add(payload.bytes.size());
     }
-    c_bytes_out_.add(payload.size());
+    return;
   }
-  return Status::ok();
+
+  SendEntry e;
+  rep.encode(std::span<std::byte, FrameHeader::kWireSize>(e.hdr));
+  if (payload.copy) {
+    e.copy.assign(payload.bytes.begin(), payload.bytes.end());
+    e.payload = e.copy;
+    c_reply_copy_bytes_.add(e.copy.size());
+  } else {
+    e.bml = std::move(payload.bml);
+    e.bb_pin = std::move(payload.bb_pin);
+    e.payload = payload.bytes;
+  }
+
+  std::scoped_lock lk(conn.send_mu);
+  if (conn.peer_gone) {
+    c_reply_peer_gone_.inc();
+    return;  // entry destructor releases the lease
+  }
+  if (conn.sendq_bytes + e.total() > cfg_.send_queue_bytes) {
+    // The peer has stopped reading and the bound is hit: drop the client
+    // rather than buffer without limit. Closing our end wakes the lane via
+    // the read side (EOF edge), which reaps the registration.
+    c_reply_queue_full_.inc();
+    abort_send_queue_locked(conn);
+    conn.stream->close();
+    return;
+  }
+  const std::size_t total = e.total();
+  conn.sendq.push_back(std::move(e));
+  conn.sendq_bytes += total;
+  conn.lane->note_send_queued(static_cast<std::int64_t>(total));
+  c_replies_enqueued_.inc();
+  drain_send_queue_locked(conn);
+}
+
+void IonServer::drain_send_queue_locked(ClientConn& conn) {
+  Lane& lane = *conn.lane;
+  while (!conn.sendq.empty()) {
+    // Gather the front entries' unsent header/payload slices.
+    std::array<std::span<const std::byte>, kMaxGatherSpans> spans;
+    std::size_t nspans = 0;
+    for (const SendEntry& e : conn.sendq) {
+      if (nspans + 2 > spans.size()) break;
+      if (e.sent < FrameHeader::kWireSize) {
+        spans[nspans++] = std::span<const std::byte>(e.hdr).subspan(e.sent);
+      }
+      const std::size_t psent =
+          e.sent > FrameHeader::kWireSize ? e.sent - FrameHeader::kWireSize : 0;
+      if (psent < e.payload.size()) spans[nspans++] = e.payload.subspan(psent);
+    }
+    lane.c_send_writev_calls.inc();
+    auto r = conn.stream->writev_some(std::span<const std::span<const std::byte>>(
+        spans.data(), nspans));
+    if (!r.is_ok() || r.value() == 0) {
+      if (r.is_ok() || r.code() == Errc::would_block) {
+        arm_write_interest_locked(conn);
+        return;
+      }
+      abort_send_queue_locked(conn);
+      conn.stream->close();
+      return;
+    }
+    std::size_t n = r.value();
+    lane.c_send_bytes.add(n);
+    conn.sendq_bytes -= n;
+    lane.note_send_queued(-static_cast<std::int64_t>(n));
+    while (n > 0) {
+      SendEntry& e = conn.sendq.front();
+      const std::size_t take = std::min(n, e.total() - e.sent);
+      e.sent += take;
+      n -= take;
+      if (e.sent == e.total()) {
+        c_replies_sent_.inc();
+        c_bytes_out_.add(e.payload.size());
+        conn.sendq.pop_front();  // releases the BML lease / bb pin
+      }
+    }
+  }
+  // Queue drained: same-fd connections drop write interest so an idle open
+  // socket stops waking the lane on every send-buffer transition.
+  if (conn.epollout_armed && conn.wfd == conn.rfd) {
+    if (lane.loop.modify(conn.rfd, conn.lane_key, Interest::read).is_ok()) {
+      conn.epollout_armed = false;
+    }
+  }
+}
+
+void IonServer::arm_write_interest_locked(ClientConn& conn) {
+  Lane& lane = *conn.lane;
+  lane.c_send_would_blocks.inc();
+  if (conn.wfd == conn.rfd) {
+    // Socket-style: one fd carries both directions; widen the registration.
+    // EPOLL_CTL_MOD re-evaluates readiness, so a buffer that drained between
+    // our would_block and this call still delivers an immediate EPOLLOUT.
+    if (conn.epollout_armed) return;
+    if (lane.loop.modify(conn.rfd, conn.lane_key, Interest::read_write).is_ok()) {
+      conn.epollout_armed = true;
+      return;
+    }
+  } else {
+    // Shim-style (InProcPipe): a separate eventfd ticks when the full pipe
+    // gains space. Registered once, read-interest, keyed with the send bit.
+    if (conn.shim_registered) return;
+    if (lane.loop.add(conn.wfd, conn.lane_key | kSendKeyBit).is_ok()) {
+      conn.shim_registered = true;
+      return;
+    }
+  }
+  // Could not arm (fd limit?): the reply cannot ever complete — drop it.
+  abort_send_queue_locked(conn);
+  conn.stream->close();
+}
+
+void IonServer::abort_send_queue_locked(ClientConn& conn) {
+  if (!conn.sendq.empty()) {
+    c_reply_peer_gone_.add(conn.sendq.size());
+    if (conn.lane != nullptr) {
+      conn.lane->note_send_queued(-static_cast<std::int64_t>(conn.sendq_bytes));
+    }
+  }
+  conn.sendq.clear();  // SendEntry destructors release leases and pins
+  conn.sendq_bytes = 0;
+  conn.peer_gone = true;
+}
+
+void IonServer::on_send_ready(ClientConn& conn) {
+  std::scoped_lock lk(conn.send_mu);
+  if (conn.peer_gone || conn.sendq.empty()) return;
+  drain_send_queue_locked(conn);
+}
+
+void IonServer::flush_send_queue_blocking(ClientConn& conn) {
+  while (!stopping_) {
+    {
+      std::scoped_lock lk(conn.send_mu);
+      if (conn.sendq.empty() || conn.peer_gone) return;
+      drain_send_queue_locked(conn);
+      if (conn.sendq.empty() || conn.peer_gone) return;
+    }
+    // Still blocked: wait for write readiness off-lock. Same-fd streams wait
+    // for POLLOUT on the fd itself; shim fds tick readable.
+    ::pollfd p{};
+    p.fd = conn.wfd;
+    p.events = static_cast<short>(conn.wfd == conn.rfd ? POLLOUT : POLLIN);
+    (void)::poll(&p, 1, 10);
+  }
 }
 
 Status IonServer::consume_deferred(int fd) {
@@ -642,7 +874,7 @@ void IonServer::handle_hello(ClientConn& conn, const FrameHeader& req) {
   const std::uint16_t negotiated = std::min(req.version, cfg_.max_wire_version);
   conn.version.store(negotiated, std::memory_order_relaxed);
   c_hellos_.inc();
-  (void)send_reply(conn, req, Status::ok());
+  enqueue_reply(conn, req, Status::ok());
 }
 
 void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
@@ -656,7 +888,7 @@ void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
                          static_cast<int>(Errc::checksum_error));
     const Status st(Errc::checksum_error, "open path crc mismatch");
     observe_op(req, arrival, st);
-    (void)send_reply(conn, req, st);
+    enqueue_reply(conn, req, st);
     return;
   }
   std::string path;
@@ -678,7 +910,7 @@ void IonServer::handle_open(ClientConn& conn, const FrameHeader& req,
     }
   }
   observe_op(req, arrival, st);
-  (void)send_reply(conn, req, st);
+  enqueue_reply(conn, req, st);
 }
 
 void IonServer::handle_close(ClientConn& conn, const FrameHeader& req,
@@ -699,7 +931,7 @@ void IonServer::handle_close(ClientConn& conn, const FrameHeader& req,
   Status be = backend_->close(req.fd);
   const Status final_st = deferred.is_ok() ? be : deferred;
   observe_op(req, arrival, final_st);
-  (void)send_reply(conn, req, final_st);
+  enqueue_reply(conn, req, final_st);
 }
 
 void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
@@ -709,7 +941,7 @@ void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
     observe_op(req, arrival, deferred);
-    (void)send_reply(conn, req, deferred);
+    enqueue_reply(conn, req, deferred);
     return;
   }
   if (past_deadline(req, arrival)) {
@@ -717,12 +949,12 @@ void IonServer::handle_fsync(ClientConn& conn, const FrameHeader& req,
     c_deadline_expired_.inc();
     const Status st(Errc::timed_out, "deadline expired in drain");
     observe_op(req, arrival, st);
-    (void)send_reply(conn, req, st);
+    enqueue_reply(conn, req, st);
     return;
   }
   const Status st = backend_->fsync(req.fd);
   observe_op(req, arrival, st);
-  (void)send_reply(conn, req, st);
+  enqueue_reply(conn, req, st);
 }
 
 void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
@@ -732,27 +964,32 @@ void IonServer::handle_fstat(ClientConn& conn, const FrameHeader& req,
   drain_descriptor(req.fd);
   if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
     observe_op(req, arrival, deferred);
-    (void)send_reply(conn, req, deferred);
+    enqueue_reply(conn, req, deferred);
     return;
   }
   if (past_deadline(req, arrival)) {
     c_deadline_expired_.inc();
     const Status st(Errc::timed_out, "deadline expired in drain");
     observe_op(req, arrival, st);
-    (void)send_reply(conn, req, st);
+    enqueue_reply(conn, req, st);
     return;
   }
   auto sz = backend_->size(req.fd);
   if (!sz.is_ok()) {
     observe_op(req, arrival, sz.status());
-    (void)send_reply(conn, req, sz.status());
+    enqueue_reply(conn, req, sz.status());
     return;
   }
   std::byte payload[8];
   const std::uint64_t v = sz.value();
   std::memcpy(payload, &v, 8);
   observe_op(req, arrival, Status::ok());
-  (void)send_reply(conn, req, Status::ok(), std::span<const std::byte>(payload, 8));
+  // The 8-byte size lives on this stack frame: the one reply whose payload
+  // is copied onto the queue (counted in server.reply.payload_copy_bytes).
+  ReplyPayload p;
+  p.bytes = std::span<const std::byte>(payload, 8);
+  p.copy = true;
+  enqueue_reply(conn, req, Status::ok(), std::move(p));
 }
 
 void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending& rx) {
@@ -761,7 +998,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
   if (rx.staging == RxPending::Staging::discard) {
     // Oversize request: the assembler already swallowed the payload; bounce.
     observe_op(req, arrival, rx.bounce);
-    (void)send_reply(*conn, req, rx.bounce);
+    enqueue_reply(*conn, req, rx.bounce);
     return;
   }
   c_bytes_in_.add(req.payload_len);
@@ -780,7 +1017,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
                          static_cast<int>(Errc::checksum_error));
     const Status st(Errc::checksum_error, "write payload crc mismatch");
     observe_op(req, arrival, st);
-    (void)send_reply(*conn, req, st);
+    enqueue_reply(*conn, req, st);
     return;
   }
 
@@ -792,7 +1029,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
     if (cfg_.exec == ExecModel::work_queue_async) {
       if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
         observe_op(req, arrival, deferred);
-        (void)send_reply(*conn, req, deferred);
+        enqueue_reply(*conn, req, deferred);
         return;
       }
     }
@@ -800,7 +1037,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
     if (tracer_ != nullptr) sp.emplace(tracer_->span("write (passthrough)", "op", kInlineLane));
     const Status st = do_write(req, data);
     observe_op(req, arrival, st);
-    (void)send_reply(*conn, req, st);
+    enqueue_reply(*conn, req, st);
     return;
   }
 
@@ -809,7 +1046,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
   if (cfg_.exec == ExecModel::work_queue_async) {
     if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
       observe_op(req, arrival, deferred);
-      (void)send_reply(*conn, req, deferred);
+      enqueue_reply(*conn, req, deferred);
       return;
     }
   }
@@ -835,7 +1072,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
     case ExecModel::work_queue:
       t.reply_on_completion = true;
       if (!queue_.push(std::move(t))) {
-        (void)send_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
+        enqueue_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
       }
       break;
     case ExecModel::work_queue_async: {
@@ -844,7 +1081,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
         std::scoped_lock lock(db_mu_);
         auto seq = db_.begin_op(req.fd);
         if (!seq) {
-          (void)send_reply(*conn, req, Status(Errc::bad_descriptor, "fd not open"));
+          enqueue_reply(*conn, req, Status(Errc::bad_descriptor, "fd not open"));
           return;
         }
         seq_val = *seq;
@@ -853,7 +1090,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
       t.record_in_db = true;
       // Early acknowledgement: the application is unblocked as soon as the
       // payload sits in the BML buffer.
-      (void)send_reply(*conn, req, Status::ok(), {}, /*staged=*/true);
+      enqueue_reply(*conn, req, Status::ok(), {}, /*staged=*/true);
       if (!queue_.push(std::move(t))) {
         // Server stopping: mark the op completed so close-drain cannot hang.
         note_completed(req.fd, seq_val, Status(Errc::shutdown, "server stopping"));
@@ -874,7 +1111,7 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
     drain_descriptor(req.fd);
     if (Status deferred = consume_deferred(req.fd); !deferred.is_ok()) {
       observe_op(req, arrival, deferred);
-      (void)send_reply(*conn, req, deferred);
+      enqueue_reply(*conn, req, deferred);
       return;
     }
   }
@@ -886,7 +1123,7 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
   if (cfg_.exec == ExecModel::thread_per_client) {
     execute_task(t, kInlineLane);
   } else if (!queue_.push(std::move(t))) {
-    (void)send_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
+    enqueue_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
   }
 }
 
@@ -943,7 +1180,7 @@ void IonServer::execute_task(Task& t, int lane) {
     observe_op(t.req, t.arrival, st);
     if (t.record_in_db) note_completed(t.req.fd, t.db_seq, st);
     if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
-      (void)send_reply(*t.conn, t.req, st);
+      enqueue_reply(*t.conn, t.req, st);
     }
     return;
   }
@@ -964,15 +1201,29 @@ void IonServer::execute_task(Task& t, int lane) {
       note_completed(t.req.fd, t.db_seq, st);
     }
     if (t.reply_on_completion || cfg_.exec == ExecModel::thread_per_client) {
-      (void)send_reply(*t.conn, t.req, st);
+      enqueue_reply(*t.conn, t.req, st);
     }
     return;
   }
   assert(t.req.op == OpCode::read);
+  // Zero-copy fast path: a read fully covered by one staged extent pins the
+  // extent's lease and replies straight out of the cache — the payload is
+  // never copied, and the pin keeps the bytes alive until the lane's last
+  // writev for this reply is accepted (DESIGN.md §15).
+  if (bb_ != nullptr) {
+    if (auto pin = bb_->read_pinned(t.req.fd, t.req.offset, t.req.payload_len)) {
+      observe_op(t.req, t.arrival, Status::ok());
+      ReplyPayload p;
+      p.bytes = pin->bytes;
+      p.bb_pin = std::move(pin->lease);
+      enqueue_reply(*t.conn, t.req, Status::ok(), std::move(p));
+      return;
+    }
+  }
   auto buf = pool_.acquire(t.req.payload_len);
   if (!buf.is_ok()) {
     observe_op(t.req, t.arrival, buf.status());
-    (void)send_reply(*t.conn, t.req, buf.status());
+    enqueue_reply(*t.conn, t.req, buf.status());
     return;
   }
   Buffer out = std::move(buf).value();
@@ -980,12 +1231,17 @@ void IonServer::execute_task(Task& t, int lane) {
                           std::span<std::byte>(out.data(), t.req.payload_len));
   if (!r.is_ok()) {
     observe_op(t.req, t.arrival, r.status());
-    (void)send_reply(*t.conn, t.req, r.status());
+    enqueue_reply(*t.conn, t.req, r.status());
     return;
   }
   observe_op(t.req, t.arrival, Status::ok());
-  (void)send_reply(*t.conn, t.req, Status::ok(),
-                   std::span<const std::byte>(out.data(), r.value()));
+  // The BML lease rides the queue with the reply: the backend read landed in
+  // `out`, the entry views it, and the pool gets the buffer back only after
+  // the kernel has gathered the last byte. No reply memcpy.
+  ReplyPayload p;
+  p.bytes = std::span<const std::byte>(out.data(), r.value());
+  p.bml = std::move(out);
+  enqueue_reply(*t.conn, t.req, Status::ok(), std::move(p));
 }
 
 }  // namespace iofwd::rt

@@ -27,12 +27,15 @@
 //     deferred-error rules.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -75,6 +78,12 @@ struct ServerConfig {
   // least-loaded-worker heuristic. 0 = min(4, hardware_concurrency). Streams
   // without a readiness fd still get a blocking receiver thread each.
   int recv_lanes = 0;
+  // Per-connection bound on queued-but-unsent reply bytes (headers +
+  // payloads) in the asynchronous send path (DESIGN.md §15). A connection
+  // whose peer stops reading accumulates gather descriptors until this cap,
+  // then is dropped (counted in server.reply.queue_full) — bounding server
+  // memory against slow readers the same way the BML pool bounds receives.
+  std::uint64_t send_queue_bytes = 4ull << 20;
   std::uint64_t bml_bytes = 256ull << 20;
   std::uint64_t bml_min_class = 4096;
   SizeClassPolicy bml_policy = SizeClassPolicy::pow2;
@@ -157,6 +166,13 @@ struct ServerStats {
   std::uint64_t header_crc_errors = 0;       // corrupted headers (client dropped)
   std::uint64_t payload_crc_errors = 0;      // corrupted payloads (op bounced)
   std::uint64_t frames_rejected = 0;         // protocol violations (client dropped)
+  // Async send path (DESIGN.md §15).
+  std::uint64_t replies_enqueued = 0;        // replies accepted into send queues
+  std::uint64_t replies_sent = 0;            // replies fully written to the wire
+  std::uint64_t reply_queue_full = 0;        // conns dropped at send_queue_bytes
+  std::uint64_t reply_peer_gone = 0;         // replies dropped: peer went away
+  std::uint64_t reply_sync_fallback = 0;     // replies via the blocking path
+  std::uint64_t reply_payload_copy_bytes = 0;  // reply payload bytes memcpy'd
 };
 
 class IonServer {
@@ -166,9 +182,13 @@ class IonServer {
   IonServer(const IonServer&) = delete;
   IonServer& operator=(const IonServer&) = delete;
 
-  // Serve a connected stream. Pollable streams (readiness_fd() >= 0) are
-  // registered with the least-loaded receiver lane; anything else falls back
-  // to a dedicated blocking receiver thread.
+  // Serve a connected stream. Pollable streams (read_readiness_fd() >= 0)
+  // are registered with the least-loaded receiver lane; anything else falls
+  // back to a dedicated blocking receiver thread. Replies to lane-served
+  // connections whose stream also exposes write_readiness_fd() go through
+  // the asynchronous send path (bounded per-connection gather queues drained
+  // by the lane under EPOLLOUT, DESIGN.md §15); everything else replies via
+  // the blocking write_all fallback.
   void serve(std::unique_ptr<ByteStream> stream);
 
   // Accept clients from a listener (UNIX or TCP) until stop() (spawns a
@@ -235,9 +255,35 @@ class IonServer {
     bool degraded = false;         // heap staging came from a BML timeout
   };
 
+  // One queued reply awaiting transmission: an encoded header plus a view of
+  // the payload bytes, pinned by whichever lease backs them. The payload is
+  // never copied onto the queue — `bml` (a pool lease moved off the read
+  // path) or `bb_pin` (a burst-buffer extent pin) keeps the viewed bytes
+  // alive until the last byte is accepted by the kernel; `copy` is the one
+  // exception, for tiny fixed-size payloads like fstat's 8-byte size.
+  struct SendEntry {
+    std::array<std::byte, FrameHeader::kWireSize> hdr{};
+    Buffer bml;
+    std::shared_ptr<Buffer> bb_pin;
+    std::vector<std::byte> copy;
+    std::span<const std::byte> payload;
+    std::size_t sent = 0;  // bytes of hdr+payload already accepted
+
+    [[nodiscard]] std::size_t total() const { return FrameHeader::kWireSize + payload.size(); }
+  };
+
+  // What a reply carries and what keeps it alive (see SendEntry). Move-only
+  // because it may own a BML lease.
+  struct ReplyPayload {
+    std::span<const std::byte> bytes{};
+    Buffer bml{};
+    std::shared_ptr<Buffer> bb_pin{};
+    bool copy = false;  // memcpy bytes at enqueue (counted, tiny payloads only)
+  };
+
   struct ClientConn {
     std::unique_ptr<ByteStream> stream;
-    std::mutex write_mu;  // serializes reply frames from receiver + workers
+    std::mutex write_mu;  // serializes sync-fallback reply frames
     // Negotiated wire version: 0 until (unless) the client sends `hello`,
     // then min(client, server). Atomic because workers stamp replies while
     // the receiver thread negotiates.
@@ -247,6 +293,18 @@ class IonServer {
     RxPending rx;
     Lane* lane = nullptr;        // null: served by a blocking receiver thread
     std::uint64_t lane_key = 0;  // epoll registration key within that lane
+    int rfd = -1;                // cached stream->read_readiness_fd()
+    int wfd = -1;                // cached stream->write_readiness_fd()
+    // Asynchronous send queue (DESIGN.md §15), guarded by send_mu. Entries
+    // are drained by whoever holds send_mu — enqueuer or lane thread — with
+    // gathered writev_some calls; on would_block the connection arms write
+    // interest with its lane and the lane resumes the drain on EPOLLOUT.
+    std::mutex send_mu;
+    std::deque<SendEntry> sendq;
+    std::uint64_t sendq_bytes = 0;    // unsent bytes queued (hdr + payload)
+    bool epollout_armed = false;      // same-fd: registration is read_write
+    bool shim_registered = false;     // distinct write shim fd added to loop
+    bool peer_gone = false;           // sends are futile; drop new replies
   };
 
   struct Task {
@@ -310,8 +368,27 @@ class IonServer {
   void handle_read(const std::shared_ptr<ClientConn>& conn, const FrameHeader& req,
                    std::chrono::steady_clock::time_point arrival);
 
-  Status send_reply(ClientConn& conn, const FrameHeader& req, Status status,
-                    std::span<const std::byte> payload = {}, bool staged = false);
+  // Reply path (DESIGN.md §15). enqueue_reply builds the reply header
+  // (stamping the payload CRC straight from the lease bytes), then either
+  // queues a gather descriptor on the connection's send queue (lane-served
+  // pollable streams) or falls back to blocking write_all under write_mu.
+  // Failures are accounted in server.reply.*, never returned: a reply that
+  // cannot be delivered means the peer is gone or hopelessly slow, and the
+  // connection is dropped.
+  void enqueue_reply(ClientConn& conn, const FrameHeader& req, Status status);
+  void enqueue_reply(ClientConn& conn, const FrameHeader& req, Status status,
+                     ReplyPayload payload, bool staged = false);
+  // Drain the queue with gathered writev_some until empty or would_block
+  // (conn.send_mu must be held). Arms/disarms lane write interest.
+  void drain_send_queue_locked(ClientConn& conn);
+  void arm_write_interest_locked(ClientConn& conn);
+  // Discard every queued entry (releases leases) and mark the peer gone.
+  void abort_send_queue_locked(ClientConn& conn);
+  // Lane EPOLLOUT/shim-tick dispatch: resume the drain for this connection.
+  void on_send_ready(ClientConn& conn);
+  // Block (politely, with poll) until the queue flushes — used for the
+  // shutdown goodbye so the reply beats the connection teardown.
+  void flush_send_queue_blocking(ClientConn& conn);
 
   // Deferred-error gate: non-ok means the op must bounce without executing.
   Status consume_deferred(int fd);
@@ -348,6 +425,12 @@ class IonServer {
   obs::Counter& c_header_crc_errors_;
   obs::Counter& c_payload_crc_errors_;
   obs::Counter& c_frames_rejected_;
+  obs::Counter& c_replies_enqueued_;
+  obs::Counter& c_replies_sent_;
+  obs::Counter& c_reply_queue_full_;
+  obs::Counter& c_reply_peer_gone_;
+  obs::Counter& c_reply_sync_fallback_;
+  obs::Counter& c_reply_copy_bytes_;
   obs::Histogram& h_write_lat_us_;
   obs::Histogram& h_read_lat_us_;
   // Instantaneous queue/pool state, refreshed by metrics().

@@ -6,14 +6,37 @@
 #include <netinet/tcp.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
 namespace iofwd::rt {
+
+// ---------------------------------------------------------------------------
+// ByteStream defaults
+// ---------------------------------------------------------------------------
+
+Result<std::size_t> ByteStream::writev_some(std::span<const std::span<const std::byte>> iov) {
+  std::size_t total = 0;
+  for (const auto& s : iov) {
+    if (s.empty()) continue;
+    auto r = write_some(s.data(), s.size());
+    if (!r.is_ok()) {
+      // Partial progress wins over the error: the accepted bytes are on the
+      // wire, so report them; the error resurfaces on the next call.
+      if (total > 0) return total;
+      return r;
+    }
+    total += r.value();
+    if (r.value() < s.size()) return total;
+  }
+  return total;
+}
 
 // ---------------------------------------------------------------------------
 // InProcPipe
@@ -21,6 +44,7 @@ namespace iofwd::rt {
 
 InProcPipe::~InProcPipe() {
   if (event_fd_ >= 0) ::close(event_fd_);
+  if (write_event_fd_ >= 0) ::close(write_event_fd_);
 }
 
 void InProcPipe::signal_locked() {
@@ -29,7 +53,13 @@ void InProcPipe::signal_locked() {
   [[maybe_unused]] const ssize_t r = ::write(event_fd_, &one, sizeof one);
 }
 
-int InProcPipe::readiness_fd() {
+void InProcPipe::signal_write_locked() {
+  if (write_event_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(write_event_fd_, &one, sizeof one);
+}
+
+int InProcPipe::read_readiness_fd() {
   std::scoped_lock lock(mu_);
   if (event_fd_ < 0) {
     event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
@@ -38,6 +68,17 @@ int InProcPipe::readiness_fd() {
     if (count_ > 0 || closed_) signal_locked();
   }
   return event_fd_;
+}
+
+int InProcPipe::write_readiness_fd() {
+  std::scoped_lock lock(mu_);
+  if (write_event_fd_ < 0) {
+    write_event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    // Space may already be free (or the pipe closed): signal immediately so
+    // an edge-triggered loop that registers this fd now still wakes up.
+    if (count_ < capacity_ || closed_) signal_write_locked();
+  }
+  return write_event_fd_;
 }
 
 Result<std::size_t> InProcPipe::read_some(void* buf, std::size_t n) {
@@ -54,6 +95,7 @@ Result<std::size_t> InProcPipe::read_some(void* buf, std::size_t n) {
     }
     return Status(Errc::would_block, "pipe empty");
   }
+  const bool was_full = count_ == capacity_;
   const std::size_t take = std::min(n, count_);
   const std::size_t first = std::min(take, capacity_ - head_);
   std::memcpy(out, ring_.data() + head_, first);
@@ -61,6 +103,7 @@ Result<std::size_t> InProcPipe::read_some(void* buf, std::size_t n) {
   head_ = (head_ + take) % capacity_;
   count_ -= take;
   cv_.notify_all();  // writers may be waiting for space
+  if (was_full) signal_write_locked();  // a would_block write can retry now
   return take;
 }
 
@@ -74,6 +117,7 @@ Status InProcPipe::read_exact(void* buf, std::size_t n) {
     if (count_ == 0 && closed_) {
       return Status(Errc::shutdown, "pipe closed by peer");
     }
+    const bool was_full = count_ == capacity_;
     const std::size_t take = std::min(n - got, count_);
     const std::size_t first = std::min(take, capacity_ - head_);
     std::memcpy(out + got, ring_.data() + head_, first);
@@ -82,6 +126,7 @@ Status InProcPipe::read_exact(void* buf, std::size_t n) {
     count_ -= take;
     got += take;
     cv_.notify_all();  // writers may be waiting for space
+    if (was_full) signal_write_locked();  // a would_block write can retry now
   }
   return Status::ok();
 }
@@ -108,11 +153,38 @@ Status InProcPipe::write_all(const void* buf, std::size_t n) {
   return Status::ok();
 }
 
+Result<std::size_t> InProcPipe::write_some(const void* buf, std::size_t n) {
+  const auto* in = static_cast<const std::byte*>(buf);
+  std::scoped_lock lock(mu_);
+  if (closed_) return Status(Errc::shutdown, "pipe closed");
+  if (ring_.empty()) ring_.resize(capacity_);
+  if (count_ == capacity_) {
+    // Drain the write eventfd under mu_: readers signal full -> not-full
+    // transitions under mu_ too, so any space freed after this drain
+    // re-ticks the fd — no lost wakeups.
+    if (write_event_fd_ >= 0) {
+      std::uint64_t v = 0;
+      [[maybe_unused]] const ssize_t r = ::read(write_event_fd_, &v, sizeof v);
+    }
+    return Status(Errc::would_block, "pipe full");
+  }
+  const std::size_t take = std::min(n, capacity_ - count_);
+  const std::size_t tail = (head_ + count_) % capacity_;
+  const std::size_t first = std::min(take, capacity_ - tail);
+  std::memcpy(ring_.data() + tail, in, first);
+  if (take > first) std::memcpy(ring_.data(), in + first, take - first);
+  count_ += take;
+  cv_.notify_all();
+  signal_locked();  // wake an event-loop reader, if one is attached
+  return take;
+}
+
 void InProcPipe::close() {
   std::scoped_lock lock(mu_);
   closed_ = true;
   cv_.notify_all();
-  signal_locked();  // an event-loop reader must observe EOF promptly
+  signal_locked();        // an event-loop reader must observe EOF promptly
+  signal_write_locked();  // and a parked event-loop writer must observe it too
 }
 
 std::pair<std::unique_ptr<InProcTransport>, std::unique_ptr<InProcTransport>>
@@ -219,6 +291,48 @@ Result<std::size_t> SocketTransport::read_some(void* buf, std::size_t n) {
     }
     if (errno == ECONNRESET) return Status(Errc::shutdown, "connection reset");
     return Status(Errc::io_error, std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<std::size_t> SocketTransport::write_some(const void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::send(fd_.load(), buf, n, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(Errc::would_block, "socket full");
+    }
+    if (errno == EPIPE || errno == ECONNRESET) return Status(Errc::shutdown, "peer closed");
+    return Status(Errc::io_error, std::string("send: ") + std::strerror(errno));
+  }
+}
+
+Result<std::size_t> SocketTransport::writev_some(
+    std::span<const std::span<const std::byte>> iov) {
+  // One sendmsg(2) for the whole gather: a framed reply (header + payload
+  // lease) leaves in a single syscall without being copied together first.
+  std::array<::iovec, 16> vec{};
+  std::size_t nvec = 0;
+  for (const auto& s : iov) {
+    if (s.empty()) continue;
+    if (nvec == vec.size()) break;  // remainder goes out on the next call
+    vec[nvec].iov_base = const_cast<std::byte*>(s.data());
+    vec[nvec].iov_len = s.size();
+    ++nvec;
+  }
+  if (nvec == 0) return std::size_t{0};
+  ::msghdr msg{};
+  msg.msg_iov = vec.data();
+  msg.msg_iovlen = nvec;
+  while (true) {
+    const ssize_t r = ::sendmsg(fd_.load(), &msg, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(Errc::would_block, "socket full");
+    }
+    if (errno == EPIPE || errno == ECONNRESET) return Status(Errc::shutdown, "peer closed");
+    return Status(Errc::io_error, std::string("sendmsg: ") + std::strerror(errno));
   }
 }
 

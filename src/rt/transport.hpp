@@ -13,7 +13,7 @@
 // All streams are thread-compatible in the usual split sense: one reader
 // thread and one writer thread may operate concurrently; two concurrent
 // writers must synchronize externally (Client and the server's per-client
-// reply path each hold their own write mutex).
+// send queue each hold their own write mutex).
 #pragma once
 
 #include <atomic>
@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,21 +35,31 @@ class ByteStream {
  public:
   virtual ~ByteStream() = default;
 
+  // --- Blocking surface ---------------------------------------------------
+  //
+  // Error-return convention (DESIGN.md §13/§15): blocking calls are
+  // all-or-nothing and return Status; non-blocking calls report partial
+  // progress and return Result<std::size_t> — the byte count on progress,
+  // Errc::would_block when the stream cannot move right now, Errc::shutdown
+  // once the peer is gone.
+
   // Blocks until exactly n bytes were read, the peer closed (shutdown), or
   // an error occurred.
   virtual Status read_exact(void* buf, std::size_t n) = 0;
-  // Blocks until all n bytes were accepted.
+  // Blocks until all n bytes were accepted. Kept as the compat wrapper for
+  // request paths (Client) and non-pollable streams; the server's reply path
+  // uses the non-blocking surface below.
   virtual Status write_all(const void* buf, std::size_t n) = 0;
   // Close this end; concurrent and future reads/writes fail with shutdown.
   virtual void close() = 0;
 
-  // --- Non-blocking readiness API (receiver lanes, DESIGN.md §13) ---------
+  // --- Non-blocking readiness surface (receiver/send lanes, §13/§15) -----
   //
-  // A stream that can participate in an epoll event loop exposes a readable
-  // fd here: level/edge-triggered EPOLLIN on it means read_some() will make
-  // progress. Streams without readiness support return -1 and are served by
-  // a blocking receiver thread instead.
-  [[nodiscard]] virtual int readiness_fd() { return -1; }
+  // A stream that can participate in an epoll event loop exposes readiness
+  // fds here: edge-triggered EPOLLIN on read_readiness_fd() means
+  // read_some() will make progress. Streams without readiness support
+  // return -1 and are served by blocking threads instead.
+  [[nodiscard]] virtual int read_readiness_fd() { return -1; }
   // Reads up to n bytes without blocking. Returns the count read (> 0),
   // would_block when no bytes are available right now, or shutdown at EOF.
   // The edge-triggered contract: callers must loop until would_block before
@@ -57,6 +68,35 @@ class ByteStream {
     (void)buf;
     (void)n;
     return Status(Errc::unsupported, "stream has no non-blocking read");
+  }
+
+  // Write-side readiness, symmetric with the read side. Two shapes exist:
+  //   * write_readiness_fd() == read_readiness_fd() (sockets): poll EPOLLOUT
+  //     on that fd to learn when write_some() can make progress again.
+  //   * a distinct fd (the in-proc pipe's eventfd shim): poll it for EPOLLIN;
+  //     a tick means space was freed after a would_block.
+  // -1 means the stream has no non-blocking write: callers fall back to
+  // write_all on a thread that may block.
+  [[nodiscard]] virtual int write_readiness_fd() { return -1; }
+  // Writes up to n bytes without blocking. Returns the count accepted (> 0),
+  // would_block when the stream is full (which re-arms the write readiness
+  // fd), or shutdown once the peer is gone.
+  virtual Result<std::size_t> write_some(const void* buf, std::size_t n) {
+    (void)buf;
+    (void)n;
+    return Status(Errc::unsupported, "stream has no non-blocking write");
+  }
+  // Gathered write: accepts bytes from `iov` in order, stopping at the first
+  // span that is only partially accepted. Returns the total bytes accepted
+  // across spans, would_block when nothing could be accepted, or the error.
+  // The default walks write_some() span by span; SocketTransport overrides
+  // with a single sendmsg(2) so a framed reply leaves in one syscall.
+  virtual Result<std::size_t> writev_some(std::span<const std::span<const std::byte>> iov);
+
+  // Deprecated pre-§15 name for the read-side readiness fd, from before the
+  // write side grew a symmetric one.
+  [[deprecated("use read_readiness_fd()")]] [[nodiscard]] int readiness_fd() {
+    return read_readiness_fd();
   }
 };
 
@@ -77,11 +117,18 @@ class InProcPipe {
   // Readiness shim: an eventfd signalled whenever bytes (or close) arrive,
   // created lazily on first request so pipes that never join an event loop
   // (the client-read direction) cost no fd. Returns -1 if eventfd(2) fails.
-  [[nodiscard]] int readiness_fd();
+  [[nodiscard]] int read_readiness_fd();
   Result<std::size_t> read_some(void* buf, std::size_t n);
 
+  // Write-side shim, symmetric: an eventfd ticked when the ring transitions
+  // full -> not-full (and on close), i.e. exactly when a write_some that
+  // reported would_block can make progress again.
+  [[nodiscard]] int write_readiness_fd();
+  Result<std::size_t> write_some(const void* buf, std::size_t n);
+
  private:
-  void signal_locked();  // mu_ held: tick the eventfd if one exists
+  void signal_locked();        // mu_ held: tick the read eventfd if one exists
+  void signal_write_locked();  // mu_ held: tick the write eventfd if one exists
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -90,7 +137,8 @@ class InProcPipe {
   std::size_t head_ = 0;  // ring_ is lazily sized to capacity_
   std::size_t count_ = 0;
   bool closed_ = false;
-  int event_fd_ = -1;  // lazily created by readiness_fd()
+  int event_fd_ = -1;        // lazily created by read_readiness_fd()
+  int write_event_fd_ = -1;  // lazily created by write_readiness_fd()
 };
 
 class InProcTransport final : public ByteStream {
@@ -106,9 +154,13 @@ class InProcTransport final : public ByteStream {
     in_->close();
     out_->close();
   }
-  [[nodiscard]] int readiness_fd() override { return in_->readiness_fd(); }
+  [[nodiscard]] int read_readiness_fd() override { return in_->read_readiness_fd(); }
   Result<std::size_t> read_some(void* buf, std::size_t n) override {
     return in_->read_some(buf, n);
+  }
+  [[nodiscard]] int write_readiness_fd() override { return out_->write_readiness_fd(); }
+  Result<std::size_t> write_some(const void* buf, std::size_t n) override {
+    return out_->write_some(buf, n);
   }
 
  private:
@@ -144,10 +196,16 @@ class SocketTransport final : public ByteStream {
   Status write_all(const void* buf, std::size_t n) override;
   void close() override;
 
-  // Sockets are natively pollable; read_some is recv(MSG_DONTWAIT), so the
-  // fd itself stays blocking for the (backpressuring) write path.
-  [[nodiscard]] int readiness_fd() override { return fd_.load(); }
+  // Sockets are natively pollable in both directions: the same fd serves
+  // EPOLLIN and EPOLLOUT interest. The fd itself stays blocking — both
+  // read_some (recv) and write_some/writev_some (send/sendmsg) pass
+  // MSG_DONTWAIT per call, so write_all keeps its blocking compat semantics
+  // while the server's send queues get would_block-based backpressure.
+  [[nodiscard]] int read_readiness_fd() override { return fd_.load(); }
   Result<std::size_t> read_some(void* buf, std::size_t n) override;
+  [[nodiscard]] int write_readiness_fd() override { return fd_.load(); }
+  Result<std::size_t> write_some(const void* buf, std::size_t n) override;
+  Result<std::size_t> writev_some(std::span<const std::span<const std::byte>> iov) override;
 
   [[nodiscard]] int fd() const { return fd_.load(); }
 

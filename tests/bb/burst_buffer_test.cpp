@@ -303,6 +303,104 @@ TEST(BurstBuffer, HugeWriteBypassesCacheAndSupersedesExtents) {
   EXPECT_EQ(out, big) << "stale cached extent must not shadow the write-through";
 }
 
+TEST(BurstBuffer, ReadPinnedServesCoveredRangeWithoutCopy) {
+  Fixture fx(quiet_config());
+  ASSERT_TRUE(fx.bbuf.open(1, "f").is_ok());
+  const auto data = pattern(8_KiB, 20);
+  ASSERT_TRUE(fx.bbuf.write(1, 0, data).is_ok());
+
+  // A sub-range of one extent: the view must alias the staged bytes.
+  auto pin = fx.bbuf.read_pinned(1, 1_KiB, 4_KiB);
+  ASSERT_TRUE(pin.has_value());
+  ASSERT_NE(pin->lease, nullptr);
+  ASSERT_EQ(pin->bytes.size(), 4_KiB);
+  EXPECT_TRUE(std::equal(pin->bytes.begin(), pin->bytes.end(), data.begin() + 1_KiB));
+  const auto s = fx.bbuf.stats();
+  EXPECT_EQ(s.pinned_reads, 1u);
+  EXPECT_EQ(s.read_hit_bytes, 4_KiB) << "a pinned read counts as a full cache hit";
+  EXPECT_EQ(s.backend_writes, 0u);
+}
+
+TEST(BurstBuffer, ReadPinnedViewSurvivesOverwriteOfTheExtent) {
+  Fixture fx(quiet_config());
+  ASSERT_TRUE(fx.bbuf.open(1, "f").is_ok());
+  const auto before = pattern(8_KiB, 21);
+  ASSERT_TRUE(fx.bbuf.write(1, 0, before).is_ok());
+  auto pin = fx.bbuf.read_pinned(1, 0, 8_KiB);
+  ASSERT_TRUE(pin.has_value());
+
+  // Overwrite while the pin is live. The in-place fast path requires a
+  // unique lease, so the cache must route around the pinned buffer; the
+  // outstanding view keeps the pre-overwrite bytes (this is what lets a
+  // parked reply writev safely while the descriptor takes new writes).
+  const auto after = pattern(8_KiB, 22);
+  ASSERT_TRUE(fx.bbuf.write(1, 0, after).is_ok());
+  EXPECT_TRUE(std::equal(pin->bytes.begin(), pin->bytes.end(), before.begin()))
+      << "a live pin must never observe later writes";
+
+  std::vector<std::byte> out(8_KiB);
+  auto r = fx.bbuf.read(1, 0, out);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(out, after) << "new readers see the overwrite";
+  pin.reset();  // release the lease before the drain
+  ASSERT_TRUE(fx.bbuf.close(1).is_ok());
+  EXPECT_EQ(fx.mem->snapshot("f"), after);
+}
+
+TEST(BurstBuffer, ReadPinnedMissesOnHolesPartialCoverageAndUnknownFd) {
+  Fixture fx(quiet_config());
+  EXPECT_FALSE(fx.bbuf.read_pinned(7, 0, 4_KiB).has_value()) << "unknown descriptor";
+
+  ASSERT_TRUE(fx.bbuf.open(1, "f").is_ok());
+  // Backend-resident bytes are not pinnable: only staged extents are.
+  ASSERT_TRUE(fx.mem->write(1, 0, pattern(4_KiB, 23)).is_ok());
+  EXPECT_FALSE(fx.bbuf.read_pinned(1, 0, 4_KiB).has_value()) << "backend-only range";
+
+  ASSERT_TRUE(fx.bbuf.write(1, 4_KiB, pattern(8_KiB, 24)).is_ok());  // extent [4 KiB, 12 KiB)
+  EXPECT_FALSE(fx.bbuf.read_pinned(1, 16_KiB, 4_KiB).has_value()) << "hole";
+  EXPECT_FALSE(fx.bbuf.read_pinned(1, 8_KiB, 8_KiB).has_value()) << "partial coverage";
+  EXPECT_TRUE(fx.bbuf.read_pinned(1, 4_KiB, 8_KiB).has_value()) << "exact coverage still hits";
+  EXPECT_EQ(fx.bbuf.stats().pinned_reads, 1u) << "misses must not count as pinned reads";
+}
+
+TEST(BurstBuffer, ReadPinnedDoesNotConsumeDeferredErrors) {
+  BurstBufferConfig cfg;
+  cfg.capacity_bytes = 256_KiB;
+  cfg.high_watermark = 0.25;
+  cfg.low_watermark = 0.2;  // stop draining before the small extent goes
+  cfg.flushers = 1;
+  cfg.write_through_bytes = 256_KiB;
+  Fixture fx(cfg);
+  ASSERT_TRUE(fx.bbuf.open(1, "f").is_ok());
+  // A small extent parked high in the file: it survives the failed flush
+  // (largest-dirty goes first, and the low watermark halts the drain).
+  const auto keep = pattern(16_KiB, 25);
+  ASSERT_TRUE(fx.bbuf.write(1, 1_MiB, keep).is_ok());
+  fx.plan->fail_always(fault::OpKind::write, Errc::io_error);
+  ASSERT_TRUE(fx.bbuf.write(1, 0, pattern(128_KiB, 26)).is_ok());  // over the watermark
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fx.bbuf.stats().deferred_errors == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(fx.bbuf.stats().deferred_errors, 0u) << "background flush never failed";
+  fx.plan->clear();
+
+  // The fast path must peek — not consume — the pending error: it misses, and
+  // the error still bounces the next op exactly once.
+  EXPECT_FALSE(fx.bbuf.read_pinned(1, 1_MiB, 16_KiB).has_value())
+      << "a pending deferred error must force the read() fallback";
+  auto r = fx.bbuf.write(1, 2_MiB, pattern(4_KiB, 27));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::io_error) << "read_pinned swallowed the deferred error";
+
+  // Error consumed: the surviving extent is pinnable again.
+  auto pin = fx.bbuf.read_pinned(1, 1_MiB, 16_KiB);
+  ASSERT_TRUE(pin.has_value());
+  EXPECT_TRUE(std::equal(pin->bytes.begin(), pin->bytes.end(), keep.begin()));
+  pin.reset();
+  EXPECT_TRUE(fx.bbuf.close(1).is_ok());
+}
+
 TEST(BurstBuffer, ComposesWithServerEndToEnd) {
   auto mem_owned = std::make_unique<MemBackend>();
   auto* mem = mem_owned.get();

@@ -19,7 +19,7 @@ std::vector<std::byte> materialize(const ExtentIndex& idx, std::uint64_t len) {
   std::vector<std::byte> out(len, std::byte{0});
   for (const auto& seg : idx.segments(0, len)) {
     if (seg.ext == nullptr) continue;
-    std::memcpy(out.data() + seg.offset, seg.ext->buf.data() + (seg.offset - seg.ext->start),
+    std::memcpy(out.data() + seg.offset, seg.ext->buf->data() + (seg.offset - seg.ext->start),
                 seg.len);
   }
   return out;

@@ -117,7 +117,7 @@ std::optional<std::string> check(const ExtentIndex& idx, const Model& model) {
       if (!model.cached[i]) {
         return "cached byte at " + std::to_string(i) + " the model never wrote (or dropped)";
       }
-      const std::byte got = seg.ext->buf.data()[i - seg.ext->start];
+      const std::byte got = seg.ext->buf->data()[i - seg.ext->start];
       if (got != model.bytes[i]) {
         return "byte at " + std::to_string(i) + " differs from the model";
       }

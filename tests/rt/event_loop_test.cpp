@@ -1,5 +1,6 @@
 #include "rt/event_loop.hpp"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -12,6 +13,14 @@
 namespace iofwd::rt {
 namespace {
 
+std::vector<std::uint64_t> keys_of(const std::vector<Event>& ready) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(ready.size());
+  for (const Event& ev : ready) keys.push_back(ev.key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 TEST(EventLoop, ConstructsValid) {
   EventLoop loop;
   EXPECT_TRUE(loop.valid());
@@ -19,7 +28,7 @@ TEST(EventLoop, ConstructsValid) {
 
 TEST(EventLoop, WakeReturnsWithNoKeys) {
   EventLoop loop;
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   std::thread waker([&] { loop.wake(); });
   EXPECT_TRUE(loop.wait(ready));
   waker.join();
@@ -28,7 +37,7 @@ TEST(EventLoop, WakeReturnsWithNoKeys) {
 
 TEST(EventLoop, CloseMakesWaitReturnFalse) {
   EventLoop loop;
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   std::thread closer([&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     loop.close();
@@ -46,10 +55,12 @@ TEST(EventLoop, ReportsRegisteredKeyOnReadiness) {
   ASSERT_TRUE(loop.add(fds[0], 0x1234).is_ok());
 
   ASSERT_EQ(::write(fds[1], "x", 1), 1);
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   ASSERT_TRUE(loop.wait(ready));
   ASSERT_EQ(ready.size(), 1u);
-  EXPECT_EQ(ready[0], 0x1234u);
+  EXPECT_EQ(ready[0].key, 0x1234u);
+  EXPECT_TRUE(ready[0].readable);
+  EXPECT_FALSE(ready[0].writable);  // read-only registration
 
   loop.remove(fds[0]);
   ::close(fds[0]);
@@ -63,7 +74,7 @@ TEST(EventLoop, EdgeTriggeredFiresOncePerEdge) {
   ASSERT_TRUE(loop.add(fds[0], 7).is_ok());
 
   ASSERT_EQ(::write(fds[1], "a", 1), 1);
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   ASSERT_TRUE(loop.wait(ready));
   ASSERT_EQ(ready.size(), 1u);
 
@@ -80,7 +91,7 @@ TEST(EventLoop, EdgeTriggeredFiresOncePerEdge) {
   ready.clear();
   ASSERT_TRUE(loop.wait(ready));
   ASSERT_EQ(ready.size(), 1u);
-  EXPECT_EQ(ready[0], 7u);
+  EXPECT_EQ(ready[0].key, 7u);
 
   loop.remove(fds[0]);
   ::close(fds[0]);
@@ -97,13 +108,13 @@ TEST(EventLoop, MultipleFdsReportDistinctKeys) {
 
   ASSERT_EQ(::write(p1[1], "x", 1), 1);
   ASSERT_EQ(::write(p2[1], "y", 1), 1);
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   while (ready.size() < 2) {
     ASSERT_TRUE(loop.wait(ready));
   }
-  std::sort(ready.begin(), ready.end());
-  EXPECT_EQ(ready[0], 1u);
-  EXPECT_EQ(ready[1], 2u);
+  const auto keys = keys_of(ready);
+  EXPECT_EQ(keys[0], 1u);
+  EXPECT_EQ(keys[1], 2u);
 
   for (int* p : {p1, p2}) {
     loop.remove(p[0]);
@@ -116,13 +127,13 @@ TEST(EventLoop, WatchesInProcReadinessFd) {
   // The shim a lane actually registers: an InProcPipe's eventfd.
   EventLoop loop;
   auto [a, b] = InProcTransport::make_pair(4096);
-  ASSERT_TRUE(loop.add(b->readiness_fd(), 42).is_ok());
+  ASSERT_TRUE(loop.add(b->read_readiness_fd(), 42).is_ok());
 
   ASSERT_TRUE(a->write_all("ping", 4).is_ok());
-  std::vector<std::uint64_t> ready;
+  std::vector<Event> ready;
   ASSERT_TRUE(loop.wait(ready));
   ASSERT_EQ(ready.size(), 1u);
-  EXPECT_EQ(ready[0], 42u);
+  EXPECT_EQ(ready[0].key, 42u);
 
   // Drain to would_block, then a peer close must produce another edge.
   char buf[8];
@@ -132,8 +143,77 @@ TEST(EventLoop, WatchesInProcReadinessFd) {
   ready.clear();
   ASSERT_TRUE(loop.wait(ready));
   ASSERT_EQ(ready.size(), 1u);
-  EXPECT_EQ(ready[0], 42u);
+  EXPECT_EQ(ready[0].key, 42u);
   EXPECT_EQ(b->read_some(buf, sizeof buf).code(), Errc::shutdown);
+}
+
+// Write interest (DESIGN.md §15): a writable pipe registered read_write
+// reports writable immediately — EPOLL_CTL_MOD/ADD re-evaluate readiness, so
+// arming after a would_block cannot lose the edge.
+TEST(EventLoop, WriteInterestReportsWritable) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(loop.add(fds[1], 9, Interest::write).is_ok());
+
+  std::vector<Event> ready;
+  ASSERT_TRUE(loop.wait(ready));
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].key, 9u);
+  EXPECT_TRUE(ready[0].writable);
+  EXPECT_FALSE(ready[0].readable);
+
+  loop.remove(fds[1]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// The send-path arming sequence: start read-only, hit would_block, widen to
+// read_write with modify(), get EPOLLOUT once the reader drains, then narrow
+// back to read-only without churn.
+TEST(EventLoop, ModifyArmsAndDisarmsWriteInterest) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::fcntl(fds[1], F_SETFL, O_NONBLOCK), 0);
+  ASSERT_TRUE(loop.add(fds[1], 5).is_ok());  // read interest: never fires
+
+  // Fill the pipe to force the writer to park.
+  std::vector<char> chunk(64 * 1024, 'x');
+  while (::write(fds[1], chunk.data(), chunk.size()) > 0) {
+  }
+
+  ASSERT_TRUE(loop.modify(fds[1], 5, Interest::read_write).is_ok());
+  // Not writable yet: a bare wake returns empty (no spurious EPOLLOUT while
+  // the pipe is full).
+  std::vector<Event> ready;
+  loop.wake();
+  ASSERT_TRUE(loop.wait(ready));
+  bool writable = false;
+  for (const Event& ev : ready) writable = writable || ev.writable;
+
+  // Drain the pipe: the kernel's buffer gains space -> EPOLLOUT edge.
+  std::vector<char> sink(1 << 20);
+  while (::read(fds[0], sink.data(), sink.size()) == static_cast<ssize_t>(sink.size())) {
+  }
+  while (!writable) {
+    ready.clear();
+    ASSERT_TRUE(loop.wait(ready));
+    for (const Event& ev : ready) {
+      if (ev.key == 5u && ev.writable) writable = true;
+    }
+  }
+
+  // Narrow back to read interest; a bare wake must not report writable again.
+  ASSERT_TRUE(loop.modify(fds[1], 5, Interest::read).is_ok());
+  ready.clear();
+  loop.wake();
+  ASSERT_TRUE(loop.wait(ready));
+  for (const Event& ev : ready) EXPECT_FALSE(ev.writable);
+
+  loop.remove(fds[1]);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(EventLoop, AddBadFdFails) {

@@ -1,6 +1,6 @@
 // Soak matrix (README "Test harness"): {4, 16, 64} concurrent clients ×
-// {no faults, 1% transient faults, 0.5% bit flips}, every cell asserting the
-// same contract:
+// {no faults, 1% transient faults, 0.5% bit flips, slow readers}, every cell
+// asserting the same contract:
 //
 //   * isolation — every client's ops succeed and its file is intact even
 //     while neighbors reconnect, replay, and bounce;
@@ -38,13 +38,18 @@ using testsupport::ClusterOptions;
 using testsupport::TestCluster;
 using testsupport::pattern;
 
-enum class FaultMode { none, transient, bit_flip };
+// slow_reader (DESIGN.md §15): tiny in-proc rings plus randomly delayed
+// client-side reads, so server replies routinely park in the per-connection
+// send queues and resume on EPOLLOUT — the cell proves a merely-slow reader
+// is never dropped and every parked reply is eventually delivered.
+enum class FaultMode { none, transient, bit_flip, slow_reader };
 
 const char* to_cstr(FaultMode m) {
   switch (m) {
     case FaultMode::none: return "nofault";
     case FaultMode::transient: return "transient";
     case FaultMode::bit_flip: return "bitflip";
+    case FaultMode::slow_reader: return "slowreader";
   }
   return "?";
 }
@@ -83,6 +88,11 @@ TEST_P(SoakMatrix, EveryClientIsolatedNoSilentCorruptionCleanDrain) {
     o.backend_plan->add({.op = OpKind::write, .probability = 0.01, .error = Errc::io_error});
     o.retry = &rp;
   }
+  if (mode == FaultMode::slow_reader) {
+    // Rings far smaller than a typical read reply: the reply path must park
+    // in the send queue on nearly every read-back.
+    o.pipe_bytes = 8_KiB;
+  }
   TestCluster tc(o);
 
   // Per-client stream plans (kept for the fired() accounting below).
@@ -97,17 +107,26 @@ TEST_P(SoakMatrix, EveryClientIsolatedNoSilentCorruptionCleanDrain) {
       if (mode == FaultMode::transient) {
         // 1% of this client's stream writes drop the line mid-op.
         plan->add({.op = OpKind::stream_write, .probability = 0.01, .error = Errc::shutdown});
-      } else {
+      } else if (mode == FaultMode::bit_flip) {
         // 0.5% bit flips, both directions.
         plan->add(
             {.op = OpKind::stream_write, .action = FaultAction::bit_flip, .probability = 0.005});
         plan->add(
             {.op = OpKind::stream_read, .action = FaultAction::bit_flip, .probability = 0.005});
+      } else {
+        // slow_reader: 2% of this client's reply reads stall 300 µs — no
+        // errors, just a reader that keeps falling behind the tiny ring.
+        plan->add({.op = OpKind::stream_read,
+                   .probability = 0.02,
+                   .error = Errc::ok,
+                   .latency = std::chrono::microseconds(300)});
       }
       stream_plans.push_back(plan);
       spec.stream_plan = std::move(plan);
-      spec.reconnectable = true;
-      spec.faulty_redials = true;  // the whole fabric stays flaky across redials
+      if (mode != FaultMode::slow_reader) {
+        spec.reconnectable = true;
+        spec.faulty_redials = true;  // the whole fabric stays flaky across redials
+      }
     }
     tc.add_client(std::move(spec));
   }
@@ -183,6 +202,17 @@ TEST_P(SoakMatrix, EveryClientIsolatedNoSilentCorruptionCleanDrain) {
 
   // Clean drain: quiesce, then no lease may survive.
   tc.stop();
+
+  // Slow-reader accounting (after stop() has joined the lanes, so the sent
+  // counter is settled): replies parked (the cell is pointless if the queue
+  // never engaged), nothing dropped, nothing still queued.
+  if (mode == FaultMode::slow_reader) {
+    const auto ss = tc.server().stats();
+    EXPECT_GT(ss.replies_enqueued, 0u);
+    EXPECT_EQ(ss.reply_queue_full, 0u) << "a merely-slow reader must never be dropped";
+    EXPECT_EQ(ss.reply_peer_gone, 0u);
+    EXPECT_EQ(ss.replies_sent, ss.replies_enqueued) << "a parked reply was never delivered";
+  }
   const auto st = tc.server().stats();
   EXPECT_EQ(st.bml_in_use, 0u) << "BML pool leaked a lease";
   EXPECT_EQ(st.bb_cached_bytes, 0u) << "burst-buffer cache leaked a lease";
@@ -203,7 +233,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SoakParam{4, FaultMode::bit_flip}, SoakParam{16, FaultMode::none},
                       SoakParam{16, FaultMode::transient}, SoakParam{16, FaultMode::bit_flip},
                       SoakParam{64, FaultMode::none}, SoakParam{64, FaultMode::transient},
-                      SoakParam{64, FaultMode::bit_flip}),
+                      SoakParam{64, FaultMode::bit_flip}, SoakParam{4, FaultMode::slow_reader},
+                      SoakParam{16, FaultMode::slow_reader},
+                      SoakParam{64, FaultMode::slow_reader}),
     [](const auto& pinfo) {
       return "c" + std::to_string(pinfo.param.clients) + "_" + to_cstr(pinfo.param.mode);
     });
