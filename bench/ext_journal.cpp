@@ -1,0 +1,141 @@
+// Extension experiment: write-ahead journal overhead (src/bb/, DESIGN.md §16).
+//
+// The durability tentpole says "acked => journaled": every staged write is
+// framed, CRC'd, and appended to the journal before the ack leaves the ION.
+// That safety has to be close to free, or nobody turns it on. This bench
+// drives an identical 256 KiB-write burst through a burst buffer with the
+// journal off and on (fsync off: the crash model is a dying ION process, and
+// the page cache outlives that) and gates journaled ingest goodput at >= 90%
+// of the unjournaled baseline.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <stdlib.h>  // mkdtemp
+
+#include "analysis/report.hpp"
+#include "bb/burst_buffer.hpp"
+#include "bb/journal.hpp"
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "rt/backend.hpp"
+
+namespace {
+
+using namespace iofwd;
+
+constexpr std::uint64_t kWrite = 256_KiB;
+constexpr double kGate = 0.90;
+
+struct RunResult {
+  double ingest_ms = 0;
+  double goodput_mib_s = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_bytes = 0;
+};
+
+// Drive `chunks` strided 256 KiB writes (8 interleaved regions, checkpoint
+// shape) through a fresh burst buffer; every write must be acked from cache,
+// so the measured cost is staging + (optionally) the journal append.
+RunResult run_burst(const std::string& journal_dir, int chunks,
+                    const std::vector<std::byte>& chunk) {
+  constexpr int kRegions = 8;
+  bb::BurstBufferConfig bcfg;
+  // Capacity holds the whole burst and keeps 256 KiB below the
+  // write-through threshold (capacity/4), so no write bypasses staging.
+  bcfg.capacity_bytes = 2ull * static_cast<std::uint64_t>(chunks) * kWrite;
+  bcfg.high_watermark = 1.0;  // quiet flusher: measure the ack path alone
+  bcfg.low_watermark = 1.0;
+  bcfg.journal_dir = journal_dir;
+  bb::BurstBufferBackend bbuf(std::make_unique<rt::MemBackend>(), bcfg);
+
+  RunResult r;
+  (void)bbuf.open(1, "ckpt");
+  const int per_region = chunks / kRegions;
+  const std::uint64_t region = static_cast<std::uint64_t>(per_region) * kWrite;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < per_region; ++c) {
+    for (int reg = 0; reg < kRegions; ++reg) {
+      const std::uint64_t off =
+          static_cast<std::uint64_t>(reg) * region + static_cast<std::uint64_t>(c) * kWrite;
+      auto w = bbuf.write(1, off, chunk);
+      if (!w.is_ok()) {
+        std::fprintf(stderr, "stage write failed: %s\n", w.status().to_string().c_str());
+        std::exit(2);
+      }
+    }
+  }
+  r.ingest_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+  const std::uint64_t total = static_cast<std::uint64_t>(per_region) * kRegions * kWrite;
+  r.goodput_mib_s = static_cast<double>(total) / (1_MiB * r.ingest_ms / 1e3);
+
+  const auto snap = bbuf.registry().snapshot();
+  if (auto it = snap.counters.find("bb.journal.appends"); it != snap.counters.end()) {
+    r.journal_appends = it->second;
+  }
+  if (bbuf.journal() != nullptr) r.journal_bytes = bbuf.journal()->size_bytes();
+  (void)bbuf.fsync(1);
+  (void)bbuf.close(1);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iofwd;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const int chunks = args.iters(512);  // 512 x 256 KiB = 128 MiB per mode
+
+  std::vector<std::byte> chunk(kWrite);
+  Rng rng(42);
+  for (auto& b : chunk) b = static_cast<std::byte>(rng.next());
+
+  char tmpl[] = "/tmp/iofwd-bench-journal-XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fputs("mkdtemp failed; cannot place the journal\n", stderr);
+    return 2;
+  }
+
+  analysis::FigureReport rep(
+      "ext_journal",
+      "WAL overhead on the staged ack path (" +
+          bench::mib(static_cast<std::uint64_t>(chunks) * kWrite) + " of 256KiB writes)",
+      "journal", "see series");
+
+  // Interleave alternating off/on runs and keep the best of each so one cold
+  // page-cache or allocator hiccup cannot decide the gate.
+  RunResult off, on;
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    const RunResult o = run_burst("", chunks, chunk);
+    if (round == 0 || o.goodput_mib_s > off.goodput_mib_s) off = o;
+    const RunResult j = run_burst(dir, chunks, chunk);
+    if (round == 0 || j.goodput_mib_s > on.goodput_mib_s) on = j;
+    std::filesystem::remove_all(dir);  // fresh journal per round
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  rep.add("journal off", "ingest ms", off.ingest_ms);
+  rep.add("journal off", "goodput MiB/s", off.goodput_mib_s);
+  rep.add("journal on", "ingest ms", on.ingest_ms);
+  rep.add("journal on", "goodput MiB/s", on.goodput_mib_s);
+  rep.add("journal on", "appends", static_cast<double>(on.journal_appends));
+  const double ratio = off.goodput_mib_s > 0 ? on.goodput_mib_s / off.goodput_mib_s : 0;
+  rep.add("journal on", "goodput ratio", ratio);
+  analysis::emit(rep);
+
+  std::printf(
+      "journaling every staged 256KiB write (%llu appends, %llu journal bytes)\n"
+      "kept %.1f%% of the unjournaled goodput (%.0f vs %.0f MiB/s); gate: >= %.0f%%.\n",
+      static_cast<unsigned long long>(on.journal_appends),
+      static_cast<unsigned long long>(on.journal_bytes), ratio * 100.0, on.goodput_mib_s,
+      off.goodput_mib_s, kGate * 100.0);
+  return ratio >= kGate ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 //                  [aggregate_kib=0] [downsample=0] [rle=0]
 //                  [retry=0] [bml_wait_ms=100] [degraded_high=0]
 //                  [degraded_low=0] [bb_stall_ms=100]
+//                  [bb_journal=DIR] [bb_journal_fsync=0]
 //                  [--trace-out=FILE] [stats_interval_s=0] [flight_ops=256]
 //   $ ./ion_daemon tcp:9090 ...          # listen on TCP port instead
 //
@@ -36,6 +37,15 @@
 // degraded_high=N   queue depth that switches async staging to synchronous
 // degraded_low=N    queue depth that switches back (hysteresis)
 // bb_stall_ms=N     burst-buffer stall bound before write-through (0=block)
+//
+// Crash survival knobs (DESIGN.md §16):
+// bb_journal=DIR    write-ahead journal for the burst buffer: staged writes
+//                   are persisted (CRC-framed) under DIR before they ack, and
+//                   replayed when the daemon restarts over the same DIR —
+//                   an ION crash loses no acknowledged data. Sharded mode
+//                   derives DIR/shard<i> per shard automatically.
+// bb_journal_fsync=1  fdatasync each journal append: survives host power
+//                   loss, not just a dying daemon (slower; default 0)
 //
 // Observability knobs (DESIGN.md §11):
 // --trace-out=FILE  write a Chrome-trace (Perfetto) JSON of every op on
@@ -109,8 +119,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <socket-path> [exec=async|queue|thread] [workers=N] "
                  "[recv_lanes=N] [root=DIR] [bml_mib=N] [bb_mib=N] [shards=N] "
-                 "[cluster_bb_mib=N] [--trace-out=FILE] [stats_interval_s=N] "
-                 "[flight_ops=N]\n",
+                 "[cluster_bb_mib=N] [bb_journal=DIR] [bb_journal_fsync=0|1] "
+                 "[--trace-out=FILE] [stats_interval_s=N] [flight_ops=N]\n",
                  argv[0]);
     return 2;
   }
@@ -141,6 +151,8 @@ int main(int argc, char** argv) {
   } else {
     cfg.exec = rt::ExecModel::work_queue_async;
   }
+  cfg.bb_journal_dir = args.get("bb_journal", "");
+  cfg.bb_journal_fsync = args.get_int("bb_journal_fsync", 0) != 0;
   cfg.bml_wait_ms = static_cast<std::uint32_t>(args.get_int("bml_wait_ms", 100));
   cfg.bb_max_stall_ms = static_cast<std::uint32_t>(args.get_int("bb_stall_ms", 100));
   cfg.degraded_high_watermark = args.get_u64("degraded_high", 0);
@@ -263,11 +275,15 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "ion_daemon listening on %s (shards=%d, exec=%s, workers=%d, recv_lanes=%s, root=%s, "
-      "bb=%llu MiB%s%s)\n",
+      "bb=%llu MiB%s%s%s)\n",
       sock_path.c_str(), shards, rt::to_string(cfg.exec), cfg.workers, lanes, root.c_str(),
       static_cast<unsigned long long>(cfg.bb_bytes >> 20),
       cluster_bb_mib > 0 ? (", cluster_bb=" + std::to_string(cluster_bb_mib) + " MiB").c_str()
                          : "",
+      cfg.bb_journal_dir.empty()
+          ? ""
+          : (", journal=" + cfg.bb_journal_dir + (cfg.bb_journal_fsync ? " (fsync)" : ""))
+                .c_str(),
       trace_out.empty() ? "" : ", tracing");
 
   // Main loop: poll the signal flags (a flight-recorder dump must run on

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "bb/journal.hpp"
 #include "cluster/bb_budget.hpp"
 
 namespace iofwd::bb {
@@ -42,9 +43,15 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
       c_drains_(reg_->counter("bb.drains")),
       c_pinned_reads_(reg_->counter("bb.pinned_reads")),
       c_budget_denied_(reg_->counter("bb.budget_denied")),
+      c_journal_appends_(reg_->counter("bb.journal.appends")),
+      c_journal_append_errors_(reg_->counter("bb.journal.append_errors")),
+      c_journal_recovered_(reg_->counter("bb.journal.recovered")),
+      c_journal_discarded_(reg_->counter("bb.journal.discarded")),
       g_cached_bytes_(reg_->gauge("bb.cached_bytes")),
       g_cached_high_watermark_(reg_->gauge("bb.cached_high_watermark")),
-      g_dirty_bytes_(reg_->gauge("bb.dirty_bytes")) {
+      g_dirty_bytes_(reg_->gauge("bb.dirty_bytes")),
+      g_journal_live_bytes_(reg_->gauge("bb.journal.live_bytes")),
+      g_journal_size_bytes_(reg_->gauge("bb.journal.size_bytes")) {
   assert(inner_ && "BurstBufferBackend needs an inner backend");
   if (cfg_.write_through_bytes == 0) {
     cfg_.write_through_bytes = std::max<std::uint64_t>(cfg_.capacity_bytes / 4, 1);
@@ -61,19 +68,41 @@ BurstBufferBackend::BurstBufferBackend(std::unique_ptr<rt::IoBackend> inner,
       space_cv_.notify_all();
     });
   }
+  if (!cfg_.journal_dir.empty()) {
+    auto j = Journal::open(JournalConfig{cfg_.journal_dir, cfg_.journal_segment_bytes,
+                                         cfg_.journal_fsync});
+    if (j.is_ok()) {
+      journal_ = std::move(j).value();
+      // Replay before the flushers exist: recovery owns the cache exclusively.
+      recover_from_journal();
+    } else {
+      // No journal directory means no durability upgrade, but the cache still
+      // serves; the error count is the only trace.
+      c_journal_append_errors_.inc();
+      journal_dead_.store(true);
+    }
+  }
   const int n = std::max(1, cfg_.flushers);
   flushers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     flushers_.emplace_back([this] { flusher_loop(); });
   }
+  if (dirty_total_.load() != 0) {
+    // Recovered extents are dirty: re-enqueue their flushes right away rather
+    // than waiting for the next watermark crossing.
+    std::scoped_lock lk(flush_mu_);
+    flush_cv_.notify_all();
+  }
 }
 
 BurstBufferBackend::~BurstBufferBackend() {
-  // Unsubscribe before any teardown: no sibling poke may land mid-destruction.
-  if (cfg_.cluster_budget != nullptr && budget_token_ != 0) {
-    cfg_.cluster_budget->unsubscribe(budget_token_);
+  if (!crashed_.load()) {
+    // Unsubscribe before teardown: no sibling poke may land mid-destruction.
+    if (cfg_.cluster_budget != nullptr && budget_token_ != 0) {
+      cfg_.cluster_budget->unsubscribe(budget_token_);
+    }
+    drain_all();
   }
-  drain_all();
   stop_.store(true);
   {
     std::scoped_lock lk(flush_mu_);
@@ -81,6 +110,32 @@ BurstBufferBackend::~BurstBufferBackend() {
     space_cv_.notify_all();
   }
   flushers_.clear();  // jthread joins on destruction
+}
+
+void BurstBufferBackend::crash_discard() {
+  if (crashed_.exchange(true)) return;
+  // Freeze the on-disk log first: whatever is there now IS the crash image.
+  journal_dead_.store(true);
+  stop_.store(true);
+  {
+    std::scoped_lock lk(flush_mu_);
+    flush_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  flushers_.clear();
+  if (cfg_.cluster_budget != nullptr && budget_token_ != 0) {
+    cfg_.cluster_budget->unsubscribe(budget_token_);
+    budget_token_ = 0;
+  }
+  {
+    std::unique_lock lk(descs_mu_);
+    descs_.clear();  // every staged extent dies with the "process"
+  }
+  dirty_total_.store(0);
+  // Return the whole cluster reservation in one motion; budget_release's
+  // clamp keeps any straggling per-extent release from double-counting.
+  const std::uint64_t held = budget_held_.exchange(0);
+  if (held != 0 && cfg_.cluster_budget != nullptr) cfg_.cluster_budget->unstage(held);
 }
 
 bool BurstBufferBackend::over_high() const {
@@ -97,14 +152,151 @@ bool BurstBufferBackend::over_low() const {
 
 bool BurstBufferBackend::budget_reserve(std::uint64_t n) {
   if (cfg_.cluster_budget == nullptr) return true;
-  if (cfg_.cluster_budget->try_stage(n)) return true;
+  if (crashed_.load(std::memory_order_relaxed)) return false;  // no new reservations
+  if (cfg_.cluster_budget->try_stage(n)) {
+    budget_held_.fetch_add(n);
+    return true;
+  }
   c_budget_denied_.inc();
   return false;
 }
 
 void BurstBufferBackend::budget_release(std::uint64_t n) {
   if (n == 0 || cfg_.cluster_budget == nullptr) return;
-  cfg_.cluster_budget->unstage(n);
+  // Clamp to what this cache actually holds: crash_discard() may have bulk-
+  // released the reservation while a straggling caller still unwinds.
+  std::uint64_t cur = budget_held_.load();
+  std::uint64_t take = 0;
+  do {
+    take = std::min(n, cur);
+  } while (!budget_held_.compare_exchange_weak(cur, cur - take));
+  if (take != 0) cfg_.cluster_budget->unstage(take);
+}
+
+void BurstBufferBackend::record_deferred(int fd, const Status& st) {
+  std::optional<std::uint64_t> seq;
+  {
+    std::scoped_lock lk(db_mu_);
+    seq = db_.begin_op(fd);
+    if (seq) (void)db_.complete_op(fd, *seq, st);
+  }
+  c_deferred_errors_.inc();
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead journal (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+void BurstBufferBackend::journal_append_open(int fd, const std::string& path) {
+  if (!journal_ || journal_dead_.load(std::memory_order_relaxed)) return;
+  if (Status st = journal_->append_open(fd, path); !st.is_ok()) {
+    journal_dead_.store(true);
+    c_journal_append_errors_.inc();
+  } else {
+    c_journal_appends_.inc();
+  }
+}
+
+void BurstBufferBackend::journal_append_stage(int fd, std::uint64_t offset,
+                                              std::span<const std::byte> data) {
+  if (!journal_ || journal_dead_.load(std::memory_order_relaxed)) return;
+  if (Status st = journal_->append_stage(fd, offset, data); !st.is_ok()) {
+    journal_dead_.store(true);
+    c_journal_append_errors_.inc();
+  } else {
+    c_journal_appends_.inc();
+  }
+}
+
+void BurstBufferBackend::journal_append_retire(int fd, std::uint64_t start, std::uint64_t len) {
+  if (!journal_ || journal_dead_.load(std::memory_order_relaxed)) return;
+  if (Status st = journal_->append_retire(fd, start, len); !st.is_ok()) {
+    journal_dead_.store(true);
+    c_journal_append_errors_.inc();
+  } else {
+    c_journal_appends_.inc();
+  }
+}
+
+void BurstBufferBackend::journal_append_close(int fd) {
+  if (!journal_ || journal_dead_.load(std::memory_order_relaxed)) return;
+  if (Status st = journal_->append_close(fd); !st.is_ok()) {
+    journal_dead_.store(true);
+    c_journal_append_errors_.inc();
+  } else {
+    c_journal_appends_.inc();
+  }
+}
+
+void BurstBufferBackend::recover_from_journal() {
+  StagedModel model;
+  const JournalVisitor visitor = model.visitor();
+  auto replayed = journal_->replay(visitor);
+  if (!replayed.is_ok()) {
+    journal_dead_.store(true);
+    c_journal_append_errors_.inc();
+    return;
+  }
+  c_journal_recovered_.add(replayed.value().applied);
+  c_journal_discarded_.add(replayed.value().discarded_bytes);
+  // Compact: the old segments are garbage once the surviving runs are
+  // re-staged (with fresh records) below; anything that cannot be re-staged
+  // is written straight through to the inner backend instead, so no path
+  // loses bytes silently.
+  if (Status st = journal_->reset(); !st.is_ok()) {
+    journal_dead_.store(true);
+    c_journal_append_errors_.inc();
+    return;
+  }
+
+  for (auto& [fd, file] : model.files()) {
+    if (file.runs.empty() || file.path.empty()) continue;
+    // A failed re-open (or one bounced because the shared inner backend still
+    // has fd open) surfaces through the write fallback below, as a deferred
+    // error — recovery never throws bytes away silently.
+    (void)inner_->open(fd, file.path);
+    auto d = std::make_shared<Desc>();
+    {
+      std::unique_lock lk(descs_mu_);
+      auto it = descs_.find(fd);
+      if (it != descs_.end()) {
+        d = it->second;
+      } else {
+        descs_[fd] = d;
+      }
+      open_paths_[fd] = file.path;
+    }
+    {
+      std::scoped_lock lk(db_mu_);
+      (void)db_.open_descriptor(fd);
+    }
+    journal_append_open(fd, file.path);
+    std::scoped_lock lk(d->mu);
+    for (auto& run : file.runs) {
+      const std::span<const std::byte> bytes(run.bytes.data(), run.bytes.size());
+      bool staged = false;
+      if (budget_reserve(bytes.size())) {
+        const std::uint64_t d0 = d->index.dirty_bytes();
+        const std::uint64_t b0 = d->index.data_bytes();
+        auto r = d->index.insert(run.offset, bytes, pool_);
+        if (r.is_ok()) {
+          const std::uint64_t delta = d->index.data_bytes() - b0;
+          if (delta < bytes.size()) budget_release(bytes.size() - delta);
+          dirty_total_ += d->index.dirty_bytes() - d0;
+          journal_append_stage(fd, run.offset, bytes);
+          staged = true;
+        } else {
+          budget_release(bytes.size());
+        }
+      }
+      if (!staged) {
+        // Budget or pool refused the re-stage: durable now beats staged.
+        auto r = inner_->write(fd, run.offset, bytes);
+        c_backend_writes_.inc();
+        if (!r.is_ok()) record_deferred(fd, r.status());
+      }
+    }
+  }
 }
 
 std::shared_ptr<BurstBufferBackend::Desc> BurstBufferBackend::find_desc(int fd) const {
@@ -125,13 +317,29 @@ Status BurstBufferBackend::consume_deferred(int fd) {
 // ---------------------------------------------------------------------------
 
 Status BurstBufferBackend::open(int fd, const std::string& path) {
-  if (Status st = inner_->open(fd, path); !st.is_ok()) return st;
+  if (Status st = inner_->open(fd, path); !st.is_ok()) {
+    // The inner backend can already hold this fd: journal recovery re-opened
+    // it before the client's post-restart open-replay arrived. The replay of
+    // the same (fd, path) binding must land on the recovered descriptor, not
+    // bounce; a different path is still a caller bug.
+    std::shared_lock lk(descs_mu_);
+    auto it = open_paths_.find(fd);
+    if (it == open_paths_.end() || it->second != path) return st;
+  }
   {
     std::unique_lock lk(descs_mu_);
-    descs_[fd] = std::make_shared<Desc>();
+    // Reuse an existing Desc: journal recovery may have rebuilt this
+    // descriptor's extents before the client's open-replay arrives, and a
+    // duplicate open only ever happens as a replay of the same (fd, path)
+    // binding — replacing the Desc here would silently drop recovered bytes.
+    if (descs_.find(fd) == descs_.end()) descs_[fd] = std::make_shared<Desc>();
+    open_paths_[fd] = path;
   }
-  std::scoped_lock lk(db_mu_);
-  (void)db_.open_descriptor(fd);
+  {
+    std::scoped_lock lk(db_mu_);
+    (void)db_.open_descriptor(fd);
+  }
+  journal_append_open(fd, path);
   return Status::ok();
 }
 
@@ -164,6 +372,11 @@ Result<std::uint64_t> BurstBufferBackend::write(int fd, std::uint64_t offset,
           c_writes_in_.inc();
           c_bytes_in_.add(data.size());
           if (r.value() != ExtentIndex::Insert::fresh) c_writes_absorbed_.inc();
+          // Persist before the ack: once this record is down, a crash cannot
+          // lose the write (acked ⇒ journaled). Appended under d->mu so the
+          // log's per-descriptor record order matches the index mutation
+          // order replay reproduces.
+          journal_append_stage(fd, offset, data);
           break;
         }
         budget_release(data.size());  // nothing was cached
@@ -233,15 +446,9 @@ Result<std::uint64_t> BurstBufferBackend::write_through(int fd, const std::share
     if (!e.dirty) continue;
     auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf->data(), e.len));
     ++extra_writes;
-    if (!r.is_ok()) {
-      std::optional<std::uint64_t> seq;
-      {
-        std::scoped_lock dlk(db_mu_);
-        seq = db_.begin_op(fd);
-        if (seq) (void)db_.complete_op(fd, *seq, r.status());
-      }
-      c_deferred_errors_.inc();
-    }
+    if (!r.is_ok()) record_deferred(fd, r.status());
+    // Off the dirty set either way (flushed, or lost with a deferred error).
+    journal_append_retire(fd, e.start, e.len);
   }
   auto r = inner_->write(fd, offset, data);
   c_writes_in_.inc();
@@ -341,6 +548,7 @@ Status BurstBufferBackend::close(int fd) {
       d = it->second;
       descs_.erase(it);  // flushers can no longer pick this descriptor
     }
+    open_paths_.erase(fd);
   }
   if (!d) return inner_->close(fd);
   {
@@ -348,6 +556,7 @@ Status BurstBufferBackend::close(int fd) {
     drain_locked(fd, *d);
     budget_release(d->index.data_bytes());  // clean extents about to drop
     d->index.clear();  // releases every lease — nothing may leak past close
+    journal_append_close(fd);
   }
   Status deferred;
   {
@@ -374,21 +583,23 @@ Result<std::uint64_t> BurstBufferBackend::size(int fd) {
 // ---------------------------------------------------------------------------
 
 void BurstBufferBackend::flush_extent(int fd, Desc& d, Extent& e) {
+  const std::uint64_t start = e.start;
+  const std::uint64_t len = e.len;
   std::optional<std::uint64_t> seq;
   {
     std::scoped_lock lk(db_mu_);
     seq = db_.begin_op(fd);
   }
-  auto r = inner_->write(fd, e.start, std::span<const std::byte>(e.buf->data(), e.len));
+  auto r = inner_->write(fd, start, std::span<const std::byte>(e.buf->data(), len));
   const Status st = r.is_ok() ? Status::ok() : r.status();
   {
     std::scoped_lock lk(db_mu_);
     if (seq) (void)db_.complete_op(fd, *seq, st);
   }
-  dirty_total_ -= e.len;
+  dirty_total_ -= len;
   c_backend_writes_.inc();
   if (st.is_ok()) {
-    c_flushed_bytes_.add(e.len);
+    c_flushed_bytes_.add(len);
   } else {
     c_deferred_errors_.inc();
   }
@@ -398,8 +609,12 @@ void BurstBufferBackend::flush_extent(int fd, Desc& d, Extent& e) {
     // The data is lost either way; dropping the lease keeps the error from
     // also leaking pool capacity. The recorded status surfaces on the next
     // operation on this descriptor.
-    d.index.evict(e.start);
+    d.index.evict(start);
   }
+  // Retired from the journal's live set on both paths: flushed bytes are
+  // durable below, failed bytes are gone and their loss is already recorded
+  // as a deferred error — replaying them would resurrect stale data.
+  journal_append_retire(fd, start, len);
 }
 
 void BurstBufferBackend::drain_locked(int fd, Desc& d) {
@@ -493,7 +708,15 @@ void BurstBufferBackend::flusher_loop() {
   for (;;) {
     {
       std::unique_lock lk(flush_mu_);
-      flush_cv_.wait(lk, [&] { return stop_.load() || over_high(); });
+      const auto woken = [&] { return stop_.load() || over_high(); };
+      if (cfg_.flush_idle_ms > 0) {
+        // Timed wait: on timeout fall through to the drain loop, which is a
+        // no-op unless we are above the low watermark. This is the dirty-age
+        // bound — hysteresis handles bursts, the tick handles their tails.
+        (void)flush_cv_.wait_for(lk, std::chrono::milliseconds(cfg_.flush_idle_ms), woken);
+      } else {
+        flush_cv_.wait(lk, woken);
+      }
       if (stop_.load()) return;
     }
     bool progressed = false;
@@ -543,6 +766,10 @@ void BurstBufferBackend::refresh_gauges() const {
   g_cached_bytes_.set(static_cast<std::int64_t>(pool_.in_use()));
   g_cached_high_watermark_.set(static_cast<std::int64_t>(pool_.high_watermark()));
   g_dirty_bytes_.set(static_cast<std::int64_t>(dirty_total_.load()));
+  if (journal_) {
+    g_journal_live_bytes_.set(static_cast<std::int64_t>(journal_->live_bytes()));
+    g_journal_size_bytes_.set(static_cast<std::int64_t>(journal_->size_bytes()));
+  }
 }
 
 }  // namespace iofwd::bb

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,6 +45,8 @@ class ClusterBbBudget;
 }  // namespace iofwd::cluster
 
 namespace iofwd::bb {
+
+class Journal;
 
 struct BurstBufferConfig {
   std::uint64_t capacity_bytes = 64ull << 20;  // total staging cache (bb_bytes)
@@ -68,6 +71,21 @@ struct BurstBufferConfig {
   // then degrade to write-through) — and the global high/low watermarks are
   // ORed into this cache's flusher hysteresis. Must outlive the backend.
   cluster::ClusterBbBudget* cluster_budget = nullptr;
+  // Crash-consistent staging journal (DESIGN.md §16). Non-empty = every
+  // staged extent is appended to a write-ahead log in this directory before
+  // the write is acked, and startup replays any surviving log back into the
+  // cache. Empty = no journal (the pre-§16 behavior: a crash loses acked
+  // unflushed extents).
+  std::string journal_dir;
+  std::uint64_t journal_segment_bytes = 8ull << 20;
+  bool journal_fsync = false;  // fdatasync per append (host-crash durability)
+  // Idle flusher tick. Watermark hysteresis alone can strand dirty bytes: a
+  // burst crosses the high watermark, the flushers outrun it and drain below
+  // low, and the tail of the burst refills to between the watermarks — no
+  // crossing, no wake, dirty data parked forever. Every flush_idle_ms an idle
+  // flusher re-checks and drains back below the low watermark. Also bounds
+  // the journal's live set (DESIGN.md §16). 0 = pure hysteresis (no tick).
+  std::uint32_t flush_idle_ms = 100;
 };
 
 // Snapshot view over the registry's "bb.*" counters plus instantaneous pool
@@ -141,6 +159,16 @@ class BurstBufferBackend final : public rt::IoBackend {
   // Flush every descriptor (shutdown barrier). Idempotent.
   void drain_all();
 
+  // Simulate a process crash (DESIGN.md §16): stop the flushers, drop every
+  // staged extent WITHOUT flushing, release the cluster-budget reservation,
+  // and freeze the journal files exactly as they are on disk — they become
+  // the crash image the next BurstBufferBackend over the same journal_dir
+  // recovers from. After this, the destructor skips its drain. Idempotent.
+  void crash_discard();
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
+  // The write-ahead journal, or null when journaling is off (tests/bench).
+  [[nodiscard]] Journal* journal() const { return journal_.get(); }
+
   [[nodiscard]] BurstBufferStats stats() const;
   [[nodiscard]] const BurstBufferConfig& config() const { return cfg_; }
   [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
@@ -160,6 +188,19 @@ class BurstBufferBackend final : public rt::IoBackend {
   [[nodiscard]] std::shared_ptr<Desc> find_desc(int fd) const;
   // Deferred-error gate: non-ok means the op must bounce without executing.
   Status consume_deferred(int fd);
+  // Record a failed write as a deferred error on fd (db_mu_ taken inside).
+  void record_deferred(int fd, const Status& st);
+
+  // Journal append wrappers: no-ops when journaling is off or the journal
+  // went bad (an append failure degrades durability, never availability —
+  // counted in bb.journal.append_errors and journaling stops).
+  void journal_append_open(int fd, const std::string& path);
+  void journal_append_stage(int fd, std::uint64_t offset, std::span<const std::byte> data);
+  void journal_append_retire(int fd, std::uint64_t start, std::uint64_t len);
+  void journal_append_close(int fd);
+  // Startup replay: rebuild descs_/ExtentIndex from the surviving log, then
+  // compact the log down to exactly the recovered state.
+  void recover_from_journal();
 
   // Cluster-budget accounting (no-ops when cfg_.cluster_budget is null).
   // Reserve before insert; release the data_bytes() delta whenever extents
@@ -186,8 +227,13 @@ class BurstBufferBackend final : public rt::IoBackend {
   BurstBufferConfig cfg_;
   rt::BufferPool pool_;
 
-  mutable std::shared_mutex descs_mu_;  // guards the map, not the Descs
+  mutable std::shared_mutex descs_mu_;  // guards the maps, not the Descs
   std::map<int, std::shared_ptr<Desc>> descs_;
+  // fd → path bindings we have opened at the inner backend. open() consults
+  // this to recognise a replayed open of the same binding when the inner
+  // backend bounces "fd already open" (journal recovery re-opens fds before
+  // the client's post-restart open-replay arrives).
+  std::map<int, std::string> open_paths_;
 
   std::mutex db_mu_;
   proto::DescriptorDb db_;
@@ -219,13 +265,28 @@ class BurstBufferBackend final : public rt::IoBackend {
   obs::Counter& c_drains_;
   obs::Counter& c_pinned_reads_;
   obs::Counter& c_budget_denied_;  // cluster-budget reservations refused
+  // Write-ahead journal accounting (DESIGN.md §16).
+  obs::Counter& c_journal_appends_;        // records appended
+  obs::Counter& c_journal_append_errors_;  // failed appends (journaling stops)
+  obs::Counter& c_journal_recovered_;      // intact records replayed at startup
+  obs::Counter& c_journal_discarded_;      // torn/corrupt tail bytes dropped
   // Instantaneous cache state, refreshed by refresh_gauges().
   obs::Gauge& g_cached_bytes_;
   obs::Gauge& g_cached_high_watermark_;
   obs::Gauge& g_dirty_bytes_;
+  obs::Gauge& g_journal_live_bytes_;
+  obs::Gauge& g_journal_size_bytes_;
 
   // Pressure-poke subscription on the cluster budget (0 = not subscribed).
   std::uint64_t budget_token_ = 0;
+
+  std::unique_ptr<Journal> journal_;
+  std::atomic<bool> journal_dead_{false};  // append failed or crash froze it
+  std::atomic<bool> crashed_{false};
+  // Bytes this cache currently holds reserved in the cluster budget; lets
+  // crash_discard() return the whole reservation without replaying the
+  // per-extent accounting (and clamps a racing release to zero, not below).
+  std::atomic<std::uint64_t> budget_held_{0};
 };
 
 }  // namespace iofwd::bb

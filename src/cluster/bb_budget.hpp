@@ -68,12 +68,24 @@ class ClusterBbBudget {
     return true;
   }
 
-  // Release `n` previously staged bytes.
+  // Release `n` previously staged bytes. Clamped against the current
+  // reservation: a release racing a crash-discard's bulk release (or any
+  // accounting bug upstream) must not wrap the counter to ~2^64, which would
+  // silently disable admission control fleet-wide. Excess bytes are dropped
+  // and counted in over_releases() instead.
   void unstage(std::uint64_t n) {
-    const std::uint64_t prev = staged_.fetch_sub(n, std::memory_order_acq_rel);
+    std::uint64_t cur = staged_.load(std::memory_order_relaxed);
+    std::uint64_t take;
+    do {
+      take = cur < n ? cur : n;
+    } while (!staged_.compare_exchange_weak(cur, cur - take, std::memory_order_acq_rel,
+                                            std::memory_order_relaxed));
+    if (take < n) over_releases_.fetch_add(1, std::memory_order_relaxed);
+    if (take == 0) return;
+    const std::uint64_t prev = cur;
     // Dropping below low turns the hysteresis back off; waking waiters once
     // more lets stalled writers past the (now clear) global gate.
-    if (prev >= low_bytes_ && prev - n < low_bytes_) poke_all();
+    if (prev >= low_bytes_ && prev - take < low_bytes_) poke_all();
   }
 
   // Hysteresis terms a shard ORs into its own over_high()/over_low():
@@ -94,6 +106,12 @@ class ClusterBbBudget {
   }
   [[nodiscard]] std::uint64_t denials() const {
     return denials_.load(std::memory_order_relaxed);
+  }
+  // Releases (partially) dropped by the clamp above — nonzero means some
+  // caller double-released or released after a crash-discard already
+  // returned its bytes.
+  [[nodiscard]] std::uint64_t over_releases() const {
+    return over_releases_.load(std::memory_order_relaxed);
   }
 
   // Register a pressure poke (a shard's "notify my flushers" hook).
@@ -127,6 +145,7 @@ class ClusterBbBudget {
   std::atomic<std::uint64_t> staged_{0};
   std::atomic<std::uint64_t> staged_high_water_{0};
   std::atomic<std::uint64_t> denials_{0};
+  std::atomic<std::uint64_t> over_releases_{0};
 
   std::mutex mu_;
   std::uint64_t next_token_ = 1;

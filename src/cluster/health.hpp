@@ -1,0 +1,164 @@
+// Per-shard health state machine + circuit breaker (DESIGN.md §16).
+//
+// The SLAC survey's lesson (PAPERS.md, 1109.0742): failure detection in a
+// parallel-I/O fleet must be first-class, not emergent from TCP timeouts.
+// Without it, every op routed at a dead shard burns a full
+// reconnect-with-backoff budget before failing — a fleet-wide stall radiating
+// from one crash. ShardHealth gives RoutingClient the classic breaker:
+//
+//   healthy --failure--> suspect --more failures--> down (breaker OPEN)
+//      ^                                              |
+//      |                                    probe_after_ms elapsed
+//      +-- probe ok (breaker CLOSES) -- probing <-----+
+//                                          |
+//                             probe fails: back to down
+//
+// While down, admit() fails fast (no wire traffic, no backoff stall); after
+// probe_after_ms one caller is elected to send a half-open ping probe —
+// rt::Client::ping() re-dials through its StreamFactory, so a successful
+// probe IS the readmission: connection re-established, opens replayed,
+// breaker closed. Only connection-shaped failures (not_connected, shutdown,
+// timed_out) feed the machine; a backend io_error is a healthy shard
+// reporting honest bad news.
+//
+// Counted in the owning shard client's registry: client.breaker.opens /
+// fast_fails / probes / closes.
+//
+// Header-only, like bb_budget.hpp: small enough, and it keeps the
+// cluster <-> rt library graph acyclic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "core/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace iofwd::cluster {
+
+enum class HealthState : std::uint8_t { healthy = 0, suspect = 1, down = 2, probing = 3 };
+
+inline const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::healthy: return "healthy";
+    case HealthState::suspect: return "suspect";
+    case HealthState::down: return "down";
+    case HealthState::probing: return "probing";
+  }
+  return "?";
+}
+
+struct HealthConfig {
+  // Consecutive connection-shaped failures before healthy -> suspect. The
+  // suspect state is advisory (ops still flow); it exists so dashboards see
+  // a shard wobbling before the breaker opens.
+  int suspect_after = 1;
+  // Consecutive failures before the breaker opens (-> down). Each counted
+  // failure already exhausted the inner client's reconnect budget, so this
+  // is not trigger-happy at its default.
+  int down_after = 3;
+  // Open time before a half-open probe is allowed. Short by design: a probe
+  // is one ping, and an early probe against a still-dead shard just reopens
+  // the breaker.
+  std::uint32_t probe_after_ms = 50;
+};
+
+// One shard's breaker. Thread-safe; shared by every op RoutingClient routes
+// at that shard.
+class ShardHealth {
+ public:
+  enum class Admit : std::uint8_t {
+    yes,        // proceed with the op
+    probe,      // breaker half-open: this caller was elected to ping first
+    fast_fail,  // breaker open: bounce without touching the wire
+  };
+
+  ShardHealth(HealthConfig cfg, obs::MetricRegistry& reg)
+      : cfg_(cfg),
+        c_opens_(reg.counter("client.breaker.opens")),
+        c_fast_fails_(reg.counter("client.breaker.fast_fails")),
+        c_probes_(reg.counter("client.breaker.probes")),
+        c_closes_(reg.counter("client.breaker.closes")) {
+    if (cfg_.suspect_after < 1) cfg_.suspect_after = 1;
+    if (cfg_.down_after < cfg_.suspect_after) cfg_.down_after = cfg_.suspect_after;
+  }
+
+  Admit admit() {
+    std::scoped_lock lk(mu_);
+    switch (state_) {
+      case HealthState::healthy:
+      case HealthState::suspect:
+        return Admit::yes;
+      case HealthState::probing:
+        // Someone else holds the half-open slot; fail fast rather than pile
+        // a thundering herd onto a maybe-recovering shard.
+        c_fast_fails_.inc();
+        return Admit::fast_fail;
+      case HealthState::down:
+        break;
+    }
+    if (std::chrono::steady_clock::now() - opened_at_ >=
+        std::chrono::milliseconds(cfg_.probe_after_ms)) {
+      state_ = HealthState::probing;
+      c_probes_.inc();
+      return Admit::probe;
+    }
+    c_fast_fails_.inc();
+    return Admit::fast_fail;
+  }
+
+  void on_success() {
+    std::scoped_lock lk(mu_);
+    if (state_ == HealthState::down || state_ == HealthState::probing) c_closes_.inc();
+    state_ = HealthState::healthy;
+    fails_ = 0;
+  }
+
+  void on_failure() {
+    std::scoped_lock lk(mu_);
+    ++fails_;
+    if (state_ == HealthState::probing) {
+      // The half-open probe failed: straight back to open, fresh timer.
+      state_ = HealthState::down;
+      opened_at_ = std::chrono::steady_clock::now();
+      return;
+    }
+    if (state_ != HealthState::down && fails_ >= cfg_.down_after) {
+      state_ = HealthState::down;
+      opened_at_ = std::chrono::steady_clock::now();
+      c_opens_.inc();
+    } else if (state_ == HealthState::healthy && fails_ >= cfg_.suspect_after) {
+      state_ = HealthState::suspect;
+    }
+  }
+
+  // True for the error shapes that mean "the shard (or the path to it) is
+  // gone", as opposed to a live shard returning an honest error.
+  [[nodiscard]] static bool connection_shaped(Errc e) {
+    return e == Errc::not_connected || e == Errc::shutdown || e == Errc::timed_out;
+  }
+
+  [[nodiscard]] HealthState state() const {
+    std::scoped_lock lk(mu_);
+    return state_;
+  }
+  [[nodiscard]] int consecutive_failures() const {
+    std::scoped_lock lk(mu_);
+    return fails_;
+  }
+  [[nodiscard]] const HealthConfig& config() const { return cfg_; }
+
+ private:
+  HealthConfig cfg_;
+  mutable std::mutex mu_;
+  HealthState state_ = HealthState::healthy;
+  int fails_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  obs::Counter& c_opens_;
+  obs::Counter& c_fast_fails_;
+  obs::Counter& c_probes_;
+  obs::Counter& c_closes_;
+};
+
+}  // namespace iofwd::cluster

@@ -9,9 +9,20 @@
 // reconnects-and-replays exactly that shard's in-flight ops while the other
 // shards' traffic never notices (DESIGN.md §10, §14).
 //
+// Failover routing (DESIGN.md §16): every forwarded op passes through a
+// per-shard ShardHealth breaker before touching the wire. A shard whose
+// connection-shaped failures exceed the threshold is marked down; ops routed
+// at it fail fast with not_connected instead of each burning a full
+// reconnect-with-backoff budget. After probe_after_ms one caller is elected
+// to ping the shard first — rt::Client::ping() re-dials and replays opens,
+// so a successful probe readmits the shard in one step. Siblings' traffic is
+// untouched throughout: health is tracked per shard.
+//
 // Stats attribution: every inner Client runs against its own private
 // registry, so shard_client(k).stats() shows only shard k's
-// reconnects/replays/CRC detections; stats() sums the fleet.
+// reconnects/replays/CRC detections — and its breaker's
+// client.breaker.{opens,fast_fails,probes,closes} live there too; stats()
+// sums the fleet.
 //
 // Thread safety: same contract as rt::Client — calls are serialized per
 // shard by the inner clients; calls routed to different shards proceed
@@ -24,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/health.hpp"
 #include "cluster/shard_map.hpp"
 #include "rt/client.hpp"
 #include "rt/transport.hpp"
@@ -40,8 +52,12 @@ class RoutingClient final : public rt::ForwardingClient {
   };
 
   // `cfg` applies to every inner client, except `registry`, which is forced
-  // to null so each shard keeps its own (see header comment).
-  RoutingClient(std::vector<ShardLink> links, rt::ClientConfig cfg = {});
+  // to null so each shard keeps its own (see header comment). `health`
+  // parameterizes the per-shard breakers; the breaker is always on — its
+  // defaults only bite after an inner client has already exhausted a full
+  // reconnect budget, so a healthy fleet never sees it.
+  RoutingClient(std::vector<ShardLink> links, rt::ClientConfig cfg = {},
+                HealthConfig health = {});
 
   Status open(int fd, const std::string& path) override;
   Status write(int fd, std::uint64_t offset, std::span<const std::byte> data) override;
@@ -52,12 +68,13 @@ class RoutingClient final : public rt::ForwardingClient {
   Status close(int fd) override;
 
   // Polite disconnect on every shard; returns the first failure (but always
-  // visits every shard).
+  // visits every shard). Not breaker-gated: shutdown is a teardown courtesy,
+  // and its failure on a dead shard must not poison the health view.
   Status shutdown() override;
 
   [[nodiscard]] bool last_write_was_staged() const override;
 
-  // Fleet-wide sums of the per-shard counters.
+  // Fleet-wide sums of the per-shard counters (breaker fields included).
   [[nodiscard]] rt::ClientStats stats() const override;
 
   [[nodiscard]] int shards() const { return static_cast<int>(clients_.size()); }
@@ -71,12 +88,26 @@ class RoutingClient final : public rt::ForwardingClient {
   [[nodiscard]] const rt::Client& shard_client(int i) const {
     return *clients_.at(static_cast<std::size_t>(i));
   }
+  [[nodiscard]] ShardHealth& shard_health(int i) {
+    return *health_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] const ShardHealth& shard_health(int i) const {
+    return *health_.at(static_cast<std::size_t>(i));
+  }
 
  private:
   [[nodiscard]] rt::Client& route(int fd) { return shard_client(shard_of(fd)); }
+  // Breaker gate for shard k: ok() to proceed (running the half-open ping
+  // inline when elected), or the fast-fail status.
+  Status admit(int shard);
+  // Feed an op's outcome back into shard k's breaker. Only connection-shaped
+  // errors count as failures; everything else (including honest backend
+  // errors) proves the shard alive.
+  void note(int shard, const Status& st);
 
   ShardMap map_;
   std::vector<std::unique_ptr<rt::Client>> clients_;
+  std::vector<std::unique_ptr<ShardHealth>> health_;
   std::atomic<int> last_write_shard_{-1};
 };
 

@@ -21,6 +21,7 @@
 // agree on the partitioning by construction.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace iofwd::cluster {
@@ -30,17 +31,31 @@ class ShardMap {
   // A map over `shards` shards (clamped to >= 1) at generation `epoch`.
   explicit ShardMap(int shards, std::uint32_t epoch = 0);
 
+  // The epoch is atomic so bump_epoch() may race lookups (failover bumps
+  // generations far more often than resize did); copies snapshot it.
+  ShardMap(const ShardMap& o) : shards_(o.shards_), epoch_(o.epoch_.load()) {}
+  ShardMap& operator=(const ShardMap& o) {
+    shards_ = o.shards_;
+    epoch_.store(o.epoch_.load());
+    return *this;
+  }
+
   // The shard owning `key` (a descriptor id widened to u64). Deterministic
   // across processes and platforms: the weight is a fixed 64-bit mix.
   [[nodiscard]] int shard_of(std::uint64_t key) const;
 
   [[nodiscard]] int shards() const { return shards_; }
-  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Advance the generation in place without changing the shard count — a
+  // shard was killed/restarted, so routers must notice their view moved even
+  // though the key->shard function is unchanged. Safe to race shard_of().
+  void bump_epoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
   // The same key space over a different shard count, one generation later.
   // Minimal-movement: keys keep their shard unless the argmax changes.
   [[nodiscard]] ShardMap resized(int new_shards) const {
-    return ShardMap(new_shards, epoch_ + 1);
+    return ShardMap(new_shards, epoch() + 1);
   }
 
   // The HRW weight of `key` on `shard` — exposed so tests (and the sim-side
@@ -49,7 +64,7 @@ class ShardMap {
 
  private:
   int shards_;
-  std::uint32_t epoch_;
+  std::atomic<std::uint32_t> epoch_;
 };
 
 }  // namespace iofwd::cluster

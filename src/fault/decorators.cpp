@@ -46,6 +46,7 @@ FaultyBackend::FaultyBackend(std::unique_ptr<rt::IoBackend> inner,
 Status FaultyBackend::gate(OpKind k) {
   Injection inj = plan_->next(k);
   if (inj.latency.count() > 0) std::this_thread::sleep_for(inj.latency);
+  if (inj.crashes() && crash_hook_) crash_hook_();
   return inj.status;
 }
 

@@ -11,6 +11,7 @@
 // ad-hoc per-test helpers (CuttingStream, MemBackend::FaultHook).
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "fault/plan.hpp"
@@ -34,12 +35,21 @@ class FaultyBackend final : public rt::IoBackend {
   [[nodiscard]] FaultPlan& plan() { return *plan_; }
   [[nodiscard]] rt::IoBackend& inner() { return *inner_; }
 
+  // Fired when a FaultAction::crash rule hits one of this backend's ops.
+  // The hook runs on the server worker thread executing the op, so it must
+  // NOT synchronously stop/join that server (deadlock) — signal a chaos
+  // driver thread instead (the harness sets a flag the test thread polls,
+  // then calls kill_shard() from outside). Set before serving traffic.
+  void set_crash_hook(std::function<void()> hook) { crash_hook_ = std::move(hook); }
+
  private:
-  // Consult the plan; sleeps injected latency. Non-ok = bounce the op.
+  // Consult the plan; sleeps injected latency. Non-ok = bounce the op
+  // (after firing the crash hook when the verdict is a crash).
   Status gate(OpKind k);
 
   std::unique_ptr<rt::IoBackend> inner_;
   std::shared_ptr<FaultPlan> plan_;
+  std::function<void()> crash_hook_;
 };
 
 struct StreamFaultConfig {

@@ -23,6 +23,7 @@ const char* to_string(FaultAction a) {
     case FaultAction::bit_flip: return "bit_flip";
     case FaultAction::truncate: return "truncate";
     case FaultAction::garbage: return "garbage";
+    case FaultAction::crash: return "crash";
   }
   return "?";
 }
@@ -88,7 +89,16 @@ Injection FaultPlan::next(OpKind k) {
     if (!fire) continue;
 
     inj.latency = s.rule.latency;
-    if (s.rule.action != FaultAction::fail) {
+    if (s.rule.action == FaultAction::crash) {
+      // The op bounces (the crashing ION never completed it) and the
+      // decorator fires its crash hook; the rule's error is used as the
+      // bounce shape (io_error by default).
+      inj.action = FaultAction::crash;
+      inj.status = Status(s.rule.error != Errc::ok ? s.rule.error : Errc::shutdown,
+                          "injected crash");
+      ++fired_total_;
+      ++fired_by_kind_[static_cast<std::size_t>(k)];
+    } else if (s.rule.action != FaultAction::fail) {
       // Corruption: the op proceeds (status ok) but the decorator damages
       // the bytes using plan-drawn entropy, keeping the run reproducible.
       inj.action = s.rule.action;

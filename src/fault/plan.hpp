@@ -45,6 +45,10 @@ enum class FaultAction : std::uint8_t {
   bit_flip,  // deliver every byte, one bit inverted at a seeded position
   truncate,  // deliver a seeded-length prefix, then drop the line
   garbage,   // overwrite a seeded 16-byte window with seeded noise
+  crash,     // process-level chaos: bounce the op AND fire the decorator's
+             // crash hook (FaultyBackend::set_crash_hook), which the chaos
+             // harness wires to kill_shard() — modelling the ION dying
+             // mid-operation rather than merely refusing one
 };
 
 [[nodiscard]] const char* to_string(FaultAction a);
@@ -77,7 +81,13 @@ struct Injection {
   // noise seed), drawn under the plan lock so runs stay reproducible.
   std::uint64_t entropy = 0;
 
-  [[nodiscard]] bool corrupts() const { return action != FaultAction::fail; }
+  [[nodiscard]] bool corrupts() const {
+    // crash is deliberately excluded: it bounces the op (non-ok status) and
+    // pulls the crash hook; it never delivers damaged bytes.
+    return action == FaultAction::bit_flip || action == FaultAction::truncate ||
+           action == FaultAction::garbage;
+  }
+  [[nodiscard]] bool crashes() const { return action == FaultAction::crash; }
   [[nodiscard]] bool fired() const {
     return !status.is_ok() || corrupts() || latency.count() > 0;
   }

@@ -17,7 +17,14 @@ namespace iofwd::rt {
 
 Status MemBackend::open(int fd, const std::string& path) {
   std::unique_lock lock(mu_);
-  if (open_.contains(fd)) return Status(Errc::invalid_argument, "fd already open");
+  if (auto it = open_.find(fd); it != open_.end()) {
+    // Idempotent on the identical binding: a restarted ION replays its opens
+    // over a backend whose handle table survived the crash (the PFS does not
+    // die with the ION). Re-binding fd to the same path is a no-op; binding
+    // it to a different path is still a caller bug.
+    if (it->second->path == path) return Status::ok();
+    return Status(Errc::invalid_argument, "fd already open");
+  }
   auto& file = by_path_[path];
   if (!file) {
     file = std::make_shared<File>();

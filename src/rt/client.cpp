@@ -365,6 +365,17 @@ Status Client::shutdown() {
   return r.is_ok() ? status_of(r.value().header) : r.status();
 }
 
+Status Client::ping() {
+  FrameHeader req;
+  req.op = OpCode::ping;
+  // Goes through roundtrip(), so a ping against a recovered-but-disconnected
+  // server re-dials via the factory and replays opens — success here means
+  // the connection is fully usable again, which is what the half-open
+  // breaker probe needs to know.
+  auto r = roundtrip(req, {});
+  return r.is_ok() ? status_of(r.value().header) : r.status();
+}
+
 ClientStats Client::stats() const {
   ClientStats s;
   s.reconnects = c_reconnects_.value();

@@ -78,6 +78,13 @@ struct ClientStats {
   std::uint64_t header_crc_errors = 0;   // corrupted reply headers
   std::uint64_t payload_crc_errors = 0;  // corrupted reply payloads
   std::uint64_t request_bounces = 0;     // requests the server bounced as corrupt
+  // Circuit-breaker counters (DESIGN.md §16). Always zero for a plain
+  // rt::Client — only cluster::RoutingClient runs breakers; the fields live
+  // here so one stats surface serves both ForwardingClient implementations.
+  std::uint64_t breaker_opens = 0;       // healthy/suspect -> down transitions
+  std::uint64_t breaker_fast_fails = 0;  // ops bounced without touching the wire
+  std::uint64_t breaker_probes = 0;      // half-open pings sent
+  std::uint64_t breaker_closes = 0;      // down -> healthy readmissions
 };
 
 // The forwarded-call surface a compute-node application programs against,
@@ -102,6 +109,14 @@ class ForwardingClient {
   // Polite disconnect (server releases the connection). Never reconnects.
   virtual Status shutdown() = 0;
 
+  // Liveness probe (DESIGN.md §16): a no-payload roundtrip the server
+  // answers inline on the receiver, bypassing the work queue. The health
+  // layer uses it as the half-open breaker probe; on rt::Client it runs
+  // through the normal reconnect machinery, so a successful ping against a
+  // restarted shard also re-dials and replays opens. Default: unsupported,
+  // so decorator-style implementations need not care.
+  virtual Status ping() { return {Errc::unsupported, "ping not supported"}; }
+
   // True if the last write() was acknowledged as staged (async mode).
   [[nodiscard]] virtual bool last_write_was_staged() const = 0;
 
@@ -125,6 +140,7 @@ class Client final : public ForwardingClient {
   Status close(int fd) override;
 
   Status shutdown() override;
+  Status ping() override;
 
   [[nodiscard]] bool last_write_was_staged() const override { return last_staged_; }
 

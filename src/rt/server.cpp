@@ -139,6 +139,9 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     bcfg.max_stall_ms = cfg_.bb_max_stall_ms;
     bcfg.registry = reg_;  // one namespace: "server.*" + "bb.*"
     bcfg.cluster_budget = cfg_.bb_cluster_budget;
+    bcfg.journal_dir = cfg_.bb_journal_dir;
+    bcfg.journal_segment_bytes = cfg_.bb_journal_segment_bytes;
+    bcfg.journal_fsync = cfg_.bb_journal_fsync;
     auto wrapped = std::make_unique<bb::BurstBufferBackend>(std::move(backend_), bcfg);
     bb_ = wrapped.get();
     backend_ = std::move(wrapped);
@@ -273,6 +276,24 @@ void IonServer::stop() {
     std::scoped_lock lock(threads_mu_);
     return;
   }
+  teardown_for_stop();
+  if (bb_) bb_->drain_all();  // shutdown drains every descriptor's extents
+}
+
+void IonServer::crash_stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    std::scoped_lock lock(threads_mu_);
+    return;
+  }
+  // Same orderly thread/connection teardown as stop() — the "crash" is about
+  // state, not threads: once every worker is joined, the burst buffer drops
+  // its staged extents unflushed and freezes the journal as the crash image.
+  teardown_for_stop();
+  if (bb_) bb_->crash_discard();
+}
+
+void IonServer::teardown_for_stop() {
   if (listener_) listener_->close();
   {
     std::scoped_lock lock(threads_mu_);
@@ -303,7 +324,6 @@ void IonServer::stop() {
       abort_send_queue_locked(*c);
     }
   }
-  if (bb_) bb_->drain_all();  // shutdown drains every descriptor's extents
 }
 
 void IonServer::drain() {
@@ -559,14 +579,15 @@ Result<FrameAssembler::Sink> IonServer::on_header(
   // `open`/`write` legitimately carry payloads.
   if (req.payload_len != 0 &&
       (req.op == OpCode::close || req.op == OpCode::fsync || req.op == OpCode::fstat ||
-       req.op == OpCode::shutdown || req.op == OpCode::hello)) {
+       req.op == OpCode::shutdown || req.op == OpCode::hello || req.op == OpCode::ping)) {
     c_frames_rejected_.inc();
     IOFWD_LOG_WARN("dropping client: unexpected payload on %s", opcode_name(req.op));
     return Status(Errc::protocol_error, "unexpected payload");
   }
   // hello is control-plane: it gets its own counter and stays out of
   // server.ops so op accounting still means "forwarded I/O calls".
-  if (req.op != OpCode::hello) c_ops_.inc();
+  // Protocol chatter (hello negotiation, ping probes) is not forwarded I/O.
+  if (req.op != OpCode::hello && req.op != OpCode::ping) c_ops_.inc();
 
   RxPending& rx = conn.rx;
   rx = RxPending{};
@@ -628,6 +649,9 @@ Status IonServer::on_frame(const std::shared_ptr<ClientConn>& conn) {
   switch (req.op) {
     case OpCode::hello:
       handle_hello(*conn, req);
+      break;
+    case OpCode::ping:
+      handle_ping(*conn, req);
       break;
     case OpCode::open:
       handle_open(*conn, req, rx.heap, rx.arrival);
@@ -874,6 +898,14 @@ void IonServer::handle_hello(ClientConn& conn, const FrameHeader& req) {
   const std::uint16_t negotiated = std::min(req.version, cfg_.max_wire_version);
   conn.version.store(negotiated, std::memory_order_relaxed);
   c_hellos_.inc();
+  enqueue_reply(conn, req, Status::ok());
+}
+
+void IonServer::handle_ping(ClientConn& conn, const FrameHeader& req) {
+  // Liveness probe (DESIGN.md §16): answered inline on the receiver, never
+  // queued behind forwarded I/O — a wedged work queue still answers pings,
+  // which is exactly what the health layer wants to distinguish "slow" from
+  // "gone". No descriptor, no payload, no deferred-error gate.
   enqueue_reply(conn, req, Status::ok());
 }
 

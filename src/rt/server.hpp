@@ -99,6 +99,13 @@ struct ServerConfig {
   // so the fleet's aggregate staged bytes respect one global watermark. Null
   // = standalone server (per-shard watermarks only). Must outlive the server.
   cluster::ClusterBbBudget* bb_cluster_budget = nullptr;
+  // Burst-buffer write-ahead journal (DESIGN.md §16): when non-empty (and
+  // bb_bytes > 0), every staged extent is journaled in this directory before
+  // its ack and replayed into the cache on startup, making a shard crash
+  // recoverable with zero acked-data loss. Empty = no journal.
+  std::string bb_journal_dir;
+  std::uint64_t bb_journal_segment_bytes = 8ull << 20;
+  bool bb_journal_fsync = false;  // fdatasync per append (host-crash durability)
   // Graceful degradation (DESIGN.md §10). A writer that cannot lease BML
   // staging space within bml_wait_ms falls back to synchronous pass-through
   // execution on the receiver thread instead of blocking forever (0 = wait
@@ -210,6 +217,13 @@ class IonServer {
 
   // Drain the queue, close client streams, join every thread. Idempotent.
   void stop();
+
+  // Simulate a process crash (DESIGN.md §16): tear down connections and
+  // threads like stop(), but DISCARD every staged burst-buffer extent
+  // instead of flushing it — in-memory state dies, the write-ahead journal
+  // files stay on disk as the crash image a restarted server recovers from.
+  // Idempotent with stop(); whichever runs first wins.
+  void crash_stop();
 
   // Quiesce without shutting down: wait until the task queue and every
   // in-flight worker task have drained, then flush the burst buffer.
@@ -347,6 +361,10 @@ class IonServer {
   // Queue-depth hysteresis: decides (and accounts) sync-staging degradation.
   bool degraded_now(std::size_t queue_depth);
 
+  // Shared thread/connection teardown behind stop() and crash_stop(); the
+  // two differ only in what happens to the burst buffer afterwards.
+  void teardown_for_stop();
+
   // Completed-op bookkeeping: latency histogram (write/read) + flight ring.
   void observe_op(const FrameHeader& req, std::chrono::steady_clock::time_point arrival,
                   const Status& st);
@@ -355,6 +373,7 @@ class IonServer {
   // ops receive their fully assembled payload; the others run at frame
   // completion exactly as before.
   void handle_hello(ClientConn& conn, const FrameHeader& req);
+  void handle_ping(ClientConn& conn, const FrameHeader& req);
   void handle_open(ClientConn& conn, const FrameHeader& req,
                    std::span<const std::byte> path_bytes,
                    std::chrono::steady_clock::time_point arrival);

@@ -92,12 +92,6 @@ class ByteStream {
   // The default walks write_some() span by span; SocketTransport overrides
   // with a single sendmsg(2) so a framed reply leaves in one syscall.
   virtual Result<std::size_t> writev_some(std::span<const std::span<const std::byte>> iov);
-
-  // Deprecated pre-§15 name for the read-side readiness fd, from before the
-  // write side grew a symmetric one.
-  [[deprecated("use read_readiness_fd()")]] [[nodiscard]] int readiness_fd() {
-    return read_readiness_fd();
-  }
 };
 
 // ---------------------------------------------------------------------------

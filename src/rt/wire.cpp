@@ -32,12 +32,13 @@ bool valid_opcode(std::uint8_t op) {
     case OpCode::shutdown:
     case OpCode::fstat:
     case OpCode::hello:
+    case OpCode::ping:
       return true;
   }
   return false;
 }
 
-static_assert(static_cast<std::uint8_t>(OpCode::hello) == kMaxOpCode,
+static_assert(static_cast<std::uint8_t>(OpCode::ping) == kMaxOpCode,
               "kMaxOpCode must track the highest OpCode; update valid_opcode() "
               "and opcode_name() together");
 
@@ -127,6 +128,7 @@ const char* opcode_name(OpCode op) {
     case OpCode::shutdown: return "shutdown";
     case OpCode::fstat: return "fstat";
     case OpCode::hello: return "hello";
+    case OpCode::ping: return "ping";
   }
   return "?";
 }

@@ -57,12 +57,13 @@ enum class OpCode : std::uint8_t {
   shutdown = 6,  // client asks the server to stop serving it
   fstat = 7,     // query attributes (size); always synchronous (Sec. IV)
   hello = 8,     // version negotiation; first request on a connection
+  ping = 9,      // liveness probe: replied inline, never queued (DESIGN.md §16)
 };
 
 // Highest opcode the protocol defines. decode() and opcode_name() are tied
 // to this bound by static_asserts/tests so adding an opcode forces both to
 // be updated in the same change.
-inline constexpr std::uint8_t kMaxOpCode = static_cast<std::uint8_t>(OpCode::hello);
+inline constexpr std::uint8_t kMaxOpCode = static_cast<std::uint8_t>(OpCode::ping);
 
 // Highest protocol version this build speaks. v0 = the original unchecked
 // framing (44-byte headers are gone, but v0 semantics = no payload CRCs).

@@ -203,6 +203,13 @@ TEST(Cluster, GlobalBudgetCapsAggregateStagingAcrossShards) {
         << "a budget-denied write must degrade, not fail";
   }
 
+  // Quiesce before reading counters: write acks race ahead of async staging,
+  // and a snapshot taken mid-storm can catch a denial between its global and
+  // per-shard increments. fsync drains every in-flight write on the fd.
+  for (int s = 0; s < 2; ++s) {
+    ASSERT_TRUE(rc.fsync(fds[static_cast<std::size_t>(s)]).is_ok());
+  }
+
   // The hard cap held at every instant, and the gate actually fired.
   EXPECT_LE(budget->staged_high_water(), budget->capacity());
   EXPECT_GT(budget->denials(), 0u) << "demand never hit the global gate";

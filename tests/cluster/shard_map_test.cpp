@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 namespace iofwd::cluster {
@@ -115,6 +116,43 @@ TEST(ShardMap, EpochAdvancesThroughResize) {
 TEST(ShardMap, ClampsNonsenseShardCounts) {
   EXPECT_EQ(ShardMap(0).shards(), 1);
   EXPECT_EQ(ShardMap(-3).shards(), 1);
+}
+
+TEST(ShardMap, EpochBumpRacesLookupsAndCopies) {
+  // Failover bumps the generation (restart_shard) while routers keep calling
+  // shard_of()/epoch() and taking snapshots concurrently. The epoch is
+  // atomic, so this must be TSan-clean, routing must stay byte-identical,
+  // and every observed epoch monotone.
+  ShardMap m(4, 100);
+  constexpr int kBumps = 20000;
+  std::vector<int> baseline(1024);
+  for (std::uint64_t k = 0; k < baseline.size(); ++k) {
+    baseline[k] = m.shard_of(k);
+  }
+
+  std::thread bumper([&m] {
+    for (int i = 0; i < kBumps; ++i) m.bump_epoch();
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&m, &baseline] {
+      std::uint32_t last = 0;
+      for (int iter = 0; iter < 5000; ++iter) {
+        const std::uint64_t k = static_cast<std::uint64_t>(iter) % baseline.size();
+        ASSERT_EQ(m.shard_of(k), baseline[k]) << "routing moved under an epoch bump";
+        const std::uint32_t e = m.epoch();
+        ASSERT_GE(e, last) << "epoch went backwards";
+        last = e;
+        // Copies snapshot the epoch mid-bump without tearing.
+        const ShardMap snap = m;
+        ASSERT_GE(snap.epoch(), last);
+        ASSERT_EQ(snap.shards(), 4);
+      }
+    });
+  }
+  bumper.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(m.epoch(), 100u + kBumps);
 }
 
 }  // namespace

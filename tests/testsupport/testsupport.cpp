@@ -4,6 +4,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include <stdlib.h>  // mkdtemp
 
 #include "core/rng.hpp"
 
@@ -28,11 +32,17 @@ std::uint64_t test_seed(const char* label, std::uint64_t dflt) {
   return seed;
 }
 
-std::unique_ptr<rt::IoBackend> TestCluster::make_backend_chain() {
-  auto mem = std::make_unique<rt::MemBackend>();
-  mems_.push_back(mem.get());
-  std::unique_ptr<rt::IoBackend> backend =
-      std::make_unique<fault::FaultyBackend>(std::move(mem), backend_plan_);
+std::unique_ptr<rt::IoBackend> TestCluster::make_backend_chain(int shard) {
+  // The terminal MemBackend is owned by the TestCluster and merely borrowed
+  // by the chain: restart_shard() rebuilds the chain, and the shard must
+  // come back over the same storage (an ION crash does not lose the PFS).
+  const auto k = static_cast<std::size_t>(shard);
+  while (owned_mems_.size() <= k) {
+    owned_mems_.push_back(std::make_unique<rt::MemBackend>());
+    mems_.push_back(owned_mems_.back().get());
+  }
+  std::unique_ptr<rt::IoBackend> backend = std::make_unique<BorrowedBackend>(*owned_mems_[k]);
+  backend = std::make_unique<fault::FaultyBackend>(std::move(backend), backend_plan_);
   if (opts_.retry != nullptr) {
     backend = std::make_unique<fault::RetryingBackend>(std::move(backend), *opts_.retry);
   }
@@ -41,6 +51,17 @@ std::unique_ptr<rt::IoBackend> TestCluster::make_backend_chain() {
 
 TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
   backend_plan_ = opts_.backend_plan ? opts_.backend_plan : std::make_shared<fault::FaultPlan>();
+
+  if (opts_.bb_journal && opts_.server.bb_journal_dir.empty()) {
+    char tmpl[] = "/tmp/iofwd-journal-XXXXXX";
+    if (char* dir = mkdtemp(tmpl)) {
+      journal_root_ = dir;
+      owns_journal_root_ = true;
+      opts_.server.bb_journal_dir = journal_root_;
+    }
+  } else if (!opts_.server.bb_journal_dir.empty()) {
+    journal_root_ = opts_.server.bb_journal_dir;
+  }
 
   if (opts_.shards > 0) {
     cluster::IonClusterConfig ccfg;
@@ -51,12 +72,12 @@ TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
     ccfg.cluster_bb_high_watermark = opts_.cluster_bb_high_watermark;
     ccfg.cluster_bb_low_watermark = opts_.cluster_bb_low_watermark;
     cluster_ = std::make_unique<cluster::IonCluster>(
-        [this](int) { return make_backend_chain(); }, ccfg);
+        [this](int s) { return make_backend_chain(s); }, ccfg);
   } else {
     rt::ServerConfig cfg = opts_.server;
     if (cfg.registry == nullptr) cfg.registry = &registry_;
     if (opts_.with_tracer) cfg.tracer = &tracer_;
-    server_ = std::make_unique<rt::IonServer>(make_backend_chain(), cfg);
+    server_ = std::make_unique<rt::IonServer>(make_backend_chain(0), cfg);
   }
 
   for (int i = 0; i < opts_.clients; ++i) {
@@ -68,7 +89,23 @@ TestCluster::TestCluster(ClusterOptions opts) : opts_(std::move(opts)) {
   }
 }
 
-TestCluster::~TestCluster() { stop(); }
+TestCluster::~TestCluster() {
+  stop();
+  if (owns_journal_root_ && !journal_root_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(journal_root_, ec);  // best effort
+  }
+}
+
+void TestCluster::kill_shard(int i) {
+  assert(cluster_ && "kill_shard() requires a sharded TestCluster");
+  cluster_->kill_shard(i);
+}
+
+void TestCluster::restart_shard(int i) {
+  assert(cluster_ && "restart_shard() requires a sharded TestCluster");
+  cluster_->restart_shard(i);
+}
 
 rt::IonServer& TestCluster::server(int i) {
   if (cluster_) return cluster_->shard(i);
@@ -117,7 +154,7 @@ std::size_t TestCluster::add_client(ClientSpec spec) {
       links.push_back(std::move(link));
     }
     clients_.push_back(
-        std::make_unique<cluster::RoutingClient>(std::move(links), spec.cfg));
+        std::make_unique<cluster::RoutingClient>(std::move(links), spec.cfg, opts_.breaker));
     return clients_.size() - 1;
   }
 

@@ -45,6 +45,31 @@
 
 namespace iofwd::testsupport {
 
+// A non-owning IoBackend view. The chaos harness hands each server chain a
+// BorrowedBackend over a TestCluster-owned MemBackend, so killing and
+// restarting a shard (which destroys and rebuilds its whole backend chain)
+// leaves the terminal storage intact — the MemBackend plays the PFS, and
+// the PFS survives an ION crash.
+class BorrowedBackend final : public rt::IoBackend {
+ public:
+  explicit BorrowedBackend(rt::IoBackend& inner) : inner_(inner) {}
+
+  Status open(int fd, const std::string& path) override { return inner_.open(fd, path); }
+  Result<std::uint64_t> write(int fd, std::uint64_t offset,
+                              std::span<const std::byte> data) override {
+    return inner_.write(fd, offset, data);
+  }
+  Result<std::uint64_t> read(int fd, std::uint64_t offset, std::span<std::byte> out) override {
+    return inner_.read(fd, offset, out);
+  }
+  Status fsync(int fd) override { return inner_.fsync(fd); }
+  Status close(int fd) override { return inner_.close(fd); }
+  Result<std::uint64_t> size(int fd) override { return inner_.size(fd); }
+
+ private:
+  rt::IoBackend& inner_;
+};
+
 // Seeded pseudo-random payload bytes (the pattern() helper formerly copied
 // into each test file).
 std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed);
@@ -69,6 +94,14 @@ struct ClusterOptions {
   std::uint64_t cluster_bb_bytes = 0;
   double cluster_bb_high_watermark = 0.75;
   double cluster_bb_low_watermark = 0.50;
+  // Per-shard circuit-breaker tuning applied to every RoutingClient
+  // (sharded mode; the breaker is always on — defaults only bite after an
+  // inner client exhausts its reconnect budget).
+  cluster::HealthConfig breaker;
+  // Give the burst buffer a write-ahead journal under a fresh mkdtemp root
+  // (removed at destruction). Ignored when server.bb_journal_dir is already
+  // set. Required for kill_shard()/restart_shard() to recover acked writes.
+  bool bb_journal = false;
   // Wrap the MemBackend in a FaultyBackend driven by this plan (a fresh,
   // empty plan is created when null, so tests can always add rules later
   // through backend_plan()). Sharded mode: one shared plan drives every
@@ -152,6 +185,17 @@ class TestCluster {
   [[nodiscard]] rt::StreamFactory factory(
       std::shared_ptr<fault::FaultPlan> stream_plan = nullptr, int shard = 0);
 
+  // Process-level chaos (sharded mode only). kill_shard hard-crashes shard
+  // i: its connections drop, staged state evaporates, the journal directory
+  // survives as the crash image. restart_shard rebuilds it over the SAME
+  // MemBackend (the PFS survives the crash) and replays the journal, so
+  // every previously acked write is readable again.
+  void kill_shard(int i);
+  void restart_shard(int i);
+
+  // The journal root in use ("" when bb_journal was off).
+  [[nodiscard]] const std::string& journal_dir() const { return journal_root_; }
+
   // Quiesce the server: joins receiver lanes/threads, drains the task queue
   // and the burst buffer. Idempotent (the destructor calls it too).
   void stop();
@@ -169,12 +213,18 @@ class TestCluster {
   [[nodiscard]] Result<std::unique_ptr<rt::ByteStream>> dial(
       int shard, const std::shared_ptr<fault::FaultPlan>& stream_plan,
       std::uint64_t cut_after_write_bytes = 0);
-  [[nodiscard]] std::unique_ptr<rt::IoBackend> make_backend_chain();
+  [[nodiscard]] std::unique_ptr<rt::IoBackend> make_backend_chain(int shard);
 
   ClusterOptions opts_;
   obs::MetricRegistry registry_;
   obs::RuntimeTracer tracer_;
-  std::vector<rt::MemBackend*> mems_;  // owned by the backend chains
+  std::string journal_root_;   // mkdtemp root when bb_journal; removed in dtor
+  bool owns_journal_root_ = false;
+  // The terminal MemBackends, owned here (not by the chains) so a shard
+  // restart rebuilds its chain over the same storage. Declared before the
+  // servers, which hold BorrowedBackend views into them.
+  std::vector<std::unique_ptr<rt::MemBackend>> owned_mems_;
+  std::vector<rt::MemBackend*> mems_;  // flat view for snapshot()
   std::shared_ptr<fault::FaultPlan> backend_plan_;
   std::unique_ptr<rt::IonServer> server_;          // classic mode
   std::unique_ptr<cluster::IonCluster> cluster_;   // sharded mode
