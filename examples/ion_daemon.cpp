@@ -7,6 +7,9 @@
 //                  [aggregate_kib=0] [downsample=0] [rle=0]
 //                  [retry=0] [bml_wait_ms=100] [degraded_high=0]
 //                  [degraded_low=0] [bb_stall_ms=100]
+//                  [sched=fifo] [sched_quantum_kib=256]
+//                  [qos_bytes_per_sec=0] [qos_ops_per_sec=0]
+//                  [qos_burst_bytes=0] [qos_burst_ops=0]
 //                  [bb_journal=DIR] [bb_journal_fsync=0]
 //                  [--trace-out=FILE] [stats_interval_s=0] [flight_ops=256]
 //   $ ./ion_daemon tcp:9090 ...          # listen on TCP port instead
@@ -37,6 +40,16 @@
 // degraded_high=N   queue depth that switches async staging to synchronous
 // degraded_low=N    queue depth that switches back (hysteresis)
 // bb_stall_ms=N     burst-buffer stall bound before write-through (0=block)
+//
+// Scheduling / QoS knobs (DESIGN.md §17):
+// sched=P           work-queue dispatch policy: fifo (default), prio
+//                   (header priority classes), edf (earliest deadline_ms
+//                   first), fair (deficit round-robin on bytes per tenant)
+// sched_quantum_kib=N  fair policy's per-tenant byte quantum (default 256)
+// qos_bytes_per_sec=N  per-tenant byte budget; over-budget writes demote to
+//                   synchronous staging (0 = unlimited)
+// qos_ops_per_sec=N    per-tenant op budget (0 = unlimited)
+// qos_burst_bytes=N / qos_burst_ops=N  bucket caps (0 = one second's rate)
 //
 // Crash survival knobs (DESIGN.md §16):
 // bb_journal=DIR    write-ahead journal for the burst buffer: staged writes
@@ -120,6 +133,8 @@ int main(int argc, char** argv) {
                  "usage: %s <socket-path> [exec=async|queue|thread] [workers=N] "
                  "[recv_lanes=N] [root=DIR] [bml_mib=N] [bb_mib=N] [shards=N] "
                  "[cluster_bb_mib=N] [bb_journal=DIR] [bb_journal_fsync=0|1] "
+                 "[sched=fifo|prio|edf|fair] [sched_quantum_kib=N] "
+                 "[qos_bytes_per_sec=N] [qos_ops_per_sec=N] "
                  "[--trace-out=FILE] [stats_interval_s=N] [flight_ops=N]\n",
                  argv[0]);
     return 2;
@@ -157,6 +172,19 @@ int main(int argc, char** argv) {
   cfg.bb_max_stall_ms = static_cast<std::uint32_t>(args.get_int("bb_stall_ms", 100));
   cfg.degraded_high_watermark = args.get_u64("degraded_high", 0);
   cfg.degraded_low_watermark = args.get_u64("degraded_low", 0);
+  const std::string sched = args.get("sched", "fifo");
+  if (auto pol = rt::parse_sched_policy(sched)) {
+    cfg.sched = *pol;
+  } else {
+    std::fprintf(stderr, "%s: error: sched=%s (want fifo|prio|edf|fair)\n", argv[0],
+                 sched.c_str());
+    return 2;
+  }
+  cfg.sched_quantum_bytes = args.get_u64("sched_quantum_kib", 256) << 10;
+  cfg.qos.bytes_per_sec = args.get_u64("qos_bytes_per_sec", 0);
+  cfg.qos.ops_per_sec = args.get_u64("qos_ops_per_sec", 0);
+  cfg.qos.burst_bytes = args.get_u64("qos_burst_bytes", 0);
+  cfg.qos.burst_ops = args.get_u64("qos_burst_ops", 0);
   cfg.flight_recorder_ops = static_cast<std::size_t>(args.get_int("flight_ops", 256));
   if (!trace_out.empty()) cfg.tracer = &tracer;
 

@@ -68,13 +68,11 @@ Result<ForwarderConfig> apply_forwarder_config(const Config& cfg, ForwarderConfi
   get_u64(cfg, "forwarder.bml_bytes", f.bml_bytes);
   get_u64(cfg, "forwarder.bml_min_class", f.bml_min_class);
 
+  // Historical values (fifo|sjf|priority) plus the shared rt::SchedPolicy
+  // spelling "prio" (DESIGN.md §17); edf/fair are server-only and rejected.
   const std::string policy = cfg.get("forwarder.policy", "fifo");
-  if (policy == "fifo") {
-    f.policy = QueuePolicy::fifo;
-  } else if (policy == "sjf") {
-    f.policy = QueuePolicy::sjf;
-  } else if (policy == "priority") {
-    f.policy = QueuePolicy::priority;
+  if (auto p = parse_queue_policy(policy)) {
+    f.policy = *p;
   } else {
     return Status(Errc::invalid_argument, "unknown forwarder.policy: " + policy);
   }

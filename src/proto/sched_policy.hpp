@@ -11,6 +11,15 @@
 //                 sensitive) operations overtake bulk data.
 //   * priority  — two-level: higher `SinkTarget::priority` first, FIFO
 //                 within a level (the "separate queues" formulation).
+//
+// DEPRECATED as a standalone policy surface (DESIGN.md §17): the real
+// server's dispatch policies live in rt/scheduler.hpp (rt::SchedPolicy:
+// fifo | prio | edf | fair) and share their names with this enum through
+// parse_queue_policy() below — "prio" parses as `priority` here, "priority"
+// parses as `prio` there. This header remains only for the simulator
+// (SimTaskQueue, bench/abl_sched_policy) and the `forwarder.policy` config
+// key, whose historical values (fifo|sjf|priority) stay accepted; new code
+// should use rt::SchedPolicy.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +29,7 @@
 #include <optional>
 #include <string>
 
+#include "rt/scheduler.hpp"
 #include "sim/sync.hpp"
 
 namespace iofwd::proto {
@@ -27,6 +37,23 @@ namespace iofwd::proto {
 enum class QueuePolicy { fifo, sjf, priority };
 
 [[nodiscard]] std::string to_string(QueuePolicy p);
+
+// Parses a simulator policy name using the shared vocabulary: the
+// rt::SchedPolicy spellings map onto their simulator counterparts where one
+// exists (fifo, prio/priority), plus the simulator-only "sjf". edf/fair
+// have no simulated equivalent and parse as nullopt here.
+[[nodiscard]] inline std::optional<QueuePolicy> parse_queue_policy(const std::string& s) {
+  if (s == "sjf") return QueuePolicy::sjf;
+  if (auto p = rt::parse_sched_policy(s)) {
+    switch (*p) {
+      case rt::SchedPolicy::fifo: return QueuePolicy::fifo;
+      case rt::SchedPolicy::prio: return QueuePolicy::priority;
+      case rt::SchedPolicy::edf:
+      case rt::SchedPolicy::fair: break;
+    }
+  }
+  return std::nullopt;
+}
 
 // A policy-ordered task queue for simulated workers. Tokens flow through a
 // SimChannel (giving blocking receive and close semantics); the tasks

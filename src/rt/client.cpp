@@ -106,6 +106,11 @@ Result<Client::Reply> Client::roundtrip_once(FrameHeader req, std::span<const st
     req.version = cfg_.max_wire_version;  // advertise our best; server clamps
   } else {
     req.version = neg_version_;
+    // Priority classes ride the v1 reserved byte; a v0 conversation must
+    // keep it zero (the server rejects nonzero reserved bits from v0 peers).
+    if (neg_version_ >= 1) {
+      req.klass = std::min(cfg_.priority, kMaxPriorityClass);
+    }
     if (neg_version_ >= 1 && !payload.empty()) req.stamp_payload_crc(payload);
   }
 
@@ -162,6 +167,8 @@ Status Client::hello_locked() {
   req.type = MsgType::request;
   req.op = OpCode::hello;
   req.deadline_ms = cfg_.deadline_ms;
+  // hello has no file offset; the field carries the tenant id (§17).
+  req.offset = cfg_.tenant;
   auto r = roundtrip_once(req, {});
   if (!r.is_ok()) return r.status();
   const auto code = static_cast<Errc>(r.value().header.status);

@@ -64,6 +64,15 @@ struct ClientConfig {
   // server also speaks v1; 0 emulates a legacy client (no hello is sent and
   // checksums stay off in both directions).
   std::uint16_t max_wire_version = kProtoVersion;
+  // Tenant (client/job) id, announced in the hello handshake (DESIGN.md
+  // §17): keys the server's fair-share scheduler and QoS token buckets. A
+  // RoutingClient passes one config to every shard connection, so the same
+  // id tags this tenant consistently across the fleet. 0 = anonymous (and
+  // all v0 clients land there).
+  std::uint64_t tenant = 0;
+  // Priority class stamped into every request header (clamped to
+  // kMaxPriorityClass); only the `prio` scheduler orders by it.
+  std::uint8_t priority = 0;
 };
 
 // Snapshot view over the client's metric registry ("client.*" counters),

@@ -1,0 +1,125 @@
+// Per-tenant admission control for the server data path (DESIGN.md §17).
+//
+// Kopanski/Rzadca's burst-buffer contention argument (PAPERS.md) applied to
+// the ION ingress: rate-limit each tenant with token buckets on BYTES and
+// OPS, and instead of rejecting over-budget work, feed it to the existing
+// degradation machinery — an over-budget async write is staged SYNCHRONOUSLY
+// (the same demotion the queue-depth hysteresis performs), so the hot tenant
+// absorbs its own latency while admitted tenants keep the fast path.
+//
+// Buckets refill continuously from a steady clock and start full (a burst up
+// to the cap is legitimate — that is what a burst buffer is for). A zero
+// rate means "unlimited" for that dimension; with both rates zero the
+// governor is a no-op and the server skips it entirely.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace iofwd::rt {
+
+struct QosConfig {
+  std::uint64_t bytes_per_sec = 0;  // per-tenant byte rate; 0 = unlimited
+  std::uint64_t ops_per_sec = 0;    // per-tenant op rate; 0 = unlimited
+  // Bucket caps; 0 defaults to one second's worth of the rate.
+  std::uint64_t burst_bytes = 0;
+  std::uint64_t burst_ops = 0;
+
+  [[nodiscard]] bool enabled() const { return bytes_per_sec != 0 || ops_per_sec != 0; }
+};
+
+// Per-tenant token buckets + server.qos.<tenant>.* metrics. Thread-safe;
+// called from receiver lanes on every data op.
+class QosGovernor {
+ public:
+  QosGovernor(QosConfig cfg, obs::MetricRegistry& reg)
+      : cfg_(cfg),
+        reg_(reg),
+        admitted_bytes_(reg.counter("server.qos.admitted_bytes")),
+        throttled_ops_(reg.counter("server.qos.throttled_ops")) {
+    if (cfg_.burst_bytes == 0) cfg_.burst_bytes = std::max<std::uint64_t>(1, cfg_.bytes_per_sec);
+    if (cfg_.burst_ops == 0) cfg_.burst_ops = std::max<std::uint64_t>(1, cfg_.ops_per_sec);
+  }
+
+  // True when `tenant` may take the fast path for an op of `bytes` payload:
+  // both buckets cover it and are debited. False debits NOTHING (the op
+  // still runs, demoted — consuming tokens for demoted work would punish
+  // the tenant twice) and bumps the throttle counters.
+  bool admit(std::uint64_t tenant, std::uint64_t bytes) {
+    if (!cfg_.enabled()) return true;
+    const auto now = std::chrono::steady_clock::now();
+    std::scoped_lock lock(mu_);
+    Bucket& b = buckets_[tenant];
+    if (!b.init) {
+      b.init = true;
+      b.bytes = cfg_.burst_bytes;
+      b.ops = cfg_.burst_ops;
+      b.last = now;
+      b.throttled = &reg_.counter("server.qos." + std::to_string(tenant) + ".throttled_ops");
+      b.admitted = &reg_.counter("server.qos." + std::to_string(tenant) + ".admitted_bytes");
+    }
+    refill(b, now);
+    const bool bytes_ok = cfg_.bytes_per_sec == 0 || b.bytes >= bytes;
+    const bool ops_ok = cfg_.ops_per_sec == 0 || b.ops >= 1;
+    if (bytes_ok && ops_ok) {
+      if (cfg_.bytes_per_sec != 0) b.bytes -= bytes;
+      if (cfg_.ops_per_sec != 0) b.ops -= 1;
+      admitted_bytes_.add(bytes);
+      b.admitted->add(bytes);
+      return true;
+    }
+    throttled_ops_.inc();
+    b.throttled->inc();
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t throttled_ops() const { return throttled_ops_.value(); }
+  [[nodiscard]] const QosConfig& config() const { return cfg_; }
+
+ private:
+  struct Bucket {
+    bool init = false;
+    std::uint64_t bytes = 0;  // tokens, in bytes
+    std::uint64_t ops = 0;    // tokens, in ops
+    std::chrono::steady_clock::time_point last{};
+    obs::Counter* throttled = nullptr;
+    obs::Counter* admitted = nullptr;
+  };
+
+  void refill(Bucket& b, std::chrono::steady_clock::time_point now) {
+    const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(now - b.last);
+    if (dt.count() <= 0) return;
+    b.last = now;
+    const auto ns = static_cast<std::uint64_t>(dt.count());
+    // rate/sec * ns / 1e9, split into whole seconds + remainder so the
+    // product cannot overflow u64 even after a long idle (a saturated earn
+    // is fine — the bucket cap clamps it anyway).
+    const auto earn = [ns](std::uint64_t rate) -> std::uint64_t {
+      const std::uint64_t secs = ns / 1'000'000'000u;
+      const std::uint64_t rem = ns % 1'000'000'000u;
+      if (rate != 0 && secs > UINT64_MAX / rate) return UINT64_MAX;
+      return rate * secs + rate / 1'000'000'000u * rem +
+             rate % 1'000'000'000u * rem / 1'000'000'000u;
+    };
+    const auto sat_add = [](std::uint64_t a, std::uint64_t d) {
+      return a > UINT64_MAX - d ? UINT64_MAX : a + d;
+    };
+    b.bytes = std::min(cfg_.burst_bytes, sat_add(b.bytes, earn(cfg_.bytes_per_sec)));
+    b.ops = std::min(cfg_.burst_ops, sat_add(b.ops, earn(cfg_.ops_per_sec)));
+  }
+
+  QosConfig cfg_;
+  obs::MetricRegistry& reg_;
+  obs::Counter& admitted_bytes_;
+  obs::Counter& throttled_ops_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+};
+
+}  // namespace iofwd::rt

@@ -92,7 +92,7 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
     : backend_(std::move(backend)),
       cfg_(cfg),
       pool_(cfg.bml_bytes, cfg.bml_min_class, cfg.bml_policy),
-      queue_(cfg.workers),
+      queue_(cfg.workers, cfg.sched, cfg.sched_quantum_bytes),
       owned_registry_(cfg.registry != nullptr ? nullptr
                                               : std::make_unique<obs::MetricRegistry>()),
       reg_(cfg.registry != nullptr ? cfg.registry : owned_registry_.get()),
@@ -124,12 +124,15 @@ IonServer::IonServer(std::unique_ptr<IoBackend> backend, ServerConfig cfg)
       c_reply_copy_bytes_(reg_->counter("server.reply.payload_copy_bytes")),
       h_write_lat_us_(reg_->histogram("server.write_latency_us")),
       h_read_lat_us_(reg_->histogram("server.read_latency_us")),
+      h_queue_wait_us_(reg_->histogram("server.sched.queue_wait_us")),
       g_queue_depth_(reg_->gauge("server.queue_depth")),
       g_queue_max_depth_(reg_->gauge("server.queue_max_depth")),
       g_bml_in_use_(reg_->gauge("server.bml_in_use")),
       g_bml_blocked_(reg_->gauge("server.bml_blocked")),
       g_bml_high_watermark_(reg_->gauge("server.bml_high_watermark")) {
   assert(backend_ && "IonServer needs a backend");
+  reg_->gauge("server.sched.policy").set(static_cast<std::int64_t>(cfg_.sched));
+  if (cfg_.qos.enabled()) qos_ = std::make_unique<QosGovernor>(cfg_.qos, *reg_);
   if (cfg_.bb_bytes > 0) {
     bb::BurstBufferConfig bcfg;
     bcfg.capacity_bytes = cfg_.bb_bytes;
@@ -364,6 +367,8 @@ ServerStats IonServer::stats() const {
   s.reply_peer_gone = c_reply_peer_gone_.value();
   s.reply_sync_fallback = c_reply_sync_fallback_.value();
   s.reply_payload_copy_bytes = c_reply_copy_bytes_.value();
+  s.qos_throttled_ops = reg_->counter("server.qos.throttled_ops").value();
+  s.qos_admitted_bytes = reg_->counter("server.qos.admitted_bytes").value();
   s.queue_batches = queue_.batches();
   s.queue_max_depth = queue_.max_depth();
   s.bml_blocked = pool_.blocked_acquires();
@@ -415,6 +420,17 @@ void IonServer::observe_op(const FrameHeader& req,
     fr_->record(opcode_name(req.op), req.fd, req.payload_len, lat_us,
                 static_cast<int>(st.code()));
   }
+}
+
+SchedMeta IonServer::sched_meta(const ClientConn& conn, const FrameHeader& req,
+                                std::chrono::steady_clock::time_point arrival) {
+  SchedMeta m;
+  m.tenant = conn.tenant.load(std::memory_order_relaxed);
+  m.klass = req.klass;
+  m.deadline_ms = req.deadline_ms;
+  m.bytes = req.payload_len;
+  m.arrival = arrival;
+  return m;
 }
 
 bool IonServer::past_deadline(const FrameHeader& req,
@@ -897,6 +913,10 @@ void IonServer::handle_hello(ClientConn& conn, const FrameHeader& req) {
   // the connection simply stays at version 0 (no payload checksums).
   const std::uint16_t negotiated = std::min(req.version, cfg_.max_wire_version);
   conn.version.store(negotiated, std::memory_order_relaxed);
+  // hello carries no file offset; the field doubles as the tenant (client/
+  // job) id that keys fair-share scheduling and the QoS buckets (§17). A v0
+  // client never says hello and stays tenant 0.
+  conn.tenant.store(req.offset, std::memory_order_relaxed);
   c_hellos_.inc();
   enqueue_reply(conn, req, Status::ok());
 }
@@ -1089,10 +1109,20 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
   t.payload = std::move(rx.bml);
   t.arrival = arrival;
 
+  const SchedMeta meta = sched_meta(*conn, req, arrival);
+
+  // Per-tenant admission (§17): an over-budget write is demoted to sync
+  // staging — same lever as the overload hysteresis below, but keyed to the
+  // ONE tenant that blew its token bucket, so only that tenant self-throttles.
+  bool throttled = qos_ && !qos_->admit(meta.tenant, req.payload_len);
+  if (cfg_.qos_fault_hook && cfg_.qos_fault_hook(meta.tenant, req.payload_len)) {
+    throttled = true;
+  }
+
   // Overload hysteresis: past the queue-depth high watermark, staged writes
   // are acknowledged at completion (sync staging) so clients self-throttle.
   ExecModel exec = cfg_.exec;
-  if (exec == ExecModel::work_queue_async && degraded_now(queue_.size())) {
+  if (exec == ExecModel::work_queue_async && (throttled || degraded_now(queue_.size()))) {
     exec = ExecModel::work_queue;
     c_degraded_sync_writes_.inc();
   }
@@ -1103,7 +1133,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
       break;
     case ExecModel::work_queue:
       t.reply_on_completion = true;
-      if (!queue_.push(std::move(t))) {
+      if (!queue_.push(std::move(t), meta)) {
         enqueue_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
       }
       break;
@@ -1123,7 +1153,7 @@ void IonServer::handle_write(const std::shared_ptr<ClientConn>& conn, RxPending&
       // Early acknowledgement: the application is unblocked as soon as the
       // payload sits in the BML buffer.
       enqueue_reply(*conn, req, Status::ok(), {}, /*staged=*/true);
-      if (!queue_.push(std::move(t))) {
+      if (!queue_.push(std::move(t), meta)) {
         // Server stopping: mark the op completed so close-drain cannot hang.
         note_completed(req.fd, seq_val, Status(Errc::shutdown, "server stopping"));
       }
@@ -1152,9 +1182,10 @@ void IonServer::handle_read(const std::shared_ptr<ClientConn>& conn, const Frame
   t.req = req;
   t.reply_on_completion = true;
   t.arrival = arrival;
+  const SchedMeta meta = sched_meta(*conn, req, arrival);
   if (cfg_.exec == ExecModel::thread_per_client) {
     execute_task(t, kInlineLane);
-  } else if (!queue_.push(std::move(t))) {
+  } else if (!queue_.push(std::move(t), meta)) {
     enqueue_reply(*conn, req, Status(Errc::shutdown, "server stopping"));
   }
 }
@@ -1173,6 +1204,7 @@ void IonServer::worker_loop(int lane) {
       tracer_->counter("queue_depth", static_cast<double>(queue_.size()));
     }
     for (auto& t : batch) {
+      h_queue_wait_us_.record(us_since(t.arrival));
       execute_task(t, lane);
       tasks_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     }

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include <functional>
+
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -48,6 +50,8 @@
 #include "rt/filter.hpp"
 #include "rt/frame_assembler.hpp"
 #include "rt/bml.hpp"
+#include "rt/qos.hpp"
+#include "rt/scheduler.hpp"
 #include "rt/task_queue.hpp"
 #include "rt/transport.hpp"
 #include "rt/wire.hpp"
@@ -118,6 +122,22 @@ struct ServerConfig {
   // degraded_low_watermark (0 = never degrade).
   std::uint64_t degraded_high_watermark = 0;
   std::uint64_t degraded_low_watermark = 0;
+  // Work-queue dispatch policy (DESIGN.md §17): fifo (the paper's order,
+  // default), prio (header priority classes), edf (earliest deadline_ms
+  // first), fair (deficit round-robin on bytes across tenants). FIFO is
+  // byte-for-byte the pre-scheduler behavior.
+  SchedPolicy sched = SchedPolicy::fifo;
+  std::uint64_t sched_quantum_bytes = kDefaultDrrQuantum;  // fair policy only
+  // Per-tenant admission control (DESIGN.md §17): token buckets on bytes and
+  // ops per tenant. A data op that exceeds its tenant's budget is not
+  // rejected — it is demoted to synchronous staging exactly like the
+  // queue-depth hysteresis, so the hot tenant absorbs its own backpressure.
+  // Both rates zero = QoS off.
+  QosConfig qos;
+  // Fault hook consulted per admission decision (tenant, payload bytes);
+  // returning true forces a throttle. Lets a fault::FaultPlan drive QoS
+  // chaos without rt depending on the fault library (which depends on rt).
+  std::function<bool(std::uint64_t, std::uint64_t)> qos_fault_hook;
   // Observability (src/obs/, DESIGN.md §11). Every server counter lives in
   // an obs::MetricRegistry under the "server." prefix; ServerStats is just a
   // snapshot view of it. A null registry means the server creates a private
@@ -180,6 +200,9 @@ struct ServerStats {
   std::uint64_t reply_peer_gone = 0;         // replies dropped: peer went away
   std::uint64_t reply_sync_fallback = 0;     // replies via the blocking path
   std::uint64_t reply_payload_copy_bytes = 0;  // reply payload bytes memcpy'd
+  // Scheduling/QoS (DESIGN.md §17).
+  std::uint64_t qos_throttled_ops = 0;       // ops demoted by a token bucket
+  std::uint64_t qos_admitted_bytes = 0;      // bytes admitted on the fast path
 };
 
 class IonServer {
@@ -302,6 +325,10 @@ class IonServer {
     // then min(client, server). Atomic because workers stamp replies while
     // the receiver thread negotiates.
     std::atomic<std::uint16_t> version{0};
+    // Tenant (client/job) id from the hello handshake's offset field; 0 for
+    // v0 clients (one shared "anonymous" tenant). Keys the fair scheduler
+    // and the QoS buckets. Atomic for the same negotiation race as version.
+    std::atomic<std::uint64_t> tenant{0};
     // Receiver-lane state (owned by the lane/receiver thread).
     FrameAssembler assembler;
     RxPending rx;
@@ -360,6 +387,9 @@ class IonServer {
                                           std::chrono::steady_clock::time_point arrival);
   // Queue-depth hysteresis: decides (and accounts) sync-staging degradation.
   bool degraded_now(std::size_t queue_depth);
+  // Scheduling metadata for a queued data op (DESIGN.md §17).
+  [[nodiscard]] static SchedMeta sched_meta(const ClientConn& conn, const FrameHeader& req,
+                                            std::chrono::steady_clock::time_point arrival);
 
   // Shared thread/connection teardown behind stop() and crash_stop(); the
   // two differ only in what happens to the burst buffer afterwards.
@@ -420,6 +450,7 @@ class IonServer {
   FilterChain filters_;
   BufferPool pool_;
   TaskQueue<Task> queue_;
+  std::unique_ptr<QosGovernor> qos_;  // null when QoS is off
 
   // Observability: registry-backed counters replace the old mutex-guarded
   // ServerStats member. Handles are registered once here; the hot path only
@@ -452,6 +483,7 @@ class IonServer {
   obs::Counter& c_reply_copy_bytes_;
   obs::Histogram& h_write_lat_us_;
   obs::Histogram& h_read_lat_us_;
+  obs::Histogram& h_queue_wait_us_;  // server.sched.queue_wait_us
   // Instantaneous queue/pool state, refreshed by metrics().
   obs::Gauge& g_queue_depth_;
   obs::Gauge& g_queue_max_depth_;

@@ -51,6 +51,7 @@ void FrameHeader::encode(std::span<std::byte, kWireSize> out) const {
   put(p, static_cast<std::uint8_t>(op));
   put(p, flags);
   put(p, version);
+  put(p, klass);
   put(p, reserved);
   put(p, fd);
   put(p, status);
@@ -89,7 +90,11 @@ Result<FrameHeader> FrameHeader::decode(std::span<const std::byte, kWireSize> in
   if (h.version > kProtoVersion && h.op != OpCode::hello) {
     return Status(Errc::protocol_error, "unsupported version");
   }
-  h.reserved = take<std::uint16_t>(p);
+  h.klass = take<std::uint8_t>(p);
+  if (h.klass > kMaxPriorityClass) {
+    return Status(Errc::protocol_error, "priority class out of range");
+  }
+  h.reserved = take<std::uint8_t>(p);
   if (h.reserved != 0) return Status(Errc::protocol_error, "reserved field not zero");
   h.fd = take<std::int32_t>(p);
   h.status = take<std::int32_t>(p);

@@ -14,7 +14,8 @@
 //        5    1 op           OpCode: 1..kMaxOpCode
 //        6    2 flags        bit 0 staged, bit 1 payload_crc; others reserved
 //        8    2 version      sender's protocol version (0 or 1)
-//       10    2 reserved     must be zero
+//       10    1 klass        priority class 0..kMaxPriorityClass (0 = default)
+//       11    1 reserved     must be zero
 //       12    4 fd
 //       16    4 status       Errc as i32 (replies)
 //       20    8 seq
@@ -32,6 +33,11 @@
 // to min(client, server) and both sides checksum payloads only when the
 // negotiated version is >= 1. A v0 peer never sends `hello` and never sets
 // kFlagPayloadCrc, so old binaries interoperate with checksums off.
+//
+// The priority class byte was carved out of the v1 reserved field (which a
+// v0 peer always sends as zero), so class 0 — the default — is byte-for-byte
+// what every pre-class binary already emits: old captures still decode, and
+// old receivers reject classes they don't understand via the reserved check.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +75,11 @@ inline constexpr std::uint8_t kMaxOpCode = static_cast<std::uint8_t>(OpCode::pin
 // framing (44-byte headers are gone, but v0 semantics = no payload CRCs).
 inline constexpr std::uint16_t kProtoVersion = 1;
 
+// Highest priority class a frame may carry (4 classes, 0 = default/lowest
+// urgency by convention of the priority scheduler, which serves the HIGHEST
+// class first). Bounded at decode so schedulers can index by class safely.
+inline constexpr std::uint8_t kMaxPriorityClass = 3;
+
 struct FrameHeader {
   static constexpr std::uint32_t kMagic = 0x494f4657;  // "IOFW"
   static constexpr std::size_t kWireSize = 56;
@@ -80,7 +91,8 @@ struct FrameHeader {
   OpCode op = OpCode::open;
   std::uint16_t flags = 0;        // see kFlag* below
   std::uint16_t version = 0;      // sender's protocol version
-  std::uint16_t reserved = 0;     // must be zero on the wire
+  std::uint8_t klass = 0;         // priority class, <= kMaxPriorityClass
+  std::uint8_t reserved = 0;      // must be zero on the wire
   std::int32_t fd = -1;
   std::int32_t status = 0;        // Errc as i32 (replies)
   std::uint64_t seq = 0;          // client-assigned request id
@@ -105,9 +117,10 @@ struct FrameHeader {
   // Returns checksum_error when the stored header_crc does not match the
   // received bytes (checked first — a flipped bit anywhere in the header
   // lands here, not on a field check), and protocol_error on bad magic,
-  // unknown type/op, undefined flag bits, nonzero reserved field, or a
-  // version above kProtoVersion. payload_len is bounded by kMaxPayload
-  // before returning, so callers may allocate based on it.
+  // unknown type/op, undefined flag bits, a priority class above
+  // kMaxPriorityClass, nonzero reserved field, or a version above
+  // kProtoVersion. payload_len is bounded by kMaxPayload before returning,
+  // so callers may allocate based on it.
   static Result<FrameHeader> decode(std::span<const std::byte, kWireSize> in);
   // Same, for buffers whose extent is only known at runtime (fuzzers,
   // stream readers): rejects spans != kWireSize with protocol_error.

@@ -116,7 +116,15 @@ std::vector<std::pair<std::string, Bytes>> frame_decode_seeds() {
   seeds.emplace_back("bad-opcode", patch(base, 5, {0x7f}));
   seeds.emplace_back("undefined-flags", patch(base, 6, {0xf0, 0xff}));
   seeds.emplace_back("future-version-non-hello", patch(base, 8, {0x09, 0x00}));
-  seeds.emplace_back("reserved-nonzero", patch(base, 10, {0x01, 0x00}));
+  // Priority classes ride byte 10 of the old reserved field: every in-range
+  // class decodes, out-of-range rejects, and the remaining reserved byte
+  // (11) must still be zero.
+  for (std::uint8_t k = 1; k <= iofwd::rt::kMaxPriorityClass; ++k) {
+    seeds.emplace_back("class-" + std::to_string(k), patch(base, 10, {k}));
+  }
+  seeds.emplace_back("class-out-of-range",
+                     patch(base, 10, {iofwd::rt::kMaxPriorityClass + 1}));
+  seeds.emplace_back("reserved-nonzero", patch(base, 11, {0x01}));
   seeds.emplace_back("oversize-payload",
                      patch(base, 36, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}));
   {
@@ -143,6 +151,7 @@ std::vector<std::pair<std::string, Bytes>> server_bytes_seeds() {
     append(s, payload_frame(request(OpCode::open, 2), path));
     FrameHeader w = request(OpCode::write, 3);
     w.offset = 0;
+    w.klass = 2;  // priority-classed write through the full receive path
     append(s, payload_frame(w, data));
     FrameHeader r = request(OpCode::read, 4);
     r.payload_len = data.size();

@@ -5,7 +5,8 @@
 //     statuses: checksum_error, protocol_error, message_too_large;
 //   * an accepted header's payload_len is bounded by kMaxPayload — callers
 //     allocate based on it, so this IS the allocation guard;
-//   * accepted flag bits are within kFlagMask and reserved is zero;
+//   * accepted flag bits are within kFlagMask, the priority class is within
+//     kMaxPriorityClass, and reserved is zero;
 //   * accepted headers survive an encode/decode round trip bit-for-bit
 //     (decode ∘ encode = id on the accepted set).
 #include <cstring>
@@ -22,7 +23,8 @@ using rt::FrameHeader;
 
 bool same_header(const FrameHeader& a, const FrameHeader& b) {
   return a.magic == b.magic && a.type == b.type && a.op == b.op && a.flags == b.flags &&
-         a.version == b.version && a.reserved == b.reserved && a.fd == b.fd &&
+         a.version == b.version && a.klass == b.klass && a.reserved == b.reserved &&
+         a.fd == b.fd &&
          a.status == b.status && a.seq == b.seq && a.offset == b.offset &&
          a.payload_len == b.payload_len && a.deadline_ms == b.deadline_ms &&
          a.payload_crc == b.payload_crc;
@@ -45,6 +47,7 @@ int frame_decode_one(const std::uint8_t* data, std::size_t size) {
   const FrameHeader h = r.value();
   if (h.payload_len > rt::kMaxPayload) __builtin_trap();
   if ((h.flags & ~FrameHeader::kFlagMask) != 0) __builtin_trap();
+  if (h.klass > rt::kMaxPriorityClass) __builtin_trap();
   if (h.reserved != 0) __builtin_trap();
 
   std::byte buf[FrameHeader::kWireSize];

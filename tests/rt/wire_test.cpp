@@ -38,6 +38,7 @@ TEST(Wire, HeaderRoundTrip) {
   h.op = OpCode::write;
   h.flags = FrameHeader::kFlagStaged;
   h.version = kProtoVersion;
+  h.klass = 2;
   h.fd = 42;
   h.status = static_cast<std::int32_t>(Errc::io_error);
   h.seq = 0xdeadbeefcafe;
@@ -52,6 +53,7 @@ TEST(Wire, HeaderRoundTrip) {
   EXPECT_EQ(d.op, OpCode::write);
   EXPECT_EQ(d.flags, FrameHeader::kFlagStaged);
   EXPECT_EQ(d.version, kProtoVersion);
+  EXPECT_EQ(d.klass, 2);
   EXPECT_EQ(d.reserved, 0);
   EXPECT_EQ(d.fd, 42);
   EXPECT_EQ(d.status, static_cast<std::int32_t>(Errc::io_error));
@@ -71,6 +73,7 @@ TEST(Wire, EncodeDecodeIdentityAcrossAllOpcodes) {
     h.op = static_cast<OpCode>(1 + rng.below(kMaxOpCode));
     h.flags = static_cast<std::uint16_t>(rng.below(FrameHeader::kFlagMask + 1));
     h.version = static_cast<std::uint16_t>(rng.below(kProtoVersion + 1));
+    h.klass = static_cast<std::uint8_t>(rng.below(kMaxPriorityClass + 1));
     h.fd = static_cast<std::int32_t>(rng.below(1u << 20)) - 1;
     h.status = static_cast<std::int32_t>(rng.below(kErrcCount));
     h.seq = rng.next();
@@ -86,6 +89,7 @@ TEST(Wire, EncodeDecodeIdentityAcrossAllOpcodes) {
     EXPECT_EQ(d.op, h.op);
     EXPECT_EQ(d.flags, h.flags);
     EXPECT_EQ(d.version, h.version);
+    EXPECT_EQ(d.klass, h.klass);
     EXPECT_EQ(d.fd, h.fd);
     EXPECT_EQ(d.status, h.status);
     EXPECT_EQ(d.seq, h.seq);
@@ -165,6 +169,38 @@ TEST(Wire, RejectsNonzeroReservedField) {
   auto r = decoded(encoded(h));
   ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.code(), Errc::protocol_error);
+}
+
+TEST(Wire, PriorityClassRoundTripsAndBoundsAreEnforced) {
+  // Every in-range class decodes and round-trips; the first out-of-range
+  // value is a protocol fault (the receiver cannot order by a class it does
+  // not define).
+  for (std::uint8_t k = 0; k <= kMaxPriorityClass; ++k) {
+    FrameHeader h;
+    h.op = OpCode::write;
+    h.klass = k;
+    auto r = decoded(encoded(h));
+    ASSERT_TRUE(r.is_ok()) << int(k);
+    EXPECT_EQ(r.value().klass, k);
+  }
+  FrameHeader h;
+  h.klass = kMaxPriorityClass + 1;
+  auto r = decoded(encoded(h));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::protocol_error);
+}
+
+TEST(Wire, ClassZeroMatchesPreClassEncoding) {
+  // The class byte was carved out of the 16-bit reserved field; class 0
+  // must therefore be byte-for-byte what a pre-class encoder emitted
+  // (bytes 10 and 11 both zero) — v0 interop depends on it.
+  const Buf buf = encoded(FrameHeader{});
+  EXPECT_EQ(buf[10], std::byte{0});
+  EXPECT_EQ(buf[11], std::byte{0});
+  auto r = decoded(buf);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().klass, 0);
+  EXPECT_EQ(r.value().reserved, 0);
 }
 
 TEST(Wire, RejectsFutureVersionExceptOnHello) {
